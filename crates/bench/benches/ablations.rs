@@ -1,0 +1,167 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Delta PageRank** — increments + sparse pulls (the paper's §IV-A
+//!   optimization) vs exact dense behaviour (threshold 0).
+//! * **Partitioner** — hash vs range placement for skewed vector access.
+//! * **Co-partitioned join** — join reuse of a pre-partitioned table vs
+//!   re-shuffling both sides (the GraphX CN fix).
+//! * **BSP vs ASP** — superstep barrier cost under stragglers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psgraph_bench::deploy::{psgraph_context, PaperAlloc, ScaleRule};
+use psgraph_core::algos::PageRank;
+use psgraph_core::runner::distribute_edges;
+use psgraph_dataflow::{Cluster, Rdd};
+use psgraph_graph::Dataset;
+use psgraph_ps::sync::SyncController;
+use psgraph_ps::{Partitioner, RecoveryMode, SyncMode, VectorHandle};
+use psgraph_sim::{ClusterClock, NodeClock, SimTime};
+
+const SCALE: f64 = 0.01;
+
+fn ablation_delta_pagerank(c: &mut Criterion) {
+    let g = Dataset::Ds1.generate(SCALE);
+    let rule = ScaleRule::new(Dataset::Ds1, SCALE);
+    let mut group = c.benchmark_group("ablation_delta_pagerank");
+    group.sample_size(10);
+    for (name, threshold) in [("delta_sparse", 1e-4), ("exact_dense", 0.0)] {
+        // Criterion measures wall clock of the simulator; the design
+        // claim is about *simulated* cluster time — print it once.
+        {
+            let ctx = psgraph_context(rule, PaperAlloc::PSGRAPH_DS1);
+            let edges = distribute_edges(&ctx, &g, ctx.cluster().default_partitions()).unwrap();
+            PageRank { max_iterations: 80, delta_threshold: threshold, ..Default::default() }
+                .run(&ctx, &edges, g.num_vertices())
+                .unwrap();
+            eprintln!("[sim] pagerank/{name}: {}", ctx.now());
+        }
+        group.bench_function(BenchmarkId::new("pagerank", name), |b| {
+            b.iter(|| {
+                let ctx = psgraph_context(rule, PaperAlloc::PSGRAPH_DS1);
+                let edges =
+                    distribute_edges(&ctx, &g, ctx.cluster().default_partitions()).unwrap();
+                PageRank { max_iterations: 80, delta_threshold: threshold, ..Default::default() }
+                    .run(&ctx, &edges, g.num_vertices())
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_partitioner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_partitioner");
+    group.sample_size(20);
+    // Skewed access under concurrency: eight executors simultaneously
+    // pull a narrow hot id range. Range partitioning funnels every pull
+    // into one server's queue; hash spreads the load. The metric is the
+    // slowest client's completion time (port queueing is modeled).
+    let hot: Vec<u64> = (0..100_000).map(|i| i % 500).collect();
+    for (name, partitioner) in [
+        ("hash", Partitioner::Hash),
+        ("range", Partitioner::Range),
+        ("hash_range", Partitioner::HashRange { buckets: 2 }),
+    ] {
+        {
+            let ctx = psgraph_context(
+                ScaleRule::new(Dataset::Ds1, SCALE),
+                PaperAlloc::PSGRAPH_DS1,
+            );
+            let v = VectorHandle::<f64>::create(
+                ctx.ps(), format!("abl.pre.{name}"), 100_000, partitioner,
+                RecoveryMode::Inconsistent,
+            )
+            .unwrap();
+            let clients: Vec<NodeClock> = (0..8).map(|_| NodeClock::new()).collect();
+            for c in &clients {
+                v.pull(c, &hot).unwrap();
+            }
+            let slowest = clients.iter().map(|c| c.now()).max().unwrap();
+            eprintln!("[sim] skewed_pull/{name}: slowest client {slowest}");
+        }
+        group.bench_function(BenchmarkId::new("skewed_pull", name), |b| {
+            let ctx = psgraph_context(
+                ScaleRule::new(Dataset::Ds1, SCALE),
+                PaperAlloc::PSGRAPH_DS1,
+            );
+            let v = VectorHandle::<f64>::create(
+                ctx.ps(),
+                format!("abl.{name}"),
+                100_000,
+                partitioner,
+                RecoveryMode::Inconsistent,
+            )
+            .unwrap();
+            b.iter(|| {
+                let clients: Vec<NodeClock> = (0..8).map(|_| NodeClock::new()).collect();
+                for c in &clients {
+                    v.pull(c, &hot).unwrap();
+                }
+                clients.iter().map(|c| c.now()).max().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablation_copartitioned_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_copartitioned_join");
+    group.sample_size(10);
+    let cluster = Cluster::local();
+    let big: Vec<(u64, u64)> = (0..50_000u64).map(|i| (i % 10_000, i)).collect();
+    let small: Vec<(u64, u64)> = (0..500u64).map(|i| (i * 17 % 10_000, i)).collect();
+    let parts = cluster.default_partitions();
+    let big_rdd = Rdd::from_vec(&cluster, big, parts).unwrap();
+    let big_parted = big_rdd.partition_by_key(parts).unwrap();
+
+    group.bench_function("reshuffle_both_sides", |b| {
+        b.iter(|| {
+            let s = Rdd::from_vec(&cluster, small.clone(), parts).unwrap();
+            s.join(&big_rdd, parts).unwrap().count().unwrap()
+        })
+    });
+    group.bench_function("copartitioned_reuse", |b| {
+        b.iter(|| {
+            let s = Rdd::from_vec(&cluster, small.clone(), parts).unwrap();
+            let sp = s.partition_by_key(parts).unwrap();
+            big_parted.join_copartitioned(&sp).unwrap().count().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn ablation_bsp_vs_asp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_sync_mode");
+    group.sample_size(30);
+    // Ten supersteps with one straggler: BSP propagates the straggler's
+    // delay to everyone; ASP lets the fast workers run ahead. The metric
+    // is the fast workers' final simulated time.
+    for (name, mode) in [("bsp", SyncMode::Bsp), ("asp", SyncMode::Asp)] {
+        group.bench_function(BenchmarkId::new("straggler", name), |b| {
+            b.iter(|| {
+                let ctrl = SyncController::new(mode);
+                let clock = ClusterClock::new();
+                let workers: Vec<NodeClock> = (0..8).map(|_| NodeClock::new()).collect();
+                for step in 0..10 {
+                    for (i, w) in workers.iter().enumerate() {
+                        let cost = if i == 0 && step % 3 == 0 { 50 } else { 5 };
+                        w.advance(SimTime::from_millis(cost));
+                    }
+                    ctrl.end_superstep(&clock, workers.iter());
+                }
+                workers[7].now()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_delta_pagerank,
+    ablation_partitioner,
+    ablation_copartitioned_join,
+    ablation_bsp_vs_asp
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Table II: Common Neighbor on DS1′ without failure,
+//! with an executor kill, and with a PS-server kill.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psgraph_bench::deploy::{psgraph_context, PaperAlloc, ScaleRule};
+use psgraph_core::algos::CommonNeighbor;
+use psgraph_core::runner::distribute_edges;
+use psgraph_graph::Dataset;
+use psgraph_sim::FailPlan;
+
+const SCALE: f64 = 0.01;
+
+#[derive(Clone, Copy)]
+enum Kill {
+    None,
+    Executor,
+    Server,
+}
+
+fn run(kill: Kill) {
+    let g = Dataset::Ds1.generate(SCALE);
+    let rule = ScaleRule::new(Dataset::Ds1, SCALE);
+    let ctx = psgraph_context(rule, PaperAlloc::PSGRAPH_DS1);
+    match kill {
+        Kill::None => {}
+        Kill::Executor => ctx.cluster().injector().schedule(FailPlan::kill_executor(1, 2)),
+        Kill::Server => ctx.ps().injector().schedule(FailPlan::kill_server(1, 2)),
+    }
+    let edges = distribute_edges(&ctx, &g, ctx.cluster().default_partitions()).unwrap();
+    CommonNeighbor { checkpoint: true, batch_size: 256 }
+        .run(&ctx, &edges, g.num_vertices())
+        .unwrap();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_failure_recovery");
+    group.sample_size(10);
+    for (name, kill) in [
+        ("without_failure", Kill::None),
+        ("executor_failure", Kill::Executor),
+        ("ps_failure", Kill::Server),
+    ] {
+        group.bench_function(BenchmarkId::new("common_neighbor", name), |b| {
+            b.iter(|| run(kill))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

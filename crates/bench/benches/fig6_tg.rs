@@ -1,0 +1,94 @@
+//! Criterion bench for Fig. 6: wall-clock of the simulated runs for each
+//! traditional-graph algorithm, PSGraph vs GraphX. Clusters run
+//! *unbounded* here — this bench measures engine wall-time at a small
+//! scale; the emergent OOM pattern (which is budget- and scale-
+//! calibrated) is the `repro -- fig6` harness's and
+//! `fig6::tests::fig6_shape_holds`'s concern. GraphX K-Core/Triangle
+//! Count are skipped: unbounded they exhaust host memory by design (that
+//! IS the Fig. 6 result).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psgraph_bench::deploy::{graphx_unbounded, psgraph_unbounded, SIM_EXECUTORS};
+use psgraph_core::algos::{CommonNeighbor, FastUnfolding, KCore, PageRank, TriangleCount};
+use psgraph_core::runner::distribute_edges;
+use psgraph_graph::Dataset;
+use psgraph_graphx::{gx_common_neighbor, gx_fast_unfolding, gx_pagerank, GxGraph};
+
+const SCALE: f64 = 0.01;
+
+fn bench_fig6(c: &mut Criterion) {
+    let g = Dataset::Ds1.generate(SCALE);
+    let mut group = c.benchmark_group("fig6_ds1");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("psgraph", "pagerank"), |b| {
+        b.iter(|| {
+            let ctx = psgraph_unbounded();
+            let edges = distribute_edges(&ctx, &g, ctx.cluster().default_partitions()).unwrap();
+            PageRank { max_iterations: 10, delta_threshold: 1e-6, ..Default::default() }
+                .run(&ctx, &edges, g.num_vertices())
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("graphx", "pagerank"), |b| {
+        b.iter(|| {
+            let cluster = graphx_unbounded();
+            let gx = GxGraph::from_edgelist(&cluster, &g, SIM_EXECUTORS * 6).unwrap();
+            gx_pagerank(&gx, 0.85, 10).unwrap()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("psgraph", "common_neighbor"), |b| {
+        b.iter(|| {
+            let ctx = psgraph_unbounded();
+            let edges = distribute_edges(&ctx, &g, ctx.cluster().default_partitions()).unwrap();
+            CommonNeighbor::default().run(&ctx, &edges, g.num_vertices()).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("graphx", "common_neighbor"), |b| {
+        b.iter(|| {
+            let cluster = graphx_unbounded();
+            let gx = GxGraph::from_edgelist(&cluster, &g, SIM_EXECUTORS * 6).unwrap();
+            gx_common_neighbor(&gx).unwrap()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("psgraph", "fast_unfolding"), |b| {
+        b.iter(|| {
+            let ctx = psgraph_unbounded();
+            let edges = distribute_edges(&ctx, &g, ctx.cluster().default_partitions()).unwrap();
+            FastUnfolding { max_passes: 2, max_sweeps: 3, ..Default::default() }
+                .run_unweighted(&ctx, &edges, g.num_vertices())
+                .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("graphx", "fast_unfolding"), |b| {
+        b.iter(|| {
+            let cluster = graphx_unbounded();
+            let gx = GxGraph::from_edgelist(&cluster, &g, SIM_EXECUTORS * 6).unwrap();
+            gx_fast_unfolding(&gx, 2, 3).unwrap()
+        })
+    });
+
+    // GraphX K-Core / Triangle Count: bench the PSGraph side only (see
+    // module docs).
+    group.bench_function(BenchmarkId::new("psgraph", "kcore"), |b| {
+        b.iter(|| {
+            let ctx = psgraph_unbounded();
+            let edges = distribute_edges(&ctx, &g, ctx.cluster().default_partitions()).unwrap();
+            KCore { max_iterations: 30 }.run(&ctx, &edges, g.num_vertices()).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("psgraph", "triangle_count"), |b| {
+        b.iter(|| {
+            let ctx = psgraph_unbounded();
+            let edges = distribute_edges(&ctx, &g, ctx.cluster().default_partitions()).unwrap();
+            TriangleCount::default().run(&ctx, &edges, g.num_vertices()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

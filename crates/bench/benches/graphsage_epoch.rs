@@ -1,0 +1,58 @@
+//! Criterion bench for Table I: GraphSage preprocessing + training on
+//! DS3′, PSGraph vs the Euler baseline.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psgraph_bench::deploy::{psgraph_context, PaperAlloc, ScaleRule};
+use psgraph_bench::table1::FEAT_DIM;
+use psgraph_core::algos::{GraphSage, GraphSageConfig};
+use psgraph_core::runner::distribute_edges;
+use psgraph_euler::{preprocess, train, EulerCluster, EulerConfig};
+use psgraph_graph::{io, Dataset};
+use psgraph_sim::{CostModel, NodeClock};
+
+const SCALE: f64 = 0.02;
+
+fn bench_graphsage(c: &mut Criterion) {
+    let s = Dataset::generate_ds3_features(SCALE, FEAT_DIM);
+    let rule = ScaleRule::new(Dataset::Ds3, SCALE);
+    let mut group = c.benchmark_group("table1_graphsage_ds3");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("psgraph", "preprocess+train"), |b| {
+        let feats = Arc::new(s.features.clone());
+        let labels = Arc::new(s.labels.clone());
+        b.iter(|| {
+            let ctx = psgraph_context(rule, PaperAlloc::PSGRAPH_DS3);
+            let edges =
+                distribute_edges(&ctx, &s.graph, ctx.cluster().default_partitions()).unwrap();
+            GraphSage::new(GraphSageConfig { feat_dim: FEAT_DIM, epochs: 1, ..Default::default() })
+                .run(&ctx, &edges, &feats, &labels, s.graph.num_vertices())
+                .unwrap()
+        })
+    });
+
+    group.bench_function(BenchmarkId::new("euler", "preprocess+train"), |b| {
+        b.iter(|| {
+            let dfs = psgraph_dfs::Dfs::in_memory();
+            let clk = NodeClock::new();
+            io::write_text(&dfs, "/raw/e", &s.graph, &clk).unwrap();
+            io::write_features(&dfs, "/raw/f", &s.features, &s.labels, &clk).unwrap();
+            let cfg = EulerConfig { feat_dim: FEAT_DIM, epochs: 1, ..Default::default() };
+            let driver = NodeClock::new();
+            let (graph, _report) =
+                preprocess(&dfs, "/raw/e", "/raw/f", "/euler", cfg.shards, &driver).unwrap();
+            let mut cluster = EulerCluster::new(cfg.workers, cfg.shards, CostModel::default());
+            Arc::get_mut(&mut cluster)
+                .unwrap()
+                .load(&graph.adjacency, &graph.features);
+            train(&cluster, &Arc::new(graph), &cfg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graphsage);
+criterion_main!(benches);

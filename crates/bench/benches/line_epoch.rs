@@ -1,0 +1,40 @@
+//! Criterion bench for §V-B2: one LINE training epoch on DS1′, with and
+//! without the psFunc server-side dot products (the §IV-D optimization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use psgraph_bench::deploy::{psgraph_context, PaperAlloc, ScaleRule};
+use psgraph_core::algos::{Line, LineConfig};
+use psgraph_core::runner::distribute_edges;
+use psgraph_graph::Dataset;
+
+const SCALE: f64 = 0.005;
+
+fn bench_line(c: &mut Criterion) {
+    let g = Dataset::Ds1.generate(SCALE);
+    let rule = ScaleRule::new(Dataset::Ds1, SCALE);
+    let mut group = c.benchmark_group("line_epoch_ds1");
+    group.sample_size(10);
+
+    for (name, use_psfunc) in [("psfunc", true), ("pull_rows", false)] {
+        group.bench_function(BenchmarkId::new("line", name), |b| {
+            b.iter(|| {
+                let ctx = psgraph_context(rule, PaperAlloc::PSGRAPH_DS2);
+                let edges =
+                    distribute_edges(&ctx, &g, ctx.cluster().default_partitions()).unwrap();
+                Line::new(LineConfig {
+                    dim: 128,
+                    epochs: 1,
+                    use_psfunc,
+                    ..Default::default()
+                })
+                .run(&ctx, &edges, g.num_vertices())
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_line);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+#![allow(clippy::type_complexity)]
+//! Calibration probe: run every Fig. 6 workload on *unbounded* clusters
+//! and report peak executor/server memory per edge, plus simulated
+//! runtimes. Used to pick `JVM_EXPANSION` and validate that the paper's
+//! OOM pattern is achievable from one global rule (see EXPERIMENTS.md).
+
+use std::sync::Arc;
+
+use psgraph_bench::deploy::{graphx_unbounded, psgraph_unbounded, SIM_EXECUTORS};
+use psgraph_core::algos::{CommonNeighbor, FastUnfolding, KCore, PageRank, TriangleCount};
+use psgraph_core::runner::distribute_edges;
+use psgraph_graph::Dataset;
+use psgraph_graphx::{
+    gx_common_neighbor, gx_fast_unfolding, gx_kcore, gx_pagerank, gx_triangle_count, GxGraph,
+};
+
+fn peak_exec(cluster: &Arc<psgraph_dataflow::Cluster>) -> u64 {
+    (0..cluster.num_executors())
+        .map(|i| cluster.executor(i).memory().peak())
+        .max()
+        .unwrap_or(0)
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+
+    for ds in [Dataset::Ds1, Dataset::Ds2] {
+        let g = ds.generate(scale);
+        let edges_per_exec = g.num_edges() as f64 / SIM_EXECUTORS as f64;
+        println!(
+            "=== {ds} scale {scale}: {} vertices, {} edges ({edges_per_exec:.0} edges/exec)",
+            g.num_vertices(),
+            g.num_edges()
+        );
+
+        // GraphX probes.
+        let probes: Vec<(&str, Box<dyn Fn(&GxGraph)>)> = vec![
+            ("gx-pagerank", Box::new(|gx: &GxGraph| {
+                gx_pagerank(gx, 0.85, 10).unwrap();
+            })),
+            ("gx-cn", Box::new(|gx: &GxGraph| {
+                gx_common_neighbor(gx).unwrap();
+            })),
+            ("gx-fu", Box::new(|gx: &GxGraph| {
+                gx_fast_unfolding(gx, 2, 3).unwrap();
+            })),
+            ("gx-kcore", Box::new(|gx: &GxGraph| {
+                gx_kcore(gx, 10).unwrap();
+            })),
+            ("gx-tc", Box::new(|gx: &GxGraph| {
+                gx_triangle_count(gx).unwrap();
+            })),
+        ];
+        for (name, run) in probes {
+            if ds == Dataset::Ds2 && (name == "gx-fu" || name == "gx-kcore" || name == "gx-tc" || name == "gx-cn") {
+                continue; // paper only runs PR + CN on DS2; CN's unbounded
+                          // probe would exhaust host memory (it OOMs under
+                          // any realistic budget — see fig6).
+            }
+            let c = graphx_unbounded();
+            let gx = GxGraph::from_edgelist(&c, &g, SIM_EXECUTORS * 6).unwrap();
+            let t0 = std::time::Instant::now();
+            run(&gx);
+            let peak = peak_exec(&c);
+            println!(
+                "  {name:12} peak/exec {:>12} B  ({:>6.1} B/edge-share)  sim {:>10}  wall {:?}",
+                peak,
+                peak as f64 / edges_per_exec / 2.0,
+                c.now(),
+                t0.elapsed()
+            );
+        }
+
+        // PSGraph probes.
+        let psg: Vec<(&str, Box<dyn Fn(&Arc<psgraph_core::PsGraphContext>, &psgraph_dataflow::Rdd<(u64, u64)>, u64)>)> = vec![
+            ("ps-pagerank", Box::new(|ctx, e, n| {
+                PageRank { max_iterations: 10, ..Default::default() }.run(ctx, e, n).unwrap();
+            })),
+            ("ps-cn", Box::new(|ctx, e, n| {
+                CommonNeighbor::default().run(ctx, e, n).unwrap();
+            })),
+            ("ps-fu", Box::new(|ctx, e, n| {
+                FastUnfolding { max_passes: 2, max_sweeps: 3, ..Default::default() }
+                    .run_unweighted(ctx, e, n)
+                    .unwrap();
+            })),
+            ("ps-kcore", Box::new(|ctx, e, n| {
+                KCore { max_iterations: 30 }.run(ctx, e, n).unwrap();
+            })),
+            ("ps-tc", Box::new(|ctx, e, n| {
+                TriangleCount::default().run(ctx, e, n).unwrap();
+            })),
+        ];
+        for (name, run) in psg {
+            if ds == Dataset::Ds2 && (name == "ps-fu" || name == "ps-kcore" || name == "ps-tc") {
+                continue;
+            }
+            let ctx = psgraph_unbounded();
+            let edges = distribute_edges(&ctx, &g, SIM_EXECUTORS * 6).unwrap();
+            let t0 = std::time::Instant::now();
+            run(&ctx, &edges, g.num_vertices());
+            let peak = peak_exec(ctx.cluster());
+            let ps_peak: u64 = (0..ctx.ps().num_servers())
+                .map(|i| ctx.ps().server(i).memory().peak())
+                .max()
+                .unwrap_or(0);
+            println!(
+                "  {name:12} peak/exec {:>12} B ({:>6.1} B/edge-share) ps {:>10} B  sim {:>10}  wall {:?}",
+                peak,
+                peak as f64 / edges_per_exec / 2.0,
+                ps_peak,
+                ctx.now(),
+                t0.elapsed()
+            );
+        }
+    }
+}

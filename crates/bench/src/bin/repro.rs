@@ -1,0 +1,59 @@
+//! Regenerate every table and figure of the paper's evaluation (§V).
+//!
+//! ```text
+//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|all] [--scale S]
+//! ```
+//!
+//! Default scale is 0.05 (DS1′ = 10 k vertices / 137.5 k edges). Budgets
+//! scale with the datasets per `deploy::ScaleRule`; reported times are
+//! *simulated* cluster time (see DESIGN.md §2 "Simulated time").
+
+use psgraph_bench::{fig6, line_exp, table1, table2};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = 0.05f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            other => which = other.to_string(),
+        }
+    }
+    assert!(scale > 0.0, "scale must be positive");
+    println!("psgraph repro — scale {scale} (DS1′ = {} vertices / {} edges)\n",
+        psgraph_graph::Dataset::Ds1.spec(scale).vertices,
+        psgraph_graph::Dataset::Ds1.spec(scale).edges);
+
+    let do_all = which == "all";
+    if do_all || which == "fig6" {
+        let t0 = std::time::Instant::now();
+        let cells = fig6::run_fig6(scale).expect("fig6");
+        println!("{}", fig6::table(&cells));
+        println!("(fig6 wall clock: {:?})\n", t0.elapsed());
+    }
+    if do_all || which == "line" {
+        let t0 = std::time::Instant::now();
+        let r = line_exp::run_line(scale).expect("line");
+        println!("{}", line_exp::table(&r));
+        println!("(line wall clock: {:?})\n", t0.elapsed());
+    }
+    if do_all || which == "table1" {
+        let t0 = std::time::Instant::now();
+        let r = table1::run_table1(scale).expect("table1");
+        println!("{}", table1::table(&r));
+        println!("(table1 wall clock: {:?})\n", t0.elapsed());
+    }
+    if do_all || which == "table2" {
+        let t0 = std::time::Instant::now();
+        let r = table2::run_table2(scale).expect("table2");
+        println!("{}", table2::table(&r));
+        println!("(table2 wall clock: {:?})\n", t0.elapsed());
+    }
+}

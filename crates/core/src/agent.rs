@@ -1,0 +1,129 @@
+//! The PS agent (paper §III-C): "PSGraph establishes a PS agent in every
+//! Spark executor to manage the data communication between Spark and PS.
+//! When the PS agent needs to get a data item from the PS, it first uses
+//! the data index to get the partition location from PSContext … then
+//! gets the required data from PS via RPC."
+//!
+//! In this reproduction the typed handles (`VectorHandle`, `MatrixHandle`,
+//! …) already do the locate-then-RPC work; the agent layer adds what the
+//! paper's agents provide operationally: per-executor traffic accounting
+//! and a single owner for the executor's PS-side interactions, which the
+//! experiment harness uses to attribute pull/push volume per executor.
+
+use psgraph_ps::{Element, PsError, VectorHandle};
+use psgraph_sim::{NodeClock, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-executor PS traffic statistics.
+#[derive(Debug, Default)]
+pub struct AgentStats {
+    pub pulls: AtomicU64,
+    pub pushes: AtomicU64,
+    pub items_pulled: AtomicU64,
+    pub items_pushed: AtomicU64,
+}
+
+/// One executor's PS agent.
+#[derive(Debug)]
+pub struct PsAgent<'a> {
+    executor_id: usize,
+    clock: &'a NodeClock,
+    stats: AgentStats,
+}
+
+impl<'a> PsAgent<'a> {
+    /// Create the agent for one executor (pass its clock so all PS time
+    /// lands on the right timeline).
+    pub fn new(executor_id: usize, clock: &'a NodeClock) -> Self {
+        PsAgent { executor_id, clock, stats: AgentStats::default() }
+    }
+
+    pub fn executor_id(&self) -> usize {
+        self.executor_id
+    }
+
+    pub fn stats(&self) -> &AgentStats {
+        &self.stats
+    }
+
+    /// Simulated time spent so far on this executor.
+    pub fn elapsed(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Pull vector entries through the agent (counted).
+    pub fn pull<E: Element>(
+        &self,
+        vector: &VectorHandle<E>,
+        indices: &[u64],
+    ) -> Result<Vec<E>, PsError> {
+        let out = vector.pull(self.clock, indices)?;
+        self.stats.pulls.fetch_add(1, Ordering::Relaxed);
+        self.stats.items_pulled.fetch_add(indices.len() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    /// Push additive updates through the agent (counted).
+    pub fn push_add<E: Element>(
+        &self,
+        vector: &VectorHandle<E>,
+        indices: &[u64],
+        values: &[E],
+    ) -> Result<(), PsError> {
+        vector.push_add(self.clock, indices, values)?;
+        self.stats.pushes.fetch_add(1, Ordering::Relaxed);
+        self.stats.items_pushed.fetch_add(indices.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::PsGraphContext;
+    use psgraph_ps::{Partitioner, RecoveryMode};
+
+    #[test]
+    fn agent_counts_traffic_and_charges_its_executor() {
+        let ctx = PsGraphContext::local();
+        let v = VectorHandle::<f64>::create(
+            ctx.ps(), "agent.v", 100, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        let exec = ctx.cluster().executor(0);
+        let agent = PsAgent::new(0, exec.clock());
+        assert_eq!(agent.executor_id(), 0);
+
+        agent.push_add(&v, &[1, 2, 3], &[1.0, 2.0, 3.0]).unwrap();
+        let got = agent.pull(&v, &[2]).unwrap();
+        assert_eq!(got, vec![2.0]);
+        assert_eq!(agent.stats().pulls.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(agent.stats().pushes.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(
+            agent.stats().items_pulled.load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            agent.stats().items_pushed.load(std::sync::atomic::Ordering::Relaxed),
+            3
+        );
+        assert!(agent.elapsed() > SimTime::ZERO, "time lands on the executor");
+    }
+
+    #[test]
+    fn agent_surfaces_ps_errors() {
+        let ctx = PsGraphContext::local();
+        let v = VectorHandle::<f64>::create(
+            ctx.ps(), "agent.e", 10, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        let exec = ctx.cluster().executor(1);
+        let agent = PsAgent::new(1, exec.clock());
+        assert!(matches!(
+            agent.pull(&v, &[10]),
+            Err(PsError::IndexOutOfBounds { .. })
+        ));
+        ctx.ps().kill_server(0);
+        assert!(matches!(agent.pull(&v, &[0]), Err(PsError::ServerDown { .. })));
+    }
+}

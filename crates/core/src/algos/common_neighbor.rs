@@ -1,0 +1,254 @@
+//! Common Neighbor (paper §IV-B): for each queried vertex pair, count the
+//! overlap of their neighbor sets (link-prediction feature).
+//!
+//! The neighbor tables are pushed to the PS once; afterwards the
+//! executors stream batches of pairs, pull both endpoints' adjacency from
+//! the PS, and intersect locally — no shuffle per query, which is why
+//! PSGraph beats GraphX 3× on DS1 and survives DS2 (Fig. 6).
+
+use std::sync::Arc;
+
+use psgraph_dataflow::Rdd;
+use psgraph_ps::{NeighborTableHandle, Partitioner, RecoveryMode};
+use psgraph_sim::FxHashSet;
+
+use crate::context::{PsGraphContext, RunStats};
+use crate::error::PsResultExt;
+use crate::error::Result;
+
+/// Common-neighbor job configuration.
+#[derive(Debug, Clone)]
+pub struct CommonNeighbor {
+    /// Pairs processed per pull batch per partition.
+    pub batch_size: usize,
+    /// Checkpoint the PS neighbor table after building it (enables the
+    /// Table II recovery path).
+    pub checkpoint: bool,
+}
+
+impl Default for CommonNeighbor {
+    fn default() -> Self {
+        CommonNeighbor { batch_size: 1024, checkpoint: false }
+    }
+}
+
+/// Result: one count per input pair (in input order) plus statistics.
+#[derive(Debug, Clone)]
+pub struct CommonNeighborOutput {
+    pub counts: Vec<(u64, u64, u64)>,
+    pub stats: RunStats,
+}
+
+impl CommonNeighbor {
+    /// Build the PS neighbor table from an edge RDD (undirected view) and
+    /// count common neighbors for every edge in the graph — the paper's
+    /// workload ("iteratively processes a batch of edges").
+    pub fn run(
+        &self,
+        ctx: &Arc<PsGraphContext>,
+        edges: &Rdd<(u64, u64)>,
+        num_vertices: u64,
+    ) -> Result<CommonNeighborOutput> {
+        self.run_for_pairs(ctx, edges, edges, num_vertices)
+    }
+
+    /// Same, but with an explicit pair RDD to query.
+    pub fn run_for_pairs(
+        &self,
+        ctx: &Arc<PsGraphContext>,
+        edges: &Rdd<(u64, u64)>,
+        pairs: &Rdd<(u64, u64)>,
+        num_vertices: u64,
+    ) -> Result<CommonNeighborOutput> {
+        let start = ctx.now();
+        let snap = ctx.net_snapshot();
+        let mut supersteps = 0;
+
+        // Undirected adjacency via a pipelined symmetrize + groupBy
+        // (in-shuffle dedup), pushed to the PS.
+        let tables = crate::runner::to_undirected_neighbor_tables(edges)?;
+        let adj = NeighborTableHandle::create(
+            ctx.ps(),
+            "cn.adj",
+            num_vertices,
+            Partitioner::Hash,
+            RecoveryMode::Inconsistent,
+        )?;
+        let adj_ref = &adj;
+        ctx.cluster()
+            .run_stage(tables.num_partitions(), |p, exec| {
+                let part = tables.partition(p)?;
+                if !part.is_empty() {
+                    adj_ref.push(exec.clock(), &part).df()?;
+                }
+                Ok(())
+            })
+            .map_err(crate::error::CoreError::from)?;
+        supersteps += 1;
+
+        if self.checkpoint {
+            ctx.ps().checkpoint(ctx.dfs(), "cn.adj")?;
+        }
+
+        // Stream pair batches: pull adjacency, intersect locally.
+        let batch = self.batch_size.max(1);
+        let mut results: Vec<Vec<(u64, u64, u64)>> = Vec::new();
+        let total_batches = {
+            let counts = ctx
+                .cluster()
+                .run_stage(pairs.num_partitions(), |p, _exec| {
+                    Ok(pairs.partition(p)?.len().div_ceil(batch))
+                })
+                .map_err(crate::error::CoreError::from)?;
+            counts.into_iter().max().unwrap_or(0)
+        };
+
+        for round in 0..total_batches {
+            let (killed_execs, _) = ctx.superstep_maintenance(supersteps)?;
+            if !killed_execs.is_empty() {
+                tables.recover()?;
+                pairs.recover()?;
+            }
+            supersteps += 1;
+
+            let adj_ref = &adj;
+            let round_results: Vec<Vec<(u64, u64, u64)>> = ctx
+                .cluster()
+                .run_stage(pairs.num_partitions(), move |p, exec| {
+                    let part = pairs.partition(p)?;
+                    let lo = round * batch;
+                    if lo >= part.len() {
+                        return Ok(Vec::new());
+                    }
+                    let hi = ((round + 1) * batch).min(part.len());
+                    let slice = &part[lo..hi];
+                    let mut wanted = Vec::with_capacity(slice.len() * 2);
+                    for &(a, b) in slice {
+                        wanted.push(a);
+                        wanted.push(b);
+                    }
+                    let neigh = adj_ref.pull(exec.clock(), &wanted).df()?;
+                    let mut out = Vec::with_capacity(slice.len());
+                    let mut work = 0u64;
+                    for (k, &(a, b)) in slice.iter().enumerate() {
+                        let na = &neigh[2 * k];
+                        let nb = &neigh[2 * k + 1];
+                        let (small, large) =
+                            if na.len() <= nb.len() { (na, nb) } else { (nb, na) };
+                        let set: FxHashSet<u64> = large.iter().copied().collect();
+                        let count = small.iter().filter(|v| set.contains(v)).count() as u64;
+                        work += (small.len() + large.len()) as u64;
+                        out.push((a, b, count));
+                    }
+                    exec.charge_cpu(ctx.cluster().cost(), work * 3);
+                    Ok(out)
+                })
+                .map_err(crate::error::CoreError::from)?;
+            results.push(round_results.into_iter().flatten().collect());
+        }
+
+        let counts: Vec<(u64, u64, u64)> = results.into_iter().flatten().collect();
+        ctx.ps().unregister("cn.adj");
+
+        Ok(CommonNeighborOutput { counts, stats: ctx.stats_since(start, snap, supersteps) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::distribute_edges;
+    use psgraph_graph::{gen, metrics, EdgeList};
+    use psgraph_sim::FxHashMap;
+
+    fn check_against_exact(g: &EdgeList) {
+        let ctx = PsGraphContext::local();
+        let edges = distribute_edges(&ctx, g, 8).unwrap();
+        let out = CommonNeighbor { batch_size: 16, ..Default::default() }
+            .run(&ctx, &edges, g.num_vertices())
+            .unwrap();
+        let queried: Vec<(u64, u64)> = out.counts.iter().map(|&(a, b, _)| (a, b)).collect();
+        let exact = metrics::common_neighbors_exact(g, &queried);
+        let got: FxHashMap<(u64, u64), u64> =
+            out.counts.iter().map(|&(a, b, c)| ((a, b), c)).collect();
+        for (&(a, b), want) in queried.iter().zip(&exact) {
+            assert_eq!(got[&(a, b)], *want, "pair ({a},{b})");
+        }
+        // Every edge of the graph was queried.
+        assert_eq!(out.counts.len(), g.num_edges());
+    }
+
+    #[test]
+    fn square_with_diagonal() {
+        let g = EdgeList::new(4, vec![(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        check_against_exact(&g);
+    }
+
+    #[test]
+    fn random_graph_matches_exact() {
+        check_against_exact(&gen::erdos_renyi(40, 200, 37).dedup());
+    }
+
+    #[test]
+    fn powerlaw_graph_matches_exact() {
+        check_against_exact(&gen::rmat(50, 300, Default::default(), 41).dedup());
+    }
+
+    #[test]
+    fn explicit_pairs_query() {
+        let ctx = PsGraphContext::local();
+        let g = gen::complete(5);
+        let edges = distribute_edges(&ctx, &g, 4).unwrap();
+        let pairs = distribute_edges(
+            &ctx,
+            &EdgeList::new(5, vec![(0, 1), (2, 4)]),
+            2,
+        )
+        .unwrap();
+        let out = CommonNeighbor::default()
+            .run_for_pairs(&ctx, &edges, &pairs, 5)
+            .unwrap();
+        // In K5 any two distinct vertices share the other 3.
+        assert_eq!(out.counts.len(), 2);
+        assert!(out.counts.iter().all(|&(_, _, c)| c == 3));
+    }
+
+    #[test]
+    fn batching_does_not_change_results() {
+        let g = gen::erdos_renyi(30, 150, 43).dedup();
+        let ctx1 = PsGraphContext::local();
+        let e1 = distribute_edges(&ctx1, &g, 4).unwrap();
+        let big = CommonNeighbor { batch_size: 10_000, ..Default::default() }
+            .run(&ctx1, &e1, 30)
+            .unwrap();
+        let ctx2 = PsGraphContext::local();
+        let e2 = distribute_edges(&ctx2, &g, 4).unwrap();
+        let small = CommonNeighbor { batch_size: 3, ..Default::default() }
+            .run(&ctx2, &e2, 30)
+            .unwrap();
+        let mut a = big.counts.clone();
+        let mut b = small.counts.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+        assert!(small.stats.supersteps > big.stats.supersteps);
+    }
+
+    #[test]
+    fn survives_ps_failure_with_checkpoint() {
+        use psgraph_sim::FailPlan;
+        let g = gen::rmat(40, 250, Default::default(), 47).dedup();
+        let ctx = PsGraphContext::local();
+        let edges = distribute_edges(&ctx, &g, 8).unwrap();
+        ctx.ps().injector().schedule(FailPlan::kill_server(1, 3));
+        let out = CommonNeighbor { batch_size: 8, checkpoint: true }
+            .run(&ctx, &edges, 40)
+            .unwrap();
+        // Counts still match the exact reference.
+        let queried: Vec<(u64, u64)> = out.counts.iter().map(|&(a, b, _)| (a, b)).collect();
+        let exact = metrics::common_neighbors_exact(&g, &queried);
+        for ((_, _, c), want) in out.counts.iter().zip(&exact) {
+            assert_eq!(c, want);
+        }
+    }
+}

@@ -1,0 +1,606 @@
+//! GraphSage on PSGraph (paper §IV-E, Fig. 5, Table I).
+//!
+//! PS state: vertex features `X` (row matrix, hash-partitioned), the
+//! neighbor table `A`, and the layer weights `W¹`/`W²` (+bias rows). Each
+//! training step an executor (1) pulls the current weights, (2) samples
+//! 2-hop neighborhoods server-side, (3) pulls the sampled vertices'
+//! features, (4) crosses the JNI bridge into the tensor runtime, runs
+//! forward + backward with autograd, (5) crosses back and pushes the
+//! gradients to the PS, where an Adam psFunc applies them. The mean
+//! aggregator is used; layer k computes
+//! `h^k_v = σ(W^k · concat(h^{k-1}_v, mean h^{k-1}_{N(v)}))`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use psgraph_dataflow::Rdd;
+use psgraph_ps::{MatrixHandle, NeighborTableHandle, Partitioner, RecoveryMode};
+use psgraph_sim::{FxHashMap, SimTime};
+use psgraph_tensor::{Graph, JniBridge, Linear, Tensor};
+
+use crate::context::{PsGraphContext, RunStats};
+use crate::error::PsResultExt;
+use crate::error::{CoreError, Result};
+
+/// GraphSage job configuration.
+#[derive(Debug, Clone)]
+pub struct GraphSageConfig {
+    pub feat_dim: usize,
+    pub hidden_dim: usize,
+    pub num_classes: usize,
+    /// Neighbors sampled at hop 1 (paper uses 25, scaled here).
+    pub fanout1: usize,
+    /// Neighbors sampled at hop 2 (paper uses 10, scaled here).
+    pub fanout2: usize,
+    pub batch_size: usize,
+    pub epochs: u64,
+    pub lr: f32,
+    pub seed: u64,
+    /// Fraction of vertices used for training (rest evaluate).
+    pub train_fraction: f64,
+}
+
+impl Default for GraphSageConfig {
+    fn default() -> Self {
+        GraphSageConfig {
+            feat_dim: 16,
+            hidden_dim: 32,
+            num_classes: 2,
+            fanout1: 10,
+            fanout2: 5,
+            batch_size: 64,
+            epochs: 3,
+            lr: 0.01,
+            seed: 7,
+            train_fraction: 0.7,
+        }
+    }
+}
+
+/// GraphSage runner.
+#[derive(Debug, Clone, Default)]
+pub struct GraphSage {
+    pub config: GraphSageConfig,
+}
+
+/// Result: accuracies, per-epoch losses and simulated epoch times, plus
+/// the preprocessing time Table I compares against Euler.
+#[derive(Debug, Clone)]
+pub struct GraphSageOutput {
+    pub train_accuracy: f64,
+    pub test_accuracy: f64,
+    pub loss_per_epoch: Vec<f64>,
+    pub preprocess_time: SimTime,
+    pub epoch_times: Vec<SimTime>,
+    pub stats: RunStats,
+}
+
+/// PS handles produced by preprocessing.
+pub struct GraphSageModels {
+    pub adj: NeighborTableHandle,
+    pub features: MatrixHandle<f32>,
+    pub w1: MatrixHandle<f32>,
+    pub w2: MatrixHandle<f32>,
+}
+
+fn is_train(v: u64, seed: u64, frac: f64) -> bool {
+    (psgraph_sim::hash::hash_u64(v ^ seed) % 1000) as f64 / 1000.0 < frac
+}
+
+impl GraphSage {
+    pub fn new(config: GraphSageConfig) -> Self {
+        GraphSage { config }
+    }
+
+    /// Preprocessing (Table I "Preprocessing time"): groupBy the edges to
+    /// neighbor tables, push adjacency + features to the PS, and create
+    /// the weight matrices — all inside the Spark pipeline, no disk
+    /// round-trips.
+    pub fn preprocess(
+        &self,
+        ctx: &Arc<PsGraphContext>,
+        edges: &Rdd<(u64, u64)>,
+        features: &Arc<Vec<Vec<f32>>>,
+        num_vertices: u64,
+    ) -> Result<(GraphSageModels, SimTime)> {
+        let cfg = &self.config;
+        let t0 = ctx.now();
+
+        // Undirected adjacency via a pipelined symmetrize + groupBy
+        // (in-shuffle dedup).
+        let tables = crate::runner::to_undirected_neighbor_tables(edges)?;
+        let adj = NeighborTableHandle::create(
+            ctx.ps(), "gs.adj", num_vertices, Partitioner::Hash, RecoveryMode::Inconsistent,
+        )?;
+        let adj_ref = &adj;
+        ctx.cluster()
+            .run_stage(tables.num_partitions(), |p, exec| {
+                let part = tables.partition(p)?;
+                if !part.is_empty() {
+                    adj_ref.push(exec.clock(), &part).df()?;
+                }
+                Ok(())
+            })
+            .map_err(CoreError::from)?;
+
+        // Features: executors push their split of X to the PS.
+        let x = MatrixHandle::<f32>::create(
+            ctx.ps(), "gs.x", num_vertices, cfg.feat_dim, Partitioner::Hash,
+            RecoveryMode::Inconsistent,
+        )?;
+        let x_ref = &x;
+        let feats = Arc::clone(features);
+        let nparts = ctx.cluster().default_partitions();
+        ctx.cluster()
+            .run_stage(nparts, move |p, exec| {
+                let ids: Vec<u64> = (0..num_vertices).filter(|v| *v as usize % nparts == p).collect();
+                let rows: Vec<Vec<f32>> =
+                    ids.iter().map(|&v| feats[v as usize].clone()).collect();
+                if !ids.is_empty() {
+                    x_ref.push_set_rows(exec.clock(), &ids, &rows).df()?;
+                }
+                Ok(())
+            })
+            .map_err(CoreError::from)?;
+
+        // Weight matrices: W¹ is (2f+1) × h (weights + bias row), W² is
+        // (2h+1) × classes. The driver loads the "PyTorch model" and
+        // pushes the initialized weights (Fig. 5 step 2).
+        let w1 = MatrixHandle::<f32>::create(
+            ctx.ps(), "gs.w1", (2 * cfg.feat_dim + 1) as u64, cfg.hidden_dim,
+            Partitioner::Range, RecoveryMode::Inconsistent,
+        )?;
+        let w2 = MatrixHandle::<f32>::create(
+            ctx.ps(), "gs.w2", (2 * cfg.hidden_dim + 1) as u64, cfg.num_classes,
+            Partitioner::Range, RecoveryMode::Inconsistent,
+        )?;
+        let l1 = Linear::new(2 * cfg.feat_dim, cfg.hidden_dim, cfg.seed);
+        let l2 = Linear::new(2 * cfg.hidden_dim, cfg.num_classes, cfg.seed ^ 1);
+        push_layer(ctx, &w1, &l1)?;
+        push_layer(ctx, &w2, &l2)?;
+        ctx.cluster().clock().barrier([ctx.cluster().driver()]);
+
+        let elapsed = ctx.now().saturating_sub(t0);
+        Ok((GraphSageModels { adj, features: x, w1, w2 }, elapsed))
+    }
+
+    /// Full pipeline: preprocess, train, evaluate.
+    pub fn run(
+        &self,
+        ctx: &Arc<PsGraphContext>,
+        edges: &Rdd<(u64, u64)>,
+        features: &Arc<Vec<Vec<f32>>>,
+        labels: &Arc<Vec<usize>>,
+        num_vertices: u64,
+    ) -> Result<GraphSageOutput> {
+        let cfg = &self.config;
+        if features.len() as u64 != num_vertices || labels.len() as u64 != num_vertices {
+            return Err(CoreError::Invalid("features/labels must cover all vertices".into()));
+        }
+        let start = ctx.now();
+        let snap = ctx.net_snapshot();
+        let mut supersteps = 0u64;
+
+        let (models, preprocess_time) = self.preprocess(ctx, edges, features, num_vertices)?;
+        supersteps += 1;
+
+        // Vertex splits, distributed round-robin over executors.
+        let train: Vec<u64> = (0..num_vertices)
+            .filter(|&v| is_train(v, cfg.seed, cfg.train_fraction))
+            .collect();
+        let test: Vec<u64> =
+            (0..num_vertices).filter(|&v| !is_train(v, cfg.seed, cfg.train_fraction)).collect();
+        let train_rdd = Rdd::from_vec(ctx.cluster(), train, ctx.cluster().default_partitions())
+            .map_err(CoreError::from)?;
+
+        let bridge = Arc::new(JniBridge::new(ctx.cost().clone()));
+        let adam_t = Arc::new(AtomicU64::new(0));
+
+        let mut loss_per_epoch = Vec::new();
+        let mut epoch_times = Vec::new();
+        for epoch in 0..cfg.epochs {
+            let (killed_execs, _) = ctx.superstep_maintenance(supersteps)?;
+            if !killed_execs.is_empty() {
+                train_rdd.recover()?;
+            }
+            supersteps += 1;
+            let e0 = ctx.now();
+
+            let models_ref = &models;
+            let bridge_ref = &bridge;
+            let adam_ref = &adam_t;
+            let labels_ref = labels;
+            let losses: Vec<(f64, u64)> = ctx
+                .cluster()
+                .run_stage(train_rdd.num_partitions(), |p, exec| {
+                    let part = train_rdd.partition(p)?;
+                    let mut loss_sum = 0.0;
+                    let mut batches = 0u64;
+                    for (bi, batch) in part.chunks(cfg.batch_size.max(1)).enumerate() {
+                        // Fig. 5 step 4a: pull the current weights.
+                        let l1 = pull_layer(exec.clock(), &models_ref.w1, 2 * cfg.feat_dim)?;
+                        let l2 = pull_layer(exec.clock(), &models_ref.w2, 2 * cfg.hidden_dim)?;
+                        let sample_seed =
+                            cfg.seed ^ (epoch << 40) ^ ((p as u64) << 20) ^ bi as u64;
+                        let (x, s1, m1, s2, m2, batch_ids) = build_batch(
+                            ctx, exec, models_ref, batch, cfg, sample_seed,
+                        )?;
+                        // Fig. 5: JNI-feed the graph mini-batch.
+                        bridge_ref.feed(exec.clock(), &[&x, &s1, &m1, &s2, &m2]);
+
+                        let mut g = Graph::new();
+                        let (logits, vars) =
+                            forward(&mut g, &x, &s1, &m1, &s2, &m2, &l1, &l2);
+                        let y: Vec<usize> =
+                            batch_ids.iter().map(|&v| labels_ref[v as usize]).collect();
+                        let loss = g.softmax_cross_entropy(logits, &y);
+                        g.backward(loss);
+                        loss_sum += g.scalar(loss) as f64;
+                        batches += 1;
+                        // Charge the tensor compute to the executor.
+                        let flops = (x.len() * cfg.hidden_dim
+                            + s1.rows() * 2 * cfg.feat_dim * cfg.hidden_dim
+                            + s2.rows() * 2 * cfg.hidden_dim * cfg.num_classes)
+                            as u64;
+                        exec.charge_cpu(ctx.cluster().cost(), flops * 3);
+
+                        // Fig. 5: gradients cross back over JNI, then go
+                        // to the PS where Adam (psFunc) applies them.
+                        let gw1 = layer_grads(&g, vars.0, vars.1);
+                        let gw2 = layer_grads(&g, vars.2, vars.3);
+                        bridge_ref.read_back(exec.clock(), &[&gw1.0, &gw1.1, &gw2.0, &gw2.1]);
+                        let t = adam_ref.fetch_add(1, Ordering::Relaxed) + 1;
+                        push_grads(exec.clock(), &models_ref.w1, &gw1, cfg.lr, t)?;
+                        push_grads(exec.clock(), &models_ref.w2, &gw2, cfg.lr, t)?;
+                    }
+                    Ok((loss_sum, batches))
+                })
+                .map_err(CoreError::from)?;
+
+            let (lsum, bsum) = losses.into_iter().fold((0.0, 0), |(l, b), (pl, pb)| {
+                (l + pl, b + pb)
+            });
+            loss_per_epoch.push(if bsum == 0 { 0.0 } else { lsum / bsum as f64 });
+            epoch_times.push(ctx.now().saturating_sub(e0));
+        }
+
+        // Evaluation (driver-coordinated, same forward path).
+        let train2: Vec<u64> = (0..num_vertices)
+            .filter(|&v| is_train(v, cfg.seed, cfg.train_fraction))
+            .collect();
+        let train_accuracy = self.evaluate(ctx, &models, &train2, labels)?;
+        let test_accuracy = self.evaluate(ctx, &models, &test, labels)?;
+        supersteps += 1;
+
+        for name in ["gs.adj", "gs.x", "gs.w1", "gs.w2", "gs.w1.m", "gs.w1.v", "gs.w2.m", "gs.w2.v"]
+        {
+            ctx.ps().unregister(name);
+        }
+
+        Ok(GraphSageOutput {
+            train_accuracy,
+            test_accuracy,
+            loss_per_epoch,
+            preprocess_time,
+            epoch_times,
+            stats: ctx.stats_since(start, snap, supersteps),
+        })
+    }
+
+    /// Forward-only accuracy over `vertices`.
+    pub fn evaluate(
+        &self,
+        ctx: &Arc<PsGraphContext>,
+        models: &GraphSageModels,
+        vertices: &[u64],
+        labels: &Arc<Vec<usize>>,
+    ) -> Result<f64> {
+        if vertices.is_empty() {
+            return Ok(0.0);
+        }
+        let cfg = &self.config;
+        let rdd = Rdd::from_vec(
+            ctx.cluster(),
+            vertices.to_vec(),
+            ctx.cluster().default_partitions(),
+        )
+        .map_err(CoreError::from)?;
+        let labels_ref = labels;
+        let counts: Vec<(u64, u64)> = ctx
+            .cluster()
+            .run_stage(rdd.num_partitions(), |p, exec| {
+                let part = rdd.partition(p)?;
+                let mut correct = 0u64;
+                let mut total = 0u64;
+                for (bi, batch) in part.chunks(cfg.batch_size.max(1)).enumerate() {
+                    let l1 = pull_layer(exec.clock(), &models.w1, 2 * cfg.feat_dim)?;
+                    let l2 = pull_layer(exec.clock(), &models.w2, 2 * cfg.hidden_dim)?;
+                    let (x, s1, m1, s2, m2, ids) = build_batch(
+                        ctx, exec, models, batch, cfg,
+                        cfg.seed ^ 0xEAA ^ ((p as u64) << 20) ^ bi as u64,
+                    )?;
+                    let mut g = Graph::new();
+                    let (logits, _) = forward(&mut g, &x, &s1, &m1, &s2, &m2, &l1, &l2);
+                    let preds = g.value(logits).argmax_rows();
+                    for (pred, &v) in preds.iter().zip(&ids) {
+                        if *pred == labels_ref[v as usize] {
+                            correct += 1;
+                        }
+                        total += 1;
+                    }
+                }
+                Ok((correct, total))
+            })
+            .map_err(CoreError::from)?;
+        let (c, t) = counts.into_iter().fold((0, 0), |(c, t), (pc, pt)| (c + pc, t + pt));
+        Ok(if t == 0 { 0.0 } else { c as f64 / t as f64 })
+    }
+}
+
+/// Push a layer's parameters to its PS matrix (weight rows, then bias).
+fn push_layer(
+    ctx: &Arc<PsGraphContext>,
+    m: &MatrixHandle<f32>,
+    layer: &Linear,
+) -> Result<()> {
+    let rows: Vec<u64> = (0..m.rows()).collect();
+    let mut data: Vec<Vec<f32>> = Vec::with_capacity(rows.len());
+    for r in 0..layer.in_dim() {
+        data.push(layer.weight.row(r).to_vec());
+    }
+    data.push(layer.bias.data().to_vec());
+    m.push_set_rows(ctx.cluster().driver(), &rows, &data)?;
+    Ok(())
+}
+
+/// Pull a layer from its PS matrix.
+fn pull_layer(
+    clock: &psgraph_sim::NodeClock,
+    m: &MatrixHandle<f32>,
+    in_dim: usize,
+) -> std::result::Result<Linear, psgraph_dataflow::DataflowError> {
+    let rows: Vec<u64> = (0..m.rows()).collect();
+    let data = m.pull_rows(clock, &rows).df()?;
+    let out_dim = m.cols();
+    let mut flat = Vec::with_capacity((in_dim + 1) * out_dim);
+    for row in &data {
+        flat.extend_from_slice(row);
+    }
+    Ok(Linear::from_flat(in_dim, out_dim, &flat))
+}
+
+/// Extract (weight grad, bias grad) tensors for a layer's vars.
+fn layer_grads(g: &Graph, wv: psgraph_tensor::Var, bv: psgraph_tensor::Var) -> (Tensor, Tensor) {
+    (
+        g.grad(wv).cloned().unwrap_or_else(|| Tensor::zeros(1, 1)),
+        g.grad(bv).cloned().unwrap_or_else(|| Tensor::zeros(1, 1)),
+    )
+}
+
+/// Push a layer's gradients to the PS and apply Adam server-side.
+fn push_grads(
+    clock: &psgraph_sim::NodeClock,
+    m: &MatrixHandle<f32>,
+    grads: &(Tensor, Tensor),
+    lr: f32,
+    t: u64,
+) -> std::result::Result<(), psgraph_dataflow::DataflowError> {
+    let (gw, gb) = grads;
+    let mut rows: Vec<u64> = (0..gw.rows() as u64).collect();
+    rows.push(m.rows() - 1);
+    let mut data: Vec<Vec<f32>> = (0..gw.rows()).map(|r| gw.row(r).to_vec()).collect();
+    data.push(gb.data().to_vec());
+    m.adam_step(clock, &rows, &data, lr, 0.9, 0.999, 1e-8, t).df()?;
+    Ok(())
+}
+
+type BatchTensors = (Tensor, Tensor, Tensor, Tensor, Tensor, Vec<u64>);
+
+/// Assemble the mini-batch tensors: features `X` of the 2-hop closure,
+/// selection/aggregation matrices for each layer, and the batch ids.
+fn build_batch(
+    ctx: &Arc<PsGraphContext>,
+    exec: &psgraph_dataflow::Executor,
+    models: &GraphSageModels,
+    batch: &[u64],
+    cfg: &GraphSageConfig,
+    seed: u64,
+) -> std::result::Result<BatchTensors, psgraph_dataflow::DataflowError> {
+    // Hop-1 sampling (server-side, only samples cross the wire).
+    let n1 = models.adj.sample_neighbors(exec.clock(), batch, cfg.fanout1, seed).df()?;
+    // Layer-1 targets: batch ∪ their sampled neighbors.
+    let mut l1_ids: Vec<u64> = batch.to_vec();
+    let mut seen: FxHashMap<u64, usize> =
+        batch.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    for ns in &n1 {
+        for &u in ns {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(u) {
+                e.insert(l1_ids.len());
+                l1_ids.push(u);
+            }
+        }
+    }
+    // Hop-2 sampling for every layer-1 target.
+    let n2 = models
+        .adj
+        .sample_neighbors(exec.clock(), &l1_ids, cfg.fanout2, seed ^ 0x2).df()?;
+    let mut l2_ids: Vec<u64> = l1_ids.clone();
+    let mut seen2: FxHashMap<u64, usize> =
+        l1_ids.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    for ns in &n2 {
+        for &u in ns {
+            if let std::collections::hash_map::Entry::Vacant(e) = seen2.entry(u) {
+                e.insert(l2_ids.len());
+                l2_ids.push(u);
+            }
+        }
+    }
+
+    // Pull features of the closure.
+    let rows = models.features.pull_rows(exec.clock(), &l2_ids).df()?;
+    let mut x = Tensor::zeros(l2_ids.len(), cfg.feat_dim);
+    for (r, row) in rows.iter().enumerate() {
+        x.row_mut(r).copy_from_slice(row);
+    }
+
+    // S1 (|L1| × |L2|) selection, M1 (|L1| × |L2|) mean aggregation.
+    let mut s1 = Tensor::zeros(l1_ids.len(), l2_ids.len());
+    let mut m1 = Tensor::zeros(l1_ids.len(), l2_ids.len());
+    for (r, (v, ns)) in l1_ids.iter().zip(&n2).enumerate() {
+        s1.set(r, seen2[v], 1.0);
+        if ns.is_empty() {
+            m1.set(r, seen2[v], 1.0); // no neighbors: aggregate self
+        } else {
+            let w = 1.0 / ns.len() as f32;
+            for u in ns {
+                let c = seen2[u];
+                m1.set(r, c, m1.get(r, c) + w);
+            }
+        }
+    }
+    // S2/M2 (|B| × |L1|).
+    let mut s2 = Tensor::zeros(batch.len(), l1_ids.len());
+    let mut m2 = Tensor::zeros(batch.len(), l1_ids.len());
+    for (r, (v, ns)) in batch.iter().zip(&n1).enumerate() {
+        s2.set(r, seen[v], 1.0);
+        if ns.is_empty() {
+            m2.set(r, seen[v], 1.0);
+        } else {
+            let w = 1.0 / ns.len() as f32;
+            for u in ns {
+                let c = seen[u];
+                m2.set(r, c, m2.get(r, c) + w);
+            }
+        }
+    }
+    exec.charge_cpu(
+        ctx.cluster().cost(),
+        (l2_ids.len() * cfg.feat_dim + l1_ids.len() + batch.len()) as u64 * 2,
+    );
+    Ok((x, s1, m1, s2, m2, batch.to_vec()))
+}
+
+type LayerVars =
+    (psgraph_tensor::Var, psgraph_tensor::Var, psgraph_tensor::Var, psgraph_tensor::Var);
+
+/// Two-layer GraphSage forward with mean aggregation.
+#[allow(clippy::too_many_arguments)]
+fn forward(
+    g: &mut Graph,
+    x: &Tensor,
+    s1: &Tensor,
+    m1: &Tensor,
+    s2: &Tensor,
+    m2: &Tensor,
+    l1: &Linear,
+    l2: &Linear,
+) -> (psgraph_tensor::Var, LayerVars) {
+    let xv = g.input(x.clone());
+    let s1v = g.input(s1.clone());
+    let m1v = g.input(m1.clone());
+    let s2v = g.input(s2.clone());
+    let m2v = g.input(m2.clone());
+
+    // Layer 1 on the L1 closure.
+    let own1 = g.matmul(s1v, xv);
+    let agg1 = g.matmul(m1v, xv);
+    let cat1 = g.concat_cols(own1, agg1);
+    let (z1, w1, b1) = l1.forward(g, cat1);
+    let h1 = g.relu(z1);
+
+    // Layer 2 on the batch.
+    let own2 = g.matmul(s2v, h1);
+    let agg2 = g.matmul(m2v, h1);
+    let cat2 = g.concat_cols(own2, agg2);
+    let (logits, w2, b2) = l2.forward(g, cat2);
+    (logits, (w1, b1, w2, b2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::distribute_edges;
+    use psgraph_graph::gen;
+
+    type Setup = (Arc<PsGraphContext>, Rdd<(u64, u64)>, Arc<Vec<Vec<f32>>>, Arc<Vec<usize>>);
+
+    fn sbm_setup(n: u64) -> Setup {
+        let s = gen::sbm2(n, 8.0, 0.5, 16, 0.8, 77);
+        let ctx = PsGraphContext::local();
+        let edges = distribute_edges(&ctx, &s.graph, 8).unwrap();
+        (ctx, edges, Arc::new(s.features), Arc::new(s.labels))
+    }
+
+    #[test]
+    fn learns_sbm_classification() {
+        let (ctx, edges, feats, labels) = sbm_setup(300);
+        let out = GraphSage::new(GraphSageConfig { epochs: 4, ..Default::default() })
+            .run(&ctx, &edges, &feats, &labels, 300)
+            .unwrap();
+        assert!(
+            out.test_accuracy > 0.85,
+            "test accuracy {} too low",
+            out.test_accuracy
+        );
+        assert!(out.train_accuracy > 0.85);
+        assert!(out.loss_per_epoch.last().unwrap() < &out.loss_per_epoch[0]);
+        assert_eq!(out.epoch_times.len(), 4);
+        assert!(out.preprocess_time > SimTime::ZERO);
+        assert!(out.epoch_times.iter().all(|&t| t > SimTime::ZERO));
+    }
+
+    #[test]
+    fn preprocess_reports_time_and_creates_models() {
+        let (ctx, edges, feats, _labels) = sbm_setup(100);
+        let gs = GraphSage::default();
+        let (models, t) = gs.preprocess(&ctx, &edges, &feats, 100).unwrap();
+        assert!(t > SimTime::ZERO);
+        assert!(models.adj.len().unwrap() > 0);
+        assert_eq!(models.features.rows(), 100);
+        assert_eq!(models.w1.rows() as usize, 2 * 16 + 1);
+        assert_eq!(models.w2.cols(), 2);
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let (ctx, edges, feats, labels) = sbm_setup(100);
+        let err = GraphSage::default()
+            .run(&ctx, &edges, &feats, &labels, 200)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Invalid(_)));
+    }
+
+    #[test]
+    fn train_test_split_is_stable_and_covering() {
+        let train: Vec<bool> = (0..1000).map(|v| is_train(v, 7, 0.7)).collect();
+        let again: Vec<bool> = (0..1000).map(|v| is_train(v, 7, 0.7)).collect();
+        assert_eq!(train, again);
+        let n_train = train.iter().filter(|&&b| b).count();
+        assert!((600..800).contains(&n_train), "split {n_train}");
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let l1 = Linear::new(8, 6, 1);
+        let l2 = Linear::new(12, 2, 2);
+        let x = Tensor::uniform(10, 4, 1.0, 3);
+        let s1 = Tensor::uniform(5, 10, 0.1, 4);
+        let m1 = Tensor::uniform(5, 10, 0.1, 5);
+        let s2 = Tensor::uniform(3, 5, 0.1, 6);
+        let m2 = Tensor::uniform(3, 5, 0.1, 7);
+        let mut g = Graph::new();
+        let (logits, _) = forward(&mut g, &x, &s1, &m1, &s2, &m2, &l1, &l2);
+        assert_eq!((g.value(logits).rows(), g.value(logits).cols()), (3, 2));
+    }
+
+    #[test]
+    fn survives_executor_failure_during_training() {
+        use psgraph_sim::FailPlan;
+        let (ctx, edges, feats, labels) = sbm_setup(200);
+        ctx.cluster().injector().schedule(FailPlan::kill_executor(1, 2));
+        let out = GraphSage::new(GraphSageConfig { epochs: 3, ..Default::default() })
+            .run(&ctx, &edges, &feats, &labels, 200)
+            .unwrap();
+        assert!(out.test_accuracy > 0.7, "accuracy {}", out.test_accuracy);
+    }
+}

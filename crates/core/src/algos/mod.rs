@@ -1,0 +1,21 @@
+//! The seven evaluated algorithms (paper §IV / §V).
+
+pub mod common_neighbor;
+pub mod connected_components;
+pub mod fast_unfolding;
+pub mod graphsage;
+pub mod kcore;
+pub mod label_propagation;
+pub mod line;
+pub mod pagerank;
+pub mod triangle;
+
+pub use common_neighbor::CommonNeighbor;
+pub use connected_components::ConnectedComponents;
+pub use fast_unfolding::FastUnfolding;
+pub use graphsage::{GraphSage, GraphSageConfig};
+pub use kcore::KCore;
+pub use label_propagation::LabelPropagation;
+pub use line::{Line, LineConfig, LineOrder};
+pub use pagerank::PageRank;
+pub use triangle::TriangleCount;

@@ -1,0 +1,93 @@
+//! Unified error type for PSGraph jobs.
+
+use std::fmt;
+
+/// Any failure surfaced while running a PSGraph algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    Dataflow(psgraph_dataflow::DataflowError),
+    Ps(psgraph_ps::PsError),
+    Dfs(String),
+    /// Algorithm-level invariant violation or bad configuration.
+    Invalid(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Dataflow(e) => write!(f, "{e}"),
+            CoreError::Ps(e) => write!(f, "{e}"),
+            CoreError::Dfs(e) => write!(f, "dfs: {e}"),
+            CoreError::Invalid(m) => write!(f, "invalid: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<psgraph_dataflow::DataflowError> for CoreError {
+    fn from(e: psgraph_dataflow::DataflowError) -> Self {
+        CoreError::Dataflow(e)
+    }
+}
+
+impl From<psgraph_ps::PsError> for CoreError {
+    fn from(e: psgraph_ps::PsError) -> Self {
+        CoreError::Ps(e)
+    }
+}
+
+impl From<psgraph_dfs::DfsError> for CoreError {
+    fn from(e: psgraph_dfs::DfsError) -> Self {
+        CoreError::Dfs(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Adapter for PS calls made *inside* dataflow stage closures (which must
+/// return `DataflowError`): preserves OOM typing, stringifies the rest.
+pub(crate) trait PsResultExt<T> {
+    fn df(self) -> std::result::Result<T, psgraph_dataflow::DataflowError>;
+}
+
+impl<T> PsResultExt<T> for std::result::Result<T, psgraph_ps::PsError> {
+    fn df(self) -> std::result::Result<T, psgraph_dataflow::DataflowError> {
+        self.map_err(|e| match e {
+            psgraph_ps::PsError::Oom(o) => psgraph_dataflow::DataflowError::Oom(o),
+            other => psgraph_dataflow::DataflowError::Other(other.to_string()),
+        })
+    }
+}
+
+impl CoreError {
+    /// Whether this is an out-of-memory failure (either side).
+    pub fn is_oom(&self) -> bool {
+        matches!(
+            self,
+            CoreError::Dataflow(psgraph_dataflow::DataflowError::Oom(_))
+                | CoreError::Ps(psgraph_ps::PsError::Oom(_))
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psgraph_sim::OutOfMemory;
+
+    #[test]
+    fn conversions_and_is_oom() {
+        let oom = OutOfMemory { owner: "x".into(), requested: 1, in_use: 0, budget: 0 };
+        let e: CoreError = psgraph_dataflow::DataflowError::Oom(oom.clone()).into();
+        assert!(e.is_oom());
+        let e: CoreError = psgraph_ps::PsError::Oom(oom).into();
+        assert!(e.is_oom());
+        let e: CoreError = psgraph_ps::PsError::ServerDown { id: 1 }.into();
+        assert!(!e.is_oom());
+        let e: CoreError = psgraph_dfs::DfsError::NotFound("/x".into()).into();
+        assert!(e.to_string().contains("/x"));
+        assert!(CoreError::Invalid("bad".into()).to_string().contains("bad"));
+    }
+}

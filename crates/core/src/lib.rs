@@ -1,0 +1,33 @@
+//! PSGraph — the paper's system: Spark executors for computation, a
+//! distributed parameter server for frequently-accessed state, and an
+//! embedded tensor runtime for GNNs.
+//!
+//! The entry point is [`PsGraphContext`] (the paper's `PSContext` +
+//! `SparkContext` pair): it owns the simulated Spark cluster, the PS
+//! cluster, and the DFS, and wires their failure injectors and clocks
+//! together. [`runner`] mirrors the paper's Listing 1 (`GraphRunner` /
+//! `GraphIO`). [`algos`] implements the seven evaluated algorithms:
+//!
+//! | algorithm | paper § | PS state |
+//! |---|---|---|
+//! | PageRank (delta) | IV-A | `ranks`, `Δranks` vectors |
+//! | K-Core (h-index) | V-B1 | `coreness` vector |
+//! | Common Neighbor | IV-B | neighbor table |
+//! | Triangle Count | V-B1 | neighbor table |
+//! | Fast Unfolding | IV-C | `vertex2com`, `com2weight` vectors |
+//! | Label Propagation | II-B | `labels` vector |
+//! | Connected Components | II-B | `labels` vector (min-id propagation) |
+//! | LINE | IV-D | column-partitioned embed + context matrices |
+//! | GraphSage | IV-E | features, neighbor table, weight matrices |
+
+pub mod agent;
+pub mod algos;
+pub mod api;
+pub mod context;
+pub mod error;
+pub mod runner;
+
+pub use agent::PsAgent;
+pub use api::{run_job, GraphAlgorithm};
+pub use context::{PsGraphConfig, PsGraphContext, RunStats};
+pub use error::CoreError;

@@ -1,0 +1,487 @@
+//! The simulated Spark cluster: a driver plus a pool of executors.
+
+use parking_lot::Mutex;
+use psgraph_net::Network;
+use psgraph_sim::{
+    ClusterClock, CostModel, FailureInjector, MemoryMeter, NodeClock, SimTime,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{DataflowError, Result};
+
+/// Cluster sizing, mirroring the paper's resource allocations (executor
+/// count, cores, and container memory — scaled down with the datasets).
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of executors (paper: 100 for DS1, 300–500 for DS2).
+    pub executors: usize,
+    /// Cores per executor; compute cost is divided by this.
+    pub cores_per_executor: usize,
+    /// Memory budget per executor in bytes (paper: 20–55 GB).
+    pub memory_per_executor: u64,
+    /// Default partition count for new RDDs (Spark default: 2–3× cores).
+    pub default_partitions: usize,
+    /// CPU ops charged per record for a generic narrow transformation.
+    pub ops_per_record: u64,
+    /// Extra bytes charged per cached record, modeling the JVM-object
+    /// cost of **deserialized** RDD caching (headers + boxed tuple
+    /// fields). GraphX's triplet machinery requires deserialized caching
+    /// (set ~32); jobs that persist with Kryo serialization
+    /// (`MEMORY_ONLY_SER`, as PSGraph's production pipelines do) set 0 and
+    /// pay deserialization CPU on access instead.
+    pub record_overhead: u64,
+    /// Cost model shared with the rest of the simulated datacenter.
+    pub cost: CostModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        let executors = 4;
+        ClusterConfig {
+            executors,
+            cores_per_executor: 2,
+            memory_per_executor: 1 << 30,
+            default_partitions: executors * 2,
+            ops_per_record: 8,
+            record_overhead: 0,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    pub fn with_executors(mut self, n: usize) -> Self {
+        self.executors = n;
+        self.default_partitions = n * 2;
+        self
+    }
+
+    pub fn with_memory(mut self, bytes: u64) -> Self {
+        self.memory_per_executor = bytes;
+        self
+    }
+}
+
+/// One executor: clock + memory budget + liveness + incarnation counter.
+///
+/// The incarnation counter invalidates partition data cached on the
+/// executor when it is killed: data written under incarnation `k` is
+/// unreadable once the executor is restarted as incarnation `k+1`.
+#[derive(Debug)]
+pub struct Executor {
+    id: usize,
+    cores: usize,
+    clock: NodeClock,
+    memory: MemoryMeter,
+    alive: AtomicBool,
+    incarnation: AtomicU64,
+}
+
+impl Executor {
+    fn new(id: usize, cores: usize, memory: u64) -> Self {
+        Executor {
+            id,
+            cores,
+            clock: NodeClock::new(),
+            memory: MemoryMeter::new(format!("executor-{id}"), memory),
+            alive: AtomicBool::new(true),
+            incarnation: AtomicU64::new(0),
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    pub fn clock(&self) -> &NodeClock {
+        &self.clock
+    }
+
+    pub fn memory(&self) -> &MemoryMeter {
+        &self.memory
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation.load(Ordering::Acquire)
+    }
+
+    /// Charge `ops` of data-parallel CPU work (split across cores).
+    pub fn charge_cpu(&self, cost: &CostModel, ops: u64) {
+        self.clock
+            .advance(cost.cpu_cost(ops.div_ceil(self.cores as u64)));
+    }
+
+    /// Charge sequential (single-core) CPU work.
+    pub fn charge_cpu_serial(&self, cost: &CostModel, ops: u64) {
+        self.clock.advance(cost.cpu_cost(ops));
+    }
+
+    fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+        self.incarnation.fetch_add(1, Ordering::AcqRel);
+        self.memory.clear();
+    }
+
+    fn restart(&self, at: SimTime) {
+        self.clock.reset_to(at);
+        self.alive.store(true, Ordering::Release);
+    }
+}
+
+/// The simulated Spark cluster.
+pub struct Cluster {
+    config: ClusterConfig,
+    network: Network,
+    clock: ClusterClock,
+    driver: NodeClock,
+    executors: Vec<Arc<Executor>>,
+    injector: FailureInjector,
+    stages_run: AtomicU64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("executors", &self.executors.len())
+            .field("stages_run", &self.stages_run.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Cluster {
+    pub fn new(config: ClusterConfig) -> Arc<Self> {
+        assert!(config.executors > 0, "need at least one executor");
+        assert!(config.cores_per_executor > 0, "need at least one core");
+        let executors = (0..config.executors)
+            .map(|i| {
+                Arc::new(Executor::new(
+                    i,
+                    config.cores_per_executor,
+                    config.memory_per_executor,
+                ))
+            })
+            .collect();
+        let network = Network::new(config.cost.clone());
+        Arc::new(Cluster {
+            config,
+            network,
+            clock: ClusterClock::new(),
+            driver: NodeClock::new(),
+            executors,
+            injector: FailureInjector::none(),
+            stages_run: AtomicU64::new(0),
+        })
+    }
+
+    /// A small default cluster (tests, examples).
+    pub fn local() -> Arc<Self> {
+        Cluster::new(ClusterConfig::default())
+    }
+
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    pub fn cost(&self) -> &CostModel {
+        &self.config.cost
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    pub fn clock(&self) -> &ClusterClock {
+        &self.clock
+    }
+
+    pub fn driver(&self) -> &NodeClock {
+        &self.driver
+    }
+
+    pub fn injector(&self) -> &FailureInjector {
+        &self.injector
+    }
+
+    pub fn num_executors(&self) -> usize {
+        self.executors.len()
+    }
+
+    pub fn default_partitions(&self) -> usize {
+        self.config.default_partitions
+    }
+
+    pub fn executor(&self, i: usize) -> &Arc<Executor> {
+        &self.executors[i]
+    }
+
+    /// Home executor of partition `p` (fixed modulo placement, as with
+    /// Spark's preferred locations once an RDD is cached).
+    pub fn executor_for(&self, partition: usize) -> &Arc<Executor> {
+        &self.executors[partition % self.executors.len()]
+    }
+
+    /// Simulated time elapsed so far (global barrier clock).
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Number of stages executed (diagnostics / tests).
+    pub fn stages_run(&self) -> u64 {
+        self.stages_run.load(Ordering::Relaxed)
+    }
+
+    /// Kill an executor: memory cleared, cached partitions invalidated.
+    pub fn kill_executor(&self, id: usize) {
+        self.executors[id].kill();
+    }
+
+    /// Restart an executor. Charges the master's failure-detection +
+    /// container-restart overhead to the global clock, and the replacement
+    /// joins at that time.
+    pub fn restart_executor(&self, id: usize) {
+        self.clock.advance(self.config.cost.restart_overhead());
+        self.executors[id].restart(self.clock.now());
+    }
+
+    /// Run one stage of `tasks` partition-indexed tasks.
+    ///
+    /// Tasks are grouped by home executor and each executor processes its
+    /// tasks on its own OS thread (real parallelism), charging simulated
+    /// costs to its own clock. A BSP barrier over all live executors closes
+    /// the stage. Returns per-partition results in partition order, or the
+    /// first error (OOM / executor-lost) encountered.
+    pub fn run_stage<R, F>(&self, tasks: usize, f: F) -> Result<Vec<R>>
+    where
+        R: Send,
+        F: Fn(usize, &Executor) -> Result<R> + Send + Sync,
+    {
+        self.stages_run.fetch_add(1, Ordering::Relaxed);
+        // Stages start from the current global time.
+        for e in &self.executors {
+            if e.is_alive() {
+                self.clock.register(&e.clock);
+            }
+        }
+
+        let mut by_exec: Vec<Vec<usize>> = vec![Vec::new(); self.executors.len()];
+        for p in 0..tasks {
+            by_exec[p % self.executors.len()].push(p);
+        }
+
+        let results: Mutex<Vec<Option<R>>> =
+            Mutex::new((0..tasks).map(|_| None).collect());
+        let first_err: Mutex<Option<DataflowError>> = Mutex::new(None);
+
+        crossbeam::thread::scope(|scope| {
+            for (eid, parts) in by_exec.iter().enumerate() {
+                if parts.is_empty() {
+                    continue;
+                }
+                let exec = Arc::clone(&self.executors[eid]);
+                let f = &f;
+                let results = &results;
+                let first_err = &first_err;
+                scope.spawn(move |_| {
+                    for &p in parts {
+                        if first_err.lock().is_some() {
+                            return;
+                        }
+                        if !exec.is_alive() {
+                            let mut g = first_err.lock();
+                            if g.is_none() {
+                                *g = Some(DataflowError::ExecutorLost { id: exec.id() });
+                            }
+                            return;
+                        }
+                        match f(p, &exec) {
+                            Ok(r) => results.lock()[p] = Some(r),
+                            Err(e) => {
+                                let mut g = first_err.lock();
+                                if g.is_none() {
+                                    *g = Some(e);
+                                }
+                                return;
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("stage worker panicked");
+
+        if let Some(e) = first_err.into_inner() {
+            return Err(e);
+        }
+
+        self.clock
+            .barrier(self.executors.iter().filter(|e| e.is_alive()).map(|e| e.clock()));
+
+        let out = results.into_inner();
+        let mut v = Vec::with_capacity(tasks);
+        for (p, r) in out.into_iter().enumerate() {
+            match r {
+                Some(r) => v.push(r),
+                None => {
+                    return Err(DataflowError::Other(format!(
+                        "task for partition {p} produced no result"
+                    )))
+                }
+            }
+        }
+        Ok(v)
+    }
+
+    /// Consume any failure-injection plans due at `superstep`, killing the
+    /// targeted executors. Returns the ids killed.
+    pub fn apply_failures(&self, superstep: u64) -> Vec<usize> {
+        use psgraph_sim::failpoint::NodeKind;
+        let due = self.injector.take_due(NodeKind::Executor, superstep);
+        let mut killed = Vec::with_capacity(due.len());
+        for plan in due {
+            if plan.node_id < self.executors.len() {
+                self.kill_executor(plan.node_id);
+                killed.push(plan.node_id);
+            }
+        }
+        killed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_runs_all_tasks_in_partition_order() {
+        let c = Cluster::local();
+        let out = c.run_stage(10, |p, _e| Ok(p * 2)).unwrap();
+        assert_eq!(out, (0..10).map(|p| p * 2).collect::<Vec<_>>());
+        assert_eq!(c.stages_run(), 1);
+    }
+
+    #[test]
+    fn stage_charges_time_and_barriers() {
+        let c = Cluster::local();
+        let before = c.now();
+        c.run_stage(8, |_p, e| {
+            e.charge_cpu(c.cost(), 2_000_000_000);
+            Ok(())
+        })
+        .unwrap();
+        let after = c.now();
+        assert!(after > before);
+        // All live executors synchronized to the barrier.
+        for i in 0..c.num_executors() {
+            assert_eq!(c.executor(i).clock().now(), after);
+        }
+    }
+
+    #[test]
+    fn cores_divide_parallel_work() {
+        let cfg1 = ClusterConfig { executors: 1, cores_per_executor: 1, ..Default::default() };
+        let cfg4 = ClusterConfig { executors: 1, cores_per_executor: 4, ..Default::default() };
+        let c1 = Cluster::new(cfg1);
+        let c4 = Cluster::new(cfg4);
+        c1.run_stage(1, |_p, e| {
+            e.charge_cpu(c1.cost(), 4_000_000);
+            Ok(())
+        })
+        .unwrap();
+        c4.run_stage(1, |_p, e| {
+            e.charge_cpu(c4.cost(), 4_000_000);
+            Ok(())
+        })
+        .unwrap();
+        assert!(c4.now() < c1.now());
+    }
+
+    #[test]
+    fn error_aborts_stage() {
+        let c = Cluster::local();
+        let err = c
+            .run_stage(4, |p, _e| {
+                if p == 2 {
+                    Err(DataflowError::Other("boom".into()))
+                } else {
+                    Ok(p)
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, DataflowError::Other(_)));
+    }
+
+    #[test]
+    fn dead_executor_fails_its_tasks() {
+        let c = Cluster::local();
+        c.kill_executor(1);
+        let err = c.run_stage(8, |p, _e| Ok(p)).unwrap_err();
+        assert_eq!(err, DataflowError::ExecutorLost { id: 1 });
+    }
+
+    #[test]
+    fn restart_charges_overhead_and_revives() {
+        let c = Cluster::local();
+        c.kill_executor(0);
+        assert!(!c.executor(0).is_alive());
+        let inc = c.executor(0).incarnation();
+        let before = c.now();
+        c.restart_executor(0);
+        assert!(c.executor(0).is_alive());
+        assert_eq!(c.executor(0).incarnation(), inc); // bump happens at kill
+        assert_eq!(c.now(), before + c.cost().restart_overhead());
+        // Stage runs again.
+        c.run_stage(8, |p, _e| Ok(p)).unwrap();
+    }
+
+    #[test]
+    fn kill_bumps_incarnation_and_clears_memory() {
+        let c = Cluster::local();
+        c.executor(2).memory().alloc(1000).unwrap();
+        let inc = c.executor(2).incarnation();
+        c.kill_executor(2);
+        assert_eq!(c.executor(2).incarnation(), inc + 1);
+        assert_eq!(c.executor(2).memory().in_use(), 0);
+    }
+
+    #[test]
+    fn apply_failures_consumes_plans() {
+        use psgraph_sim::FailPlan;
+        let c = Cluster::local();
+        c.injector().schedule(FailPlan::kill_executor(3, 2));
+        assert!(c.apply_failures(1).is_empty());
+        assert_eq!(c.apply_failures(2), vec![3]);
+        assert!(!c.executor(3).is_alive());
+        assert!(c.apply_failures(2).is_empty());
+    }
+
+    #[test]
+    fn executor_placement_is_stable() {
+        let c = Cluster::local();
+        assert_eq!(c.executor_for(0).id(), 0);
+        assert_eq!(c.executor_for(5).id(), 5 % c.num_executors());
+        assert_eq!(c.executor_for(5).id(), c.executor_for(5).id());
+    }
+
+    #[test]
+    fn parallel_stage_uses_multiple_threads() {
+        // Smoke test: tasks on different executors can overlap in real time.
+        let c = Cluster::local();
+        let t0 = std::time::Instant::now();
+        c.run_stage(4, |_p, _e| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            Ok(())
+        })
+        .unwrap();
+        // 4 tasks on 4 executors: well under 4 × 50 ms if parallel.
+        assert!(t0.elapsed() < std::time::Duration::from_millis(190));
+    }
+}

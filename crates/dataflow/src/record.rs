@@ -1,0 +1,178 @@
+//! The [`Record`] trait: what can live inside an [`crate::Rdd`].
+//!
+//! Memory accounting needs a per-value byte estimate, and the estimate must
+//! be *data dependent* (a neighbor list of a billion-follower celebrity is
+//! not the same size as a leaf vertex's) — that skew is precisely what blows
+//! up GraphX's join buffers on power-law graphs. `approx_bytes` models the
+//! JVM-object footprint Spark would pay: payload plus per-object overhead.
+
+/// Per-object overhead charged for every heap record (JVM object header +
+/// reference, the overhead GraphX pays for boxed rows).
+pub const OBJ_OVERHEAD: u64 = 16;
+
+/// A value that can be stored in an RDD partition.
+pub trait Record: Clone + Send + Sync + 'static {
+    /// Approximate in-memory footprint in bytes (raw payload view, as a
+    /// serialized/Kryo cache would store it).
+    fn approx_bytes(&self) -> u64;
+
+    /// Number of boxed elements this value holds when cached
+    /// **deserialized** in a JVM (elements of `ArrayBuffer[Any]`-style
+    /// collections). Clusters with a nonzero `record_overhead` charge it
+    /// per boxed element as well as per record — Spark's tuning guide
+    /// calls this the main reason deserialized collections are "2–5×
+    /// larger than raw data". Primitive-array storage (the PS's
+    /// Angel-style stores) never pays it.
+    fn boxed_elems(&self) -> u64 {
+        0
+    }
+}
+
+macro_rules! prim_record {
+    ($($t:ty),*) => {
+        $(impl Record for $t {
+            #[inline]
+            fn approx_bytes(&self) -> u64 {
+                std::mem::size_of::<$t>() as u64
+            }
+        })*
+    };
+}
+
+prim_record!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, ());
+
+impl Record for String {
+    fn approx_bytes(&self) -> u64 {
+        self.len() as u64 + OBJ_OVERHEAD
+    }
+}
+
+impl<T: Record> Record for Vec<T> {
+    fn approx_bytes(&self) -> u64 {
+        self.iter().map(Record::approx_bytes).sum::<u64>() + OBJ_OVERHEAD
+    }
+
+    fn boxed_elems(&self) -> u64 {
+        self.len() as u64 + self.iter().map(Record::boxed_elems).sum::<u64>()
+    }
+}
+
+impl<T: Record> Record for Box<[T]> {
+    fn approx_bytes(&self) -> u64 {
+        self.iter().map(Record::approx_bytes).sum::<u64>() + OBJ_OVERHEAD
+    }
+
+    fn boxed_elems(&self) -> u64 {
+        self.len() as u64 + self.iter().map(Record::boxed_elems).sum::<u64>()
+    }
+}
+
+impl<T: Record> Record for Option<T> {
+    fn approx_bytes(&self) -> u64 {
+        match self {
+            Some(v) => v.approx_bytes(),
+            None => std::mem::size_of::<Option<T>>() as u64,
+        }
+    }
+
+    fn boxed_elems(&self) -> u64 {
+        self.as_ref().map_or(0, Record::boxed_elems)
+    }
+}
+
+impl<T: Record> Record for std::sync::Arc<T> {
+    fn approx_bytes(&self) -> u64 {
+        // Shared: charge only the pointer; the pointee is charged where
+        // it was created.
+        std::mem::size_of::<usize>() as u64
+    }
+}
+
+impl<A: Record, B: Record> Record for (A, B) {
+    fn approx_bytes(&self) -> u64 {
+        self.0.approx_bytes() + self.1.approx_bytes()
+    }
+
+    fn boxed_elems(&self) -> u64 {
+        self.0.boxed_elems() + self.1.boxed_elems()
+    }
+}
+
+impl<A: Record, B: Record, C: Record> Record for (A, B, C) {
+    fn approx_bytes(&self) -> u64 {
+        self.0.approx_bytes() + self.1.approx_bytes() + self.2.approx_bytes()
+    }
+
+    fn boxed_elems(&self) -> u64 {
+        self.0.boxed_elems() + self.1.boxed_elems() + self.2.boxed_elems()
+    }
+}
+
+impl<A: Record, B: Record, C: Record, D: Record> Record for (A, B, C, D) {
+    fn approx_bytes(&self) -> u64 {
+        self.0.approx_bytes()
+            + self.1.approx_bytes()
+            + self.2.approx_bytes()
+            + self.3.approx_bytes()
+    }
+}
+
+/// Total footprint of a slice of records (used when sizing partitions).
+pub fn slice_bytes<T: Record>(items: &[T]) -> u64 {
+    items.iter().map(Record::approx_bytes).sum()
+}
+
+/// Total boxed-element count of a slice (deserialized-cache accounting).
+pub fn slice_boxed_elems<T: Record>(items: &[T]) -> u64 {
+    items.iter().map(Record::boxed_elems).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(1u8.approx_bytes(), 1);
+        assert_eq!(1u64.approx_bytes(), 8);
+        assert_eq!(1.0f64.approx_bytes(), 8);
+        assert_eq!(true.approx_bytes(), 1);
+        assert_eq!(().approx_bytes(), 0);
+    }
+
+    #[test]
+    fn composite_sizes_are_data_dependent() {
+        let small: Vec<u64> = vec![1];
+        let big: Vec<u64> = vec![0; 1000];
+        assert!(big.approx_bytes() > small.approx_bytes());
+        assert_eq!(big.approx_bytes(), 8 * 1000 + OBJ_OVERHEAD);
+        assert_eq!(big.boxed_elems(), 1000);
+        assert_eq!((1u64, big.clone()).boxed_elems(), 1000);
+        assert_eq!(Some(big).boxed_elems(), 1000);
+        assert_eq!(7u64.boxed_elems(), 0);
+        assert_eq!((1u64, 2u64).approx_bytes(), 16);
+        assert_eq!((1u64, 2u64, 3.0f64).approx_bytes(), 24);
+        assert_eq!((1u64, 2u64, 3u64, 4u64).approx_bytes(), 32);
+    }
+
+    #[test]
+    fn string_charges_length_plus_overhead() {
+        assert_eq!("abc".to_string().approx_bytes(), 3 + OBJ_OVERHEAD);
+    }
+
+    #[test]
+    fn option_and_arc() {
+        assert_eq!(Some(7u64).approx_bytes(), 8);
+        let none: Option<u64> = None;
+        assert!(none.approx_bytes() <= 16);
+        let a = std::sync::Arc::new(vec![0u64; 100]);
+        assert_eq!(a.approx_bytes(), 8);
+    }
+
+    #[test]
+    fn slice_bytes_sums() {
+        let v = vec![(1u64, 2u64), (3, 4)];
+        assert_eq!(slice_bytes(&v), 32);
+        assert_eq!(slice_bytes::<u64>(&[]), 0);
+    }
+}

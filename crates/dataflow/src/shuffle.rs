@@ -1,0 +1,794 @@
+//! Wide (shuffle) operations: `group_by_key`, `reduce_by_key`, `join`,
+//! `partition_by`, `distinct`.
+//!
+//! The shuffle follows Spark's hash shuffle:
+//!
+//! * **Map side** — each input partition is bucketed by `hash(key) % R`,
+//!   serialized, and spilled to local disk (we charge serialization CPU
+//!   and disk-write time; the bucketed data itself is "on disk", i.e. not
+//!   held against the executor's memory budget).
+//! * **Reduce side** — each output partition fetches its buckets (disk
+//!   read + network for remote buckets + deserialization), then
+//!   aggregates in an in-memory hash table. The hash table and the
+//!   materialized output *are* charged against the memory budget — this
+//!   is exactly where GraphX's join-based message passing explodes on
+//!   power-law graphs (Fig. 6).
+
+use psgraph_sim::FxHashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use psgraph_sim::memory::Reservation;
+
+use crate::cluster::Executor;
+use crate::error::Result;
+use crate::rdd::{Provenance, Rdd};
+use crate::record::{slice_bytes, Record};
+
+/// CPU ops charged per record for hashing/bucketing.
+const HASH_OPS: u64 = 6;
+/// Extra transient memory factor for hash-table overhead during
+/// aggregation (bucket array, entry headers — the JVM pays more).
+const HASH_TABLE_OVERHEAD_NUM: u64 = 1;
+const HASH_TABLE_OVERHEAD_DEN: u64 = 2;
+
+/// Deterministic shuffle partition of a key.
+#[inline]
+pub fn key_partition<K: Hash>(key: &K, num_out: usize) -> usize {
+    use std::hash::Hasher;
+    let mut h = psgraph_sim::FxHasher::default();
+    key.hash(&mut h);
+    (h.finish() % num_out as u64) as usize
+}
+
+/// One map task's output destined for one reduce partition.
+struct BucketChunk<K, V> {
+    from_exec: usize,
+    bytes: u64,
+    pairs: Vec<(K, V)>,
+}
+
+type ShuffleOutput<K, V> = Vec<Mutex<Vec<BucketChunk<K, V>>>>;
+
+/// A pipelined map-side extractor: parent record → (key, value) pairs.
+type FlatMapFn<T, K, V> = Arc<dyn Fn(&T, &mut Vec<(K, V)>) + Send + Sync>;
+
+/// A map-side combiner (pre-aggregation within one map task).
+type CombineFn<K, V> = Arc<dyn Fn(&mut Vec<(K, V)>) + Send + Sync>;
+
+/// The reduce-side aggregation producing the output partition.
+type AggFn<K, V, U> = Arc<dyn Fn(Vec<(K, V)>) -> Vec<U> + Send + Sync>;
+
+/// Map side of the shuffle: flat-map `parent` records through `fm` and
+/// bucket the pairs into `num_out` partitions. `fm` models Spark's stage
+/// pipelining: the mapped pairs go straight into the shuffle write
+/// without ever existing as a materialized RDD. `combine` optionally
+/// pre-aggregates within each map task (map-side combine, as
+/// `reduceByKey` does) to cut shuffle volume.
+fn shuffle_map_side<T, K, V>(
+    parent: &Rdd<T>,
+    num_out: usize,
+    fm: FlatMapFn<T, K, V>,
+    combine: Option<CombineFn<K, V>>,
+) -> Result<Arc<ShuffleOutput<K, V>>>
+where
+    T: Record,
+    K: Record + Hash + Eq,
+    V: Record,
+{
+    let out: Arc<ShuffleOutput<K, V>> =
+        Arc::new((0..num_out).map(|_| Mutex::new(Vec::new())).collect());
+    let cluster = Arc::clone(parent.cluster());
+    let cluster2 = Arc::clone(&cluster);
+    let out2 = Arc::clone(&out);
+
+    cluster2.run_stage(parent.num_partitions(), move |p, exec| {
+        let data = parent.partition(p)?;
+        let in_bytes = slice_bytes(&data);
+        // Transient working set while bucketing one partition.
+        let _reservation = Reservation::new(exec.memory(), in_bytes)?;
+
+        exec.charge_cpu(cluster.cost(), data.len() as u64 * HASH_OPS);
+        let mut buckets: Vec<Vec<(K, V)>> = (0..num_out).map(|_| Vec::new()).collect();
+        let mut scratch = Vec::new();
+        for t in data.iter() {
+            fm(t, &mut scratch);
+            for (k, v) in scratch.drain(..) {
+                let b = key_partition(&k, num_out);
+                buckets[b].push((k, v));
+            }
+        }
+        if let Some(combine) = &combine {
+            for b in &mut buckets {
+                combine(b);
+            }
+            exec.charge_cpu(cluster.cost(), data.len() as u64 * HASH_OPS);
+        }
+        // Serialize + spill each bucket to local disk.
+        for (out_p, pairs) in buckets.into_iter().enumerate() {
+            if pairs.is_empty() {
+                continue;
+            }
+            let bytes = slice_bytes(&pairs);
+            exec.clock().advance(cluster.cost().ser_cost(bytes));
+            exec.clock().advance(cluster.cost().disk_bulk_cost(bytes));
+            out2[out_p]
+                .lock()
+                .push(BucketChunk { from_exec: exec.id(), bytes, pairs });
+        }
+        Ok(())
+    })?;
+
+    Ok(out)
+}
+
+/// Reduce-side fetch for output partition `p`: charges disk/network/deser
+/// and returns the merged pair stream plus its byte volume. The chunks
+/// stay retained (shuffle files persist on local disk / the external
+/// shuffle service until the shuffled RDD is dropped, as in Spark), which
+/// is also what the shuffled RDD's provenance replays on recovery.
+fn fetch_bucket<K, V>(
+    chunks: &[BucketChunk<K, V>],
+    exec: &Executor,
+    cost: &psgraph_sim::CostModel,
+    network: &psgraph_net::Network,
+) -> (Vec<(K, V)>, u64)
+where
+    K: Record,
+    V: Record,
+{
+    let mut merged = Vec::new();
+    let mut total_bytes = 0u64;
+    for chunk in chunks {
+        exec.clock().advance(cost.disk_bulk_cost(chunk.bytes));
+        if chunk.from_exec != exec.id() {
+            network.bulk_fetch(exec.clock(), chunk.bytes);
+        }
+        exec.clock().advance(cost.ser_cost(chunk.bytes));
+        total_bytes += chunk.bytes;
+        merged.extend(chunk.pairs.iter().cloned());
+    }
+    (merged, total_bytes)
+}
+
+/// Identity extractor for pair RDDs.
+fn identity_fm<K: Record, V: Record>() -> FlatMapFn<(K, V), K, V> {
+    Arc::new(|kv: &(K, V), out: &mut Vec<(K, V)>| out.push(kv.clone()))
+}
+
+/// Generic shuffled RDD: map side, then per-output aggregation `agg`.
+fn shuffled<K, V, U>(
+    parent: &Rdd<(K, V)>,
+    name: &str,
+    num_out: usize,
+    combine: Option<CombineFn<K, V>>,
+    agg: AggFn<K, V, U>,
+) -> Result<Rdd<U>>
+where
+    K: Record + Hash + Eq,
+    V: Record,
+    U: Record,
+{
+    shuffled_from(parent, identity_fm(), name, num_out, combine, agg)
+}
+
+/// Generic shuffled RDD from any parent type via a pipelined extractor.
+fn shuffled_from<T, K, V, U>(
+    parent: &Rdd<T>,
+    fm: FlatMapFn<T, K, V>,
+    name: &str,
+    num_out: usize,
+    combine: Option<CombineFn<K, V>>,
+    agg: AggFn<K, V, U>,
+) -> Result<Rdd<U>>
+where
+    T: Record,
+    K: Record + Hash + Eq,
+    V: Record,
+    U: Record,
+{
+    assert!(num_out > 0, "need at least one output partition");
+    let buckets = shuffle_map_side(parent, num_out, fm, combine)?;
+    let cluster = Arc::clone(parent.cluster());
+
+    // Provenance replays the retained shuffle files — NOT the parent
+    // lineage. Shuffle files live on local disk behind the external
+    // shuffle service (standard Yarn deployments, as at Tencent) and
+    // survive executor restarts; crucially this means a shuffled RDD does
+    // not pin its ancestors in memory, exactly like Spark, where only the
+    // driver's lineage metadata persists across stages.
+    let buckets_prov = Arc::clone(&buckets);
+    let agg_prov = Arc::clone(&agg);
+    let cluster_prov = Arc::clone(&cluster);
+    let prov: Provenance<U> = Arc::new(move |p, exec| {
+        let guard = buckets_prov[p].lock();
+        let (merged, _) =
+            fetch_bucket(&guard, exec, cluster_prov.cost(), cluster_prov.network());
+        Ok(agg_prov(merged))
+    });
+
+    let cluster2 = Arc::clone(&cluster);
+    let buckets2 = Arc::clone(&buckets);
+    Rdd::materialize(&cluster, name, num_out, Some(prov), move |p, exec| {
+        let guard = buckets2[p].lock();
+        let (merged, in_bytes) =
+            fetch_bucket(&guard, exec, cluster2.cost(), cluster2.network());
+        drop(guard);
+        // Hash-table overhead while aggregating.
+        let overhead = in_bytes * HASH_TABLE_OVERHEAD_NUM / HASH_TABLE_OVERHEAD_DEN + 64;
+        let _reservation = Reservation::new(exec.memory(), in_bytes + overhead)?;
+        exec.charge_cpu(cluster2.cost(), merged.len() as u64 * HASH_OPS);
+        Ok(agg(merged))
+    })
+}
+
+impl<K, V> Rdd<(K, V)>
+where
+    K: Record + Hash + Eq,
+    V: Record,
+{
+    /// Group values by key into `num_out` partitions (full shuffle, no
+    /// map-side combine — this is the expensive `groupBy` the paper uses
+    /// to build neighbor tables).
+    pub fn group_by_key(&self, num_out: usize) -> Result<Rdd<(K, Vec<V>)>> {
+        shuffled(
+            self,
+            "group_by_key",
+            num_out,
+            None,
+            Arc::new(|pairs: Vec<(K, V)>| {
+                let mut map: FxHashMap<K, Vec<V>> = FxHashMap::default();
+                for (k, v) in pairs {
+                    map.entry(k).or_default().push(v);
+                }
+                map.into_iter().collect()
+            }),
+        )
+    }
+
+    /// Like [`Rdd::group_by_key`] but post-processes each group in place
+    /// inside the aggregation (e.g. sort + dedup), avoiding a second
+    /// materialized copy of the grouped data.
+    pub fn group_by_key_with(
+        &self,
+        num_out: usize,
+        post: impl Fn(&K, &mut Vec<V>) + Send + Sync + 'static,
+    ) -> Result<Rdd<(K, Vec<V>)>> {
+        let post = Arc::new(post);
+        shuffled(
+            self,
+            "group_by_key_with",
+            num_out,
+            None,
+            Arc::new(move |pairs: Vec<(K, V)>| {
+                let mut map: FxHashMap<K, Vec<V>> = FxHashMap::default();
+                for (k, v) in pairs {
+                    map.entry(k).or_default().push(v);
+                }
+                map.into_iter()
+                    .map(|(k, mut vs)| {
+                        post(&k, &mut vs);
+                        (k, vs)
+                    })
+                    .collect()
+            }),
+        )
+    }
+
+    /// Combine values per key with `f` (map-side combine included).
+    pub fn reduce_by_key(
+        &self,
+        num_out: usize,
+        f: impl Fn(&V, &V) -> V + Send + Sync + 'static,
+    ) -> Result<Rdd<(K, V)>> {
+        let f = Arc::new(f);
+        let f_combine = Arc::clone(&f);
+        let combine: CombineFn<K, V> =
+            Arc::new(move |pairs: &mut Vec<(K, V)>| {
+                let mut map: FxHashMap<K, V> = FxHashMap::default();
+                for (k, v) in pairs.drain(..) {
+                    match map.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let nv = f_combine(e.get(), &v);
+                            e.insert(nv);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+                pairs.extend(map);
+            });
+        let f_agg = Arc::clone(&f);
+        shuffled(
+            self,
+            "reduce_by_key",
+            num_out,
+            Some(combine),
+            Arc::new(move |pairs: Vec<(K, V)>| {
+                let mut map: FxHashMap<K, V> = FxHashMap::default();
+                for (k, v) in pairs {
+                    match map.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let nv = f_agg(e.get(), &v);
+                            e.insert(nv);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+                map.into_iter().collect()
+            }),
+        )
+    }
+
+    /// Inner hash join. Both sides are co-partitioned into `num_out`
+    /// partitions; the left side is the build side (its hash table is
+    /// charged to memory), the right side streams. Output cardinality is
+    /// the sum over keys of |left(k)| × |right(k)| — on skewed graphs this
+    /// is the memory bomb that kills GraphX.
+    pub fn join<W>(&self, other: &Rdd<(K, W)>, num_out: usize) -> Result<Rdd<(K, (V, W))>>
+    where
+        W: Record,
+    {
+        assert!(num_out > 0, "need at least one output partition");
+        let left_buckets = shuffle_map_side(self, num_out, identity_fm(), None)?;
+        let right_buckets = shuffle_map_side(other, num_out, identity_fm(), None)?;
+        let cluster = Arc::clone(self.cluster());
+
+        // Provenance replays the retained shuffle files (see `shuffled`).
+        let lb_prov = Arc::clone(&left_buckets);
+        let rb_prov = Arc::clone(&right_buckets);
+        let cluster_prov = Arc::clone(&cluster);
+        let prov: Provenance<(K, (V, W))> = Arc::new(move |p, exec| {
+            let (l, _) = fetch_bucket(
+                &lb_prov[p].lock(), exec, cluster_prov.cost(), cluster_prov.network(),
+            );
+            let (r, _) = fetch_bucket(
+                &rb_prov[p].lock(), exec, cluster_prov.cost(), cluster_prov.network(),
+            );
+            Ok(hash_join(l, r))
+        });
+
+        let cluster2 = Arc::clone(&cluster);
+        Rdd::materialize(&cluster, "join", num_out, Some(prov), move |p, exec| {
+            let (left, lbytes) =
+                fetch_bucket(&left_buckets[p].lock(), exec, cluster2.cost(), cluster2.network());
+            let (right, rbytes) =
+                fetch_bucket(&right_buckets[p].lock(), exec, cluster2.cost(), cluster2.network());
+            // Build-side hash table + streamed probe side working set.
+            let overhead =
+                lbytes + lbytes * HASH_TABLE_OVERHEAD_NUM / HASH_TABLE_OVERHEAD_DEN + rbytes + 64;
+            let _reservation = Reservation::new(exec.memory(), overhead)?;
+            exec.charge_cpu(
+                cluster2.cost(),
+                (left.len() + right.len()) as u64 * HASH_OPS,
+            );
+            Ok(hash_join(left, right))
+        })
+    }
+
+    /// Repartition by key without aggregation.
+    pub fn partition_by_key(&self, num_out: usize) -> Result<Rdd<(K, V)>> {
+        shuffled(self, "partition_by_key", num_out, None, Arc::new(|pairs| pairs))
+    }
+
+    /// Hash join against an already hash-partitioned table with the same
+    /// partition count (the caller guarantees co-partitioning — e.g. both
+    /// sides came from [`Rdd::partition_by_key`] with `num_out`
+    /// partitions). No shuffle moves: each partition joins locally, as
+    /// Spark does when the partitioners match (GraphX's standard
+    /// vertex-table join path). The build side is `self`.
+    pub fn join_copartitioned<W>(&self, other: &Rdd<(K, W)>) -> Result<Rdd<(K, (V, W))>>
+    where
+        W: Record,
+    {
+        let num_out = self.num_partitions();
+        if other.num_partitions() != num_out {
+            return Err(crate::DataflowError::Other(format!(
+                "join_copartitioned: {} vs {} partitions",
+                num_out,
+                other.num_partitions()
+            )));
+        }
+        let cluster = Arc::clone(self.cluster());
+        let left = self.clone();
+        let right = other.clone();
+        let left_prov = self.clone();
+        let right_prov = other.clone();
+        let prov: Provenance<(K, (V, W))> = Arc::new(move |p, exec| {
+            let l = left_prov.partition_or_recompute(p, exec)?;
+            let r = right_prov.partition_or_recompute(p, exec)?;
+            Ok(hash_join(l.as_ref().clone(), r.as_ref().clone()))
+        });
+        let cluster2 = Arc::clone(&cluster);
+        Rdd::materialize(&cluster, "join_copart", num_out, Some(prov), move |p, exec| {
+            let l = left.partition(p)?;
+            let r = right.partition(p)?;
+            let lbytes = slice_bytes(&l);
+            let rbytes = slice_bytes(&r);
+            let overhead =
+                lbytes + lbytes * HASH_TABLE_OVERHEAD_NUM / HASH_TABLE_OVERHEAD_DEN + 64;
+            let _reservation = Reservation::new(exec.memory(), overhead)?;
+            exec.charge_cpu(cluster2.cost(), (l.len() + r.len()) as u64 * HASH_OPS);
+            let _ = rbytes;
+            Ok(hash_join(l.as_ref().clone(), r.as_ref().clone()))
+        })
+    }
+
+    /// Count records per key.
+    pub fn count_by_key(&self, num_out: usize) -> Result<Rdd<(K, u64)>> {
+        let ones = self.map(|(k, _v)| (k.clone(), 1u64))?;
+        ones.reduce_by_key(num_out, |a, b| a + b)
+    }
+}
+
+fn hash_join<K, V, W>(left: Vec<(K, V)>, right: Vec<(K, W)>) -> Vec<(K, (V, W))>
+where
+    K: Record + Hash + Eq,
+    V: Record,
+    W: Record,
+{
+    let mut table: FxHashMap<K, Vec<V>> = FxHashMap::default();
+    for (k, v) in left {
+        table.entry(k).or_default().push(v);
+    }
+    let mut out = Vec::new();
+    for (k, w) in right {
+        if let Some(vs) = table.get(&k) {
+            for v in vs {
+                out.push((k.clone(), (v.clone(), w.clone())));
+            }
+        }
+    }
+    out
+}
+
+impl<T: Record> Rdd<T> {
+    /// Pipelined `flat_map(fm).reduce_by_key(f)`: the mapped pairs go
+    /// straight into the shuffle write without a materialized
+    /// intermediate RDD — Spark's stage fusion.
+    pub fn flat_map_reduce_by_key<K, V>(
+        &self,
+        num_out: usize,
+        fm: impl Fn(&T, &mut Vec<(K, V)>) + Send + Sync + 'static,
+        f: impl Fn(&V, &V) -> V + Send + Sync + 'static,
+    ) -> Result<Rdd<(K, V)>>
+    where
+        K: Record + Hash + Eq,
+        V: Record,
+    {
+        let f = Arc::new(f);
+        let f_combine = Arc::clone(&f);
+        let combine: CombineFn<K, V> =
+            Arc::new(move |pairs: &mut Vec<(K, V)>| {
+                let mut map: FxHashMap<K, V> = FxHashMap::default();
+                for (k, v) in pairs.drain(..) {
+                    match map.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let nv = f_combine(e.get(), &v);
+                            e.insert(nv);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+                pairs.extend(map);
+            });
+        let f_agg = Arc::clone(&f);
+        shuffled_from(
+            self,
+            Arc::new(fm),
+            "flat_map_reduce_by_key",
+            num_out,
+            Some(combine),
+            Arc::new(move |pairs: Vec<(K, V)>| {
+                let mut map: FxHashMap<K, V> = FxHashMap::default();
+                for (k, v) in pairs {
+                    match map.entry(k) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let nv = f_agg(e.get(), &v);
+                            e.insert(nv);
+                        }
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert(v);
+                        }
+                    }
+                }
+                map.into_iter().collect()
+            }),
+        )
+    }
+
+    /// Pipelined `flat_map(fm).group_by_key()` with in-aggregation
+    /// post-processing of each group.
+    pub fn flat_map_group_by_key_with<K, V>(
+        &self,
+        num_out: usize,
+        fm: impl Fn(&T, &mut Vec<(K, V)>) + Send + Sync + 'static,
+        post: impl Fn(&K, &mut Vec<V>) + Send + Sync + 'static,
+    ) -> Result<Rdd<(K, Vec<V>)>>
+    where
+        K: Record + Hash + Eq,
+        V: Record,
+    {
+        let post = Arc::new(post);
+        shuffled_from(
+            self,
+            Arc::new(fm),
+            "flat_map_group_by_key",
+            num_out,
+            None,
+            Arc::new(move |pairs: Vec<(K, V)>| {
+                let mut map: FxHashMap<K, Vec<V>> = FxHashMap::default();
+                for (k, v) in pairs {
+                    map.entry(k).or_default().push(v);
+                }
+                map.into_iter()
+                    .map(|(k, mut vs)| {
+                        post(&k, &mut vs);
+                        (k, vs)
+                    })
+                    .collect()
+            }),
+        )
+    }
+}
+
+impl<T> Rdd<T>
+where
+    T: Record + Hash + Eq,
+{
+    /// Distinct records (shuffle-based dedup).
+    pub fn distinct(&self, num_out: usize) -> Result<Rdd<T>> {
+        let keyed = self.map(|t| (t.clone(), ()))?;
+        let reduced = keyed.reduce_by_key(num_out, |_a, _b| ())?;
+        reduced.map(|(k, _unit)| k.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, ClusterConfig};
+
+    fn cluster() -> Arc<Cluster> {
+        Cluster::local()
+    }
+
+    #[test]
+    fn group_by_key_groups_all_values() {
+        let c = cluster();
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 5, i)).collect();
+        let rdd = Rdd::from_vec(&c, pairs, 8).unwrap();
+        let grouped = rdd.group_by_key(4).unwrap();
+        let mut out = grouped.collect().unwrap();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(out.len(), 5);
+        for (k, vs) in out {
+            assert_eq!(vs.len(), 20);
+            assert!(vs.iter().all(|v| v % 5 == k));
+        }
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let c = cluster();
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i % 10, 1)).collect();
+        let rdd = Rdd::from_vec(&c, pairs, 8).unwrap();
+        let reduced = rdd.reduce_by_key(4, |a, b| a + b).unwrap();
+        let mut out = reduced.collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out, (0..10u64).map(|k| (k, 100u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reduce_by_key_matches_group_then_fold() {
+        let c = cluster();
+        let pairs: Vec<(u64, u64)> = (0..500).map(|i| (i * 7 % 13, i)).collect();
+        let rdd = Rdd::from_vec(&c, pairs.clone(), 6).unwrap();
+        let mut reduced = rdd.reduce_by_key(3, |a, b| a + b).unwrap().collect().unwrap();
+        reduced.sort_unstable();
+        let mut reference: FxHashMap<u64, u64> = FxHashMap::default();
+        for (k, v) in pairs {
+            *reference.entry(k).or_default() += v;
+        }
+        let mut reference: Vec<(u64, u64)> = reference.into_iter().collect();
+        reference.sort_unstable();
+        assert_eq!(reduced, reference);
+    }
+
+    #[test]
+    fn join_produces_cross_product_per_key() {
+        let c = cluster();
+        let left = Rdd::from_vec(&c, vec![(1u64, 10u64), (1, 11), (2, 20)], 4).unwrap();
+        let right = Rdd::from_vec(&c, vec![(1u64, 100u64), (2, 200), (3, 300)], 4).unwrap();
+        let joined = left.join(&right, 4).unwrap();
+        let mut out = joined.collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec![(1, (10, 100)), (1, (11, 100)), (2, (20, 200))]);
+    }
+
+    #[test]
+    fn partition_by_key_preserves_data_and_colocates_keys() {
+        let c = cluster();
+        let pairs: Vec<(u64, u64)> = (0..64).map(|i| (i % 8, i)).collect();
+        let rdd = Rdd::from_vec(&c, pairs.clone(), 8).unwrap();
+        let parted = rdd.partition_by_key(4).unwrap();
+        assert_eq!(parted.count().unwrap(), 64);
+        for p in 0..4 {
+            let part = parted.partition(p).unwrap();
+            for (k, _) in part.iter() {
+                assert_eq!(key_partition(k, 4), p);
+            }
+        }
+    }
+
+    #[test]
+    fn count_by_key_counts() {
+        let c = cluster();
+        let pairs: Vec<(u64, u64)> = (0..90).map(|i| (i % 3, i)).collect();
+        let rdd = Rdd::from_vec(&c, pairs, 4).unwrap();
+        let mut out = rdd.count_by_key(2).unwrap().collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec![(0, 30), (1, 30), (2, 30)]);
+    }
+
+    #[test]
+    fn distinct_dedups() {
+        let c = cluster();
+        let rdd = Rdd::from_vec(&c, vec![1u64, 2, 2, 3, 3, 3], 3).unwrap();
+        let mut out = rdd.distinct(2).unwrap().collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn shuffle_charges_time() {
+        let c = cluster();
+        let pairs: Vec<(u64, u64)> = (0..10_000).map(|i| (i % 100, i)).collect();
+        let rdd = Rdd::from_vec(&c, pairs, 8).unwrap();
+        let before = c.now();
+        let _g = rdd.group_by_key(8).unwrap();
+        assert!(c.now() > before, "shuffle must consume simulated time");
+    }
+
+    #[test]
+    fn skewed_join_ooms_on_small_budget() {
+        // One hot key on both sides → quadratic join output. A GraphX-sized
+        // partition with a small container must OOM.
+        let cfg = ClusterConfig::default().with_memory(512 << 10);
+        let c = Cluster::new(cfg);
+        let hot: Vec<(u64, u64)> = (0..2000).map(|i| (0u64, i)).collect();
+        let left = Rdd::from_vec(&c, hot.clone(), 4).unwrap();
+        let right = Rdd::from_vec(&c, hot, 4).unwrap();
+        let err = left.join(&right, 4).unwrap_err();
+        assert!(matches!(err, crate::DataflowError::Oom(_)), "got {err}");
+        // And the meters are clean afterwards (no leak from the failure).
+        drop((left, right));
+        for i in 0..c.num_executors() {
+            assert_eq!(c.executor(i).memory().in_use(), 0);
+        }
+    }
+
+    #[test]
+    fn group_by_key_empty_rdd() {
+        let c = cluster();
+        let rdd: Rdd<(u64, u64)> = Rdd::from_vec(&c, vec![], 4).unwrap();
+        let grouped = rdd.group_by_key(2).unwrap();
+        assert_eq!(grouped.count().unwrap(), 0);
+    }
+
+    #[test]
+    fn shuffled_rdd_recovers_through_lineage() {
+        let c = cluster();
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 10, 1)).collect();
+        let rdd = Rdd::from_vec(&c, pairs, 8).unwrap();
+        let reduced = rdd.reduce_by_key(4, |a, b| a + b).unwrap();
+        c.kill_executor(1);
+        c.restart_executor(1);
+        reduced.recover().unwrap();
+        let mut out = reduced.collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out, (0..10u64).map(|k| (k, 10u64)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_map_reduce_by_key_fused() {
+        let c = cluster();
+        let rdd = Rdd::from_vec(&c, (0..100u64).collect(), 4).unwrap();
+        let mut out = rdd
+            .flat_map_reduce_by_key(
+                4,
+                |&x, buf| {
+                    buf.push((x % 3, 1u64));
+                    if x % 2 == 0 {
+                        buf.push((100 + x % 3, x));
+                    }
+                },
+                |a, b| a + b,
+            )
+            .unwrap()
+            .collect()
+            .unwrap();
+        out.sort_unstable();
+        // Counts per residue class of 100 items: 34, 33, 33.
+        assert_eq!(out[0], (0, 34));
+        assert_eq!(out[1], (1, 33));
+        assert_eq!(out[2], (2, 33));
+        assert_eq!(out.len(), 6);
+    }
+
+    #[test]
+    fn flat_map_group_by_key_with_fused() {
+        let c = cluster();
+        let rdd = Rdd::from_vec(&c, vec![5u64, 3, 5, 1, 3, 5], 3).unwrap();
+        let mut out = rdd
+            .flat_map_group_by_key_with(
+                2,
+                |&x, buf| buf.push((x % 2, x)),
+                |_k, vs| {
+                    vs.sort_unstable();
+                    vs.dedup();
+                },
+            )
+            .unwrap()
+            .collect()
+            .unwrap();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(out, vec![(1, vec![1, 3, 5])]);
+    }
+
+    #[test]
+    fn fused_ops_do_not_materialize_intermediates() {
+        // The pipelined extractor's output must never be charged as a
+        // resident RDD: peak memory with the fused op stays well below
+        // the unfused flat_map+reduce path.
+        let data: Vec<u64> = (0..20_000).collect();
+        let peak_of = |fused: bool| {
+            let c = cluster();
+            let rdd = Rdd::from_vec(&c, data.clone(), 8).unwrap();
+            let base: u64 = (0..c.num_executors())
+                .map(|i| c.executor(i).memory().peak())
+                .sum();
+            let _out = if fused {
+                rdd.flat_map_reduce_by_key(
+                    8,
+                    |&x, buf| {
+                        buf.push((x % 1000, x));
+                        buf.push((x % 999, x));
+                    },
+                    |a, b| a + b,
+                )
+                .unwrap()
+            } else {
+                rdd.flat_map(|&x| vec![(x % 1000, x), (x % 999, x)])
+                    .unwrap()
+                    .reduce_by_key(8, |a, b| a + b)
+                    .unwrap()
+            };
+            let after: u64 = (0..c.num_executors())
+                .map(|i| c.executor(i).memory().peak())
+                .sum();
+            after - base
+        };
+        let fused_peak = peak_of(true);
+        let unfused_peak = peak_of(false);
+        assert!(
+            fused_peak < unfused_peak,
+            "fused {fused_peak} should stay below unfused {unfused_peak}"
+        );
+    }
+
+    #[test]
+    fn key_partition_is_deterministic_and_in_range() {
+        for k in 0u64..1000 {
+            let p = key_partition(&k, 7);
+            assert!(p < 7);
+            assert_eq!(p, key_partition(&k, 7));
+        }
+    }
+}

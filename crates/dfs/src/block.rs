@@ -1,0 +1,79 @@
+//! Blocks: the unit of DFS storage, replication, and checksumming.
+
+use bytes::Bytes;
+use psgraph_sim::hash::FxHasher;
+use std::hash::Hasher;
+
+/// Globally unique block identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u64);
+
+/// Checksum used to detect block corruption (FxHash over the payload;
+/// collision resistance is irrelevant for fault detection in a simulator).
+pub fn checksum(data: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(data);
+    h.finish()
+}
+
+/// One stored block replica.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub id: BlockId,
+    pub data: Bytes,
+    pub checksum: u64,
+}
+
+impl Block {
+    pub fn new(id: BlockId, data: Bytes) -> Self {
+        let checksum = checksum(&data);
+        Block { id, data, checksum }
+    }
+
+    /// Verify integrity.
+    pub fn is_valid(&self) -> bool {
+        checksum(&self.data) == self.checksum
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_valid() {
+        let b = Block::new(BlockId(1), Bytes::from_static(b"hello"));
+        assert!(b.is_valid());
+        assert_eq!(b.len(), 5);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut b = Block::new(BlockId(1), Bytes::from_static(b"hello"));
+        b.data = Bytes::from_static(b"hellX");
+        assert!(!b.is_valid());
+    }
+
+    #[test]
+    fn checksum_deterministic_and_content_sensitive() {
+        assert_eq!(checksum(b"abc"), checksum(b"abc"));
+        assert_ne!(checksum(b"abc"), checksum(b"abd"));
+        assert_eq!(checksum(b""), checksum(b""));
+    }
+
+    #[test]
+    fn empty_block() {
+        let b = Block::new(BlockId(0), Bytes::new());
+        assert!(b.is_valid());
+        assert!(b.is_empty());
+    }
+}

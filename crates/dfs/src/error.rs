@@ -1,0 +1,58 @@
+//! DFS error type.
+
+use std::fmt;
+
+/// Errors surfaced by the mini-HDFS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// Path does not exist in the namespace.
+    NotFound(String),
+    /// Every replica of a block is on a dead datanode.
+    AllReplicasDead { path: String, block: u64 },
+    /// A block's stored checksum does not match its data.
+    Corrupt { path: String, block: u64 },
+    /// Fewer live datanodes than the requested replication factor.
+    InsufficientDatanodes { live: usize, needed: usize },
+    /// Datanode index out of range.
+    NoSuchDatanode(usize),
+}
+
+impl fmt::Display for DfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfsError::NotFound(p) => write!(f, "dfs: path not found: {p}"),
+            DfsError::AllReplicasDead { path, block } => {
+                write!(f, "dfs: all replicas dead for block {block} of {path}")
+            }
+            DfsError::Corrupt { path, block } => {
+                write!(f, "dfs: checksum mismatch on block {block} of {path}")
+            }
+            DfsError::InsufficientDatanodes { live, needed } => {
+                write!(f, "dfs: {live} live datanodes, need {needed} for replication")
+            }
+            DfsError::NoSuchDatanode(i) => write!(f, "dfs: no datanode {i}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        assert!(DfsError::NotFound("/a".into()).to_string().contains("/a"));
+        assert!(DfsError::AllReplicasDead { path: "/a".into(), block: 3 }
+            .to_string()
+            .contains("block 3"));
+        assert!(DfsError::Corrupt { path: "/a".into(), block: 1 }
+            .to_string()
+            .contains("checksum"));
+        assert!(DfsError::InsufficientDatanodes { live: 1, needed: 3 }
+            .to_string()
+            .contains("1 live"));
+        assert!(DfsError::NoSuchDatanode(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,164 @@
+//! Dataset presets: scaled-down stand-ins for the paper's DS1/DS2/DS3.
+//!
+//! | Paper | vertices | edges | here (scale = 1.0) |
+//! |---|---|---|---|
+//! | DS1 | 0.8 B | 11 B | 200 k / 2.75 M |
+//! | DS2 | 2 B | 140 B | 500 k / 35 M |
+//! | DS3 | 30 M | 100 M | 60 k / 200 k (+ features/labels) |
+//!
+//! Every preset is ~4000× smaller than the paper's graph with the same
+//! vertex:edge ratio. Resource budgets in the experiment harness are
+//! scaled by the same factor (see `psgraph-bench`), so relative behaviour
+//! (who OOMs, who wins, by what factor) is preserved. `scale` shrinks
+//! further for quick runs — e.g. `scale = 0.1` for CI-speed benches.
+
+use crate::edgelist::EdgeList;
+use crate::gen::{self, RmatParams, Sbm2};
+
+/// How many times smaller than the paper's dataset the `scale = 1.0`
+/// preset is. Experiment harnesses divide memory budgets by this.
+pub const PAPER_SCALE_DOWN: f64 = 4000.0;
+
+/// Identifies one of the paper's datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    Ds1,
+    Ds2,
+    Ds3,
+}
+
+impl std::fmt::Display for Dataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dataset::Ds1 => write!(f, "DS1"),
+            Dataset::Ds2 => write!(f, "DS2"),
+            Dataset::Ds3 => write!(f, "DS3"),
+        }
+    }
+}
+
+/// Concrete sizing of a dataset instance.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    pub dataset: Dataset,
+    pub vertices: u64,
+    pub edges: usize,
+    /// Paper's figures for reference.
+    pub paper_vertices: f64,
+    pub paper_edges: f64,
+}
+
+impl Dataset {
+    /// Sizing at a given scale (`1.0` = the full preset above).
+    pub fn spec(self, scale: f64) -> DatasetSpec {
+        assert!(scale > 0.0, "scale must be positive");
+        let (v, e, pv, pe) = match self {
+            Dataset::Ds1 => (200_000.0, 2_750_000.0, 0.8e9, 11e9),
+            Dataset::Ds2 => (500_000.0, 35_000_000.0, 2e9, 140e9),
+            Dataset::Ds3 => (60_000.0, 200_000.0, 30e6, 100e6),
+        };
+        DatasetSpec {
+            dataset: self,
+            vertices: ((v * scale) as u64).max(64),
+            edges: ((e * scale) as usize).max(256),
+            paper_vertices: pv,
+            paper_edges: pe,
+        }
+    }
+
+    /// Generate the graph (power-law RMAT; seeded deterministically per
+    /// dataset).
+    pub fn generate(self, scale: f64) -> EdgeList {
+        let spec = self.spec(scale);
+        let seed = match self {
+            Dataset::Ds1 => 0xD51,
+            Dataset::Ds2 => 0xD52,
+            Dataset::Ds3 => 0xD53,
+        };
+        gen::rmat(spec.vertices, spec.edges, RmatParams::default(), seed)
+    }
+
+    /// DS3 with features and labels for the GraphSage task (Table I):
+    /// community-structured with informative features.
+    pub fn generate_ds3_features(scale: f64, feat_dim: usize) -> Sbm2 {
+        let spec = Dataset::Ds3.spec(scale);
+        // Feature noise tuned so a trained GraphSage lands near the
+        // paper's ~91.5% accuracy rather than saturating the task.
+        let avg_deg = spec.edges as f64 / spec.vertices as f64;
+        gen::sbm2(
+            spec.vertices,
+            avg_deg * 1.4,
+            avg_deg * 0.6,
+            feat_dim,
+            4.0,
+            0xD53F,
+        )
+    }
+
+    /// End-to-end scale-down factor from the paper's dataset to this
+    /// instance (used to scale memory budgets).
+    pub fn scale_down(self, scale: f64) -> f64 {
+        let spec = self.spec(scale);
+        spec.paper_vertices / spec.vertices as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_preserve_paper_ratios() {
+        let ds1 = Dataset::Ds1.spec(1.0);
+        let ds2 = Dataset::Ds2.spec(1.0);
+        // DS2/DS1 vertex ratio 2.5, edge ratio ~12.7 in the paper.
+        let vr = ds2.vertices as f64 / ds1.vertices as f64;
+        let er = ds2.edges as f64 / ds1.edges as f64;
+        assert!((vr - 2.5).abs() < 0.01, "vertex ratio {vr}");
+        assert!((er - 12.7).abs() < 0.1, "edge ratio {er}");
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_sized() {
+        let a = Dataset::Ds3.generate(0.1);
+        let b = Dataset::Ds3.generate(0.1);
+        assert_eq!(a, b);
+        let spec = Dataset::Ds3.spec(0.1);
+        assert_eq!(a.num_vertices(), spec.vertices);
+        assert_eq!(a.num_edges(), spec.edges);
+    }
+
+    #[test]
+    fn scale_shrinks_with_floor() {
+        let tiny = Dataset::Ds1.spec(1e-9);
+        assert_eq!(tiny.vertices, 64);
+        assert_eq!(tiny.edges, 256);
+        let small = Dataset::Ds1.spec(0.01);
+        assert_eq!(small.vertices, 2000);
+    }
+
+    #[test]
+    fn ds3_features_shapes() {
+        let s = Dataset::generate_ds3_features(0.02, 8);
+        let spec = Dataset::Ds3.spec(0.02);
+        assert_eq!(s.features.len() as u64, spec.vertices);
+        assert_eq!(s.labels.len() as u64, spec.vertices);
+        assert_eq!(s.features[0].len(), 8);
+        assert!(s.graph.num_edges() > 0);
+    }
+
+    #[test]
+    fn scale_down_factor() {
+        let f = Dataset::Ds1.scale_down(1.0);
+        assert!((f - 4000.0).abs() < 1.0, "got {f}");
+        // Shrinking the instance increases the factor.
+        assert!(Dataset::Ds1.scale_down(0.1) > f * 9.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Dataset::Ds1.to_string(), "DS1");
+        assert_eq!(Dataset::Ds2.to_string(), "DS2");
+        assert_eq!(Dataset::Ds3.to_string(), "DS3");
+    }
+}

@@ -1,0 +1,250 @@
+//! Seeded synthetic graph generators.
+//!
+//! [`rmat`] produces the power-law degree distributions of real social
+//! graphs (Chakrabarti et al. 2004) — the skew is what makes GraphX's
+//! joins explode on hub vertices, so preserving it is essential for the
+//! Fig. 6 reproduction. [`sbm2`] builds a two-community stochastic block
+//! model with correlated vertex features for the GraphSage / Table I
+//! classification task.
+
+use psgraph_sim::SplitMix64;
+
+use crate::edgelist::EdgeList;
+
+/// RMAT parameters. The classic social-graph setting is
+/// `(a, b, c) = (0.57, 0.19, 0.19)`.
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams { a: 0.57, b: 0.19, c: 0.19 }
+    }
+}
+
+/// Generate an RMAT graph with `num_vertices` (rounded up to a power of
+/// two internally, then mapped back) and `num_edges` directed edges.
+/// Self-loops are rerolled; duplicate edges are kept (real logs have
+/// them; callers `dedup()` when needed).
+pub fn rmat(num_vertices: u64, num_edges: usize, params: RmatParams, seed: u64) -> EdgeList {
+    assert!(num_vertices >= 2, "need at least two vertices");
+    let levels = 64 - (num_vertices - 1).leading_zeros();
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    let ab = params.a + params.b;
+    let abc = ab + params.c;
+    assert!(abc < 1.0, "rmat probabilities must sum below 1");
+    while edges.len() < num_edges {
+        let mut src = 0u64;
+        let mut dst = 0u64;
+        for _ in 0..levels {
+            let r = rng.next_f64();
+            let (sbit, dbit) = if r < params.a {
+                (0, 0)
+            } else if r < ab {
+                (0, 1)
+            } else if r < abc {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            src = (src << 1) | sbit;
+            dst = (dst << 1) | dbit;
+        }
+        src %= num_vertices;
+        dst %= num_vertices;
+        if src == dst {
+            continue;
+        }
+        edges.push((src, dst));
+    }
+    EdgeList::new(num_vertices, edges)
+}
+
+/// Erdős–Rényi G(n, m): `num_edges` uniform random edges, no self-loops.
+pub fn erdos_renyi(num_vertices: u64, num_edges: usize, seed: u64) -> EdgeList {
+    assert!(num_vertices >= 2);
+    let mut rng = SplitMix64::new(seed);
+    let mut edges = Vec::with_capacity(num_edges);
+    while edges.len() < num_edges {
+        let s = rng.next_below(num_vertices);
+        let d = rng.next_below(num_vertices);
+        if s != d {
+            edges.push((s, d));
+        }
+    }
+    EdgeList::new(num_vertices, edges)
+}
+
+/// A ring graph `0→1→…→n-1→0` (deterministic structure for unit tests).
+pub fn ring(num_vertices: u64) -> EdgeList {
+    assert!(num_vertices >= 2);
+    let edges = (0..num_vertices).map(|i| (i, (i + 1) % num_vertices)).collect();
+    EdgeList::new(num_vertices, edges)
+}
+
+/// A complete directed graph (every ordered pair, no loops).
+pub fn complete(num_vertices: u64) -> EdgeList {
+    let mut edges = Vec::new();
+    for s in 0..num_vertices {
+        for d in 0..num_vertices {
+            if s != d {
+                edges.push((s, d));
+            }
+        }
+    }
+    EdgeList::new(num_vertices, edges)
+}
+
+/// Two-community stochastic block model with node features: vertices in
+/// `[0, n/2)` are community 0, the rest community 1. Intra-community edges
+/// appear with expected degree `deg_in`, inter-community with `deg_out`.
+/// Features are `feat_dim`-dimensional Gaussians centred at ±μ per
+/// community — linearly separable with noise, giving GraphSage a
+/// learnable, non-trivial task (paper's WeChat Pay node classification).
+pub struct Sbm2 {
+    pub graph: EdgeList,
+    pub features: Vec<Vec<f32>>,
+    pub labels: Vec<usize>,
+}
+
+pub fn sbm2(
+    num_vertices: u64,
+    deg_in: f64,
+    deg_out: f64,
+    feat_dim: usize,
+    feature_noise: f32,
+    seed: u64,
+) -> Sbm2 {
+    assert!(num_vertices >= 4);
+    let mut rng = SplitMix64::new(seed);
+    let half = num_vertices / 2;
+    let n_in = (num_vertices as f64 * deg_in / 2.0) as usize;
+    let n_out = (num_vertices as f64 * deg_out / 2.0) as usize;
+    let mut edges = Vec::with_capacity((n_in + n_out) * 2);
+    // Intra-community edges.
+    let mut placed = 0;
+    while placed < n_in {
+        let comm = rng.next_below(2);
+        let base = comm * half;
+        let len = if comm == 0 { half } else { num_vertices - half };
+        let s = base + rng.next_below(len);
+        let d = base + rng.next_below(len);
+        if s != d {
+            edges.push((s, d));
+            edges.push((d, s));
+            placed += 1;
+        }
+    }
+    // Inter-community edges.
+    let mut placed = 0;
+    while placed < n_out {
+        let s = rng.next_below(half);
+        let d = half + rng.next_below(num_vertices - half);
+        edges.push((s, d));
+        edges.push((d, s));
+        placed += 1;
+    }
+    let graph = EdgeList::new(num_vertices, edges);
+
+    let mut features = Vec::with_capacity(num_vertices as usize);
+    let mut labels = Vec::with_capacity(num_vertices as usize);
+    for v in 0..num_vertices {
+        let label = usize::from(v >= half);
+        let mu = if label == 0 { 0.5f32 } else { -0.5f32 };
+        let feat: Vec<f32> = (0..feat_dim)
+            .map(|_| {
+                // Box–Muller-ish noise from two uniforms (cheap, adequate).
+                let u = rng.next_f64() as f32 - 0.5;
+                let w = rng.next_f64() as f32 - 0.5;
+                mu + feature_noise * (u + w)
+            })
+            .collect();
+        features.push(feat);
+        labels.push(label);
+    }
+    Sbm2 { graph, features, labels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_shape_and_determinism() {
+        let g1 = rmat(1000, 5000, RmatParams::default(), 42);
+        let g2 = rmat(1000, 5000, RmatParams::default(), 42);
+        assert_eq!(g1, g2);
+        assert_eq!(g1.num_edges(), 5000);
+        assert!(g1.edges().iter().all(|&(s, d)| s < 1000 && d < 1000 && s != d));
+        let g3 = rmat(1000, 5000, RmatParams::default(), 43);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // Power-law: the hottest vertex should dominate the mean degree.
+        let g = rmat(10_000, 100_000, RmatParams::default(), 7);
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap();
+        let mean = 100_000 / 10_000;
+        assert!(
+            max > 20 * mean,
+            "rmat should produce hubs: max {max} vs mean {mean}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_is_flat() {
+        let g = erdos_renyi(10_000, 100_000, 7);
+        assert_eq!(g.num_edges(), 100_000);
+        let deg = g.out_degrees();
+        let max = *deg.iter().max().unwrap();
+        assert!(max < 60, "ER should have no hubs: max {max}");
+    }
+
+    #[test]
+    fn ring_and_complete_shapes() {
+        let r = ring(5);
+        assert_eq!(r.num_edges(), 5);
+        assert_eq!(r.out_degrees(), vec![1; 5]);
+        let k = complete(4);
+        assert_eq!(k.num_edges(), 12);
+        assert_eq!(k.out_degrees(), vec![3; 4]);
+    }
+
+    #[test]
+    fn sbm2_structure_labels_features() {
+        let s = sbm2(200, 8.0, 0.5, 16, 0.3, 9);
+        assert_eq!(s.labels.len(), 200);
+        assert_eq!(s.features.len(), 200);
+        assert_eq!(s.features[0].len(), 16);
+        assert_eq!(s.labels[0], 0);
+        assert_eq!(s.labels[199], 1);
+        // Community structure: intra edges dominate.
+        let half = 100u64;
+        let (mut intra, mut inter) = (0, 0);
+        for &(a, b) in s.graph.edges() {
+            if (a < half) == (b < half) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 5 * inter, "intra {intra} vs inter {inter}");
+        // Features carry the label signal on average.
+        let mean0: f32 = s.features[..100].iter().flatten().sum::<f32>() / (100.0 * 16.0);
+        let mean1: f32 = s.features[100..].iter().flatten().sum::<f32>() / (100.0 * 16.0);
+        assert!(mean0 > 0.3 && mean1 < -0.3, "means {mean0} / {mean1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rmat_rejects_tiny() {
+        rmat(1, 10, RmatParams::default(), 0);
+    }
+}

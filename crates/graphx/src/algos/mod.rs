@@ -1,0 +1,13 @@
+//! Join-based implementations of the Fig. 6 algorithms.
+
+pub mod common_neighbor;
+pub mod fast_unfolding;
+pub mod kcore;
+pub mod pagerank;
+pub mod triangle;
+
+pub use common_neighbor::gx_common_neighbor;
+pub use fast_unfolding::gx_fast_unfolding;
+pub use kcore::gx_kcore;
+pub use pagerank::gx_pagerank;
+pub use triangle::gx_triangle_count;

@@ -1,0 +1,120 @@
+//! A typed mailbox for asynchronous control-plane messages (heartbeats,
+//! failure notifications). Data-plane traffic goes through [`crate::rpc`];
+//! mailboxes exist for components that poll, like the PS master's health
+//! checker.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use psgraph_sim::SimTime;
+
+use crate::rpc::NodeId;
+
+/// A control-plane message with simulated send time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message<T> {
+    pub from: NodeId,
+    pub sent_at: SimTime,
+    pub payload: T,
+}
+
+/// Unbounded MPSC mailbox.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    tx: Sender<Message<T>>,
+    rx: Receiver<Message<T>>,
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Mailbox<T> {
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        Mailbox { tx, rx }
+    }
+
+    /// A sender handle that producers can keep.
+    pub fn sender(&self) -> Sender<Message<T>> {
+        self.tx.clone()
+    }
+
+    /// Post a message.
+    pub fn post(&self, from: NodeId, sent_at: SimTime, payload: T) {
+        // Receiver half lives as long as `self`, so send cannot fail.
+        let _ = self.tx.send(Message { from, sent_at, payload });
+    }
+
+    /// Drain every pending message.
+    pub fn drain(&self) -> Vec<Message<T>> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.rx.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+
+    /// Non-blocking single receive.
+    pub fn try_recv(&self) -> Option<Message<T>> {
+        self.rx.try_recv().ok()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rx.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_drain_in_order() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        mb.post(NodeId::Executor(0), SimTime::from_secs(1), 10);
+        mb.post(NodeId::Executor(1), SimTime::from_secs(2), 20);
+        let msgs = mb.drain();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(msgs[0].payload, 10);
+        assert_eq!(msgs[0].from, NodeId::Executor(0));
+        assert_eq!(msgs[1].payload, 20);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let mb: Mailbox<()> = Mailbox::new();
+        assert!(mb.try_recv().is_none());
+    }
+
+    #[test]
+    fn sender_handle_posts_from_other_threads() {
+        let mb: Mailbox<usize> = Mailbox::new();
+        let tx = mb.sender();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    tx.send(Message {
+                        from: NodeId::Server(i),
+                        sent_at: SimTime::ZERO,
+                        payload: i,
+                    })
+                    .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mb.len(), 4);
+        let mut got: Vec<usize> = mb.drain().into_iter().map(|m| m.payload).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

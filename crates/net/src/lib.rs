@@ -1,0 +1,15 @@
+//! In-process network simulation for the PSGraph cluster.
+//!
+//! Data moves between logical nodes by ordinary function calls (everything
+//! lives in one address space), so this crate's job is *timing and
+//! accounting*, not transport: every RPC charges latency + wire time to the
+//! caller, queues on the callee's service port, and updates global traffic
+//! statistics. The model is a simplified single-server queue per port —
+//! good enough to reproduce the communication-bound behaviour of the
+//! paper's parameter server under 10 GbE.
+
+pub mod bus;
+pub mod rpc;
+
+pub use bus::{Mailbox, Message};
+pub use rpc::{Network, NetworkStats, NodeId, ServicePort};

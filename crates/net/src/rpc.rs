@@ -1,0 +1,287 @@
+//! RPC timing: charge request/response costs to simulated clocks and queue
+//! service time on the callee.
+
+use parking_lot::Mutex;
+use psgraph_sim::{CostModel, NodeClock, SimTime};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Address of a logical node in the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    Driver,
+    Master,
+    Executor(usize),
+    Server(usize),
+    Datanode(usize),
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Driver => write!(f, "driver"),
+            NodeId::Master => write!(f, "master"),
+            NodeId::Executor(i) => write!(f, "executor-{i}"),
+            NodeId::Server(i) => write!(f, "server-{i}"),
+            NodeId::Datanode(i) => write!(f, "datanode-{i}"),
+        }
+    }
+}
+
+/// Aggregate traffic counters for one simulated network.
+#[derive(Debug, Default)]
+pub struct NetworkStats {
+    pub rpc_count: AtomicU64,
+    pub bytes_sent: AtomicU64,
+    pub bytes_received: AtomicU64,
+}
+
+impl NetworkStats {
+    pub fn rpcs(&self) -> u64 {
+        self.rpc_count.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent() + self.bytes_received()
+    }
+
+    pub fn reset(&self) {
+        self.rpc_count.store(0, Ordering::Relaxed);
+        self.bytes_sent.store(0, Ordering::Relaxed);
+        self.bytes_received.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The service side of a node: its clock plus a FIFO availability horizon.
+///
+/// Concurrent RPCs to the same port serialize in simulated time — the
+/// second request starts service only when the first finishes — which is
+/// what makes an under-provisioned parameter server a bottleneck.
+#[derive(Debug)]
+pub struct ServicePort {
+    id: NodeId,
+    clock: NodeClock,
+    next_free: Mutex<SimTime>,
+}
+
+impl ServicePort {
+    pub fn new(id: NodeId) -> Self {
+        ServicePort {
+            id,
+            clock: NodeClock::new(),
+            next_free: Mutex::new(SimTime::ZERO),
+        }
+    }
+
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    pub fn clock(&self) -> &NodeClock {
+        &self.clock
+    }
+
+    /// Reserve the port from `arrival` for `service`: returns the completion
+    /// time. Requests arriving while the port is busy wait their turn.
+    pub fn serve(&self, arrival: SimTime, service: SimTime) -> SimTime {
+        let mut free = self.next_free.lock();
+        let start = free.max(arrival);
+        let done = start + service;
+        *free = done;
+        self.clock.sync_to(done);
+        done
+    }
+
+    /// Reset after a node restart: the replacement is idle from `t`.
+    pub fn reset(&self, t: SimTime) {
+        *self.next_free.lock() = t;
+        self.clock.reset_to(t);
+    }
+}
+
+/// The simulated network: cost model + stats. Cheap to clone and share.
+#[derive(Debug, Clone)]
+pub struct Network {
+    cost: Arc<CostModel>,
+    stats: Arc<NetworkStats>,
+}
+
+impl Network {
+    pub fn new(cost: CostModel) -> Self {
+        Network {
+            cost: Arc::new(cost),
+            stats: Arc::new(NetworkStats::default()),
+        }
+    }
+
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// A synchronous RPC from `client` to `port`.
+    ///
+    /// Timeline: the request leaves the client now, travels
+    /// `net_cost(req_bytes)`, queues at the port, is served for
+    /// `cpu_cost(server_ops)`, and the response travels
+    /// `net_cost(resp_bytes)` back. The client blocks (its clock jumps to
+    /// the response arrival). Returns the round-trip simulated duration.
+    pub fn rpc(
+        &self,
+        client: &NodeClock,
+        port: &ServicePort,
+        req_bytes: u64,
+        server_ops: u64,
+        resp_bytes: u64,
+    ) -> SimTime {
+        let sent_at = client.now();
+        let arrival = sent_at + self.cost.net_cost(req_bytes);
+        let done = port.serve(arrival, self.cost.cpu_cost(server_ops));
+        let back = done + self.cost.net_cost(resp_bytes);
+        client.sync_to(back);
+        self.stats.rpc_count.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_sent.fetch_add(req_bytes, Ordering::Relaxed);
+        self.stats.bytes_received.fetch_add(resp_bytes, Ordering::Relaxed);
+        back.saturating_sub(sent_at)
+    }
+
+    /// Fire-and-forget message (e.g. heartbeats): charges the sender only
+    /// the serialization/latency cost, and delivers at the computed arrival.
+    pub fn one_way(&self, from: &NodeClock, to: &NodeClock, bytes: u64) -> SimTime {
+        let arrival = from.now() + self.cost.net_cost(bytes);
+        from.advance(self.cost.net_latency);
+        to.sync_to(arrival);
+        self.stats.rpc_count.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        arrival
+    }
+
+    /// Bulk point-to-point transfer (shuffle fetch): pipelined, so only
+    /// wire time plus a single latency is charged to the receiver.
+    pub fn bulk_fetch(&self, receiver: &NodeClock, bytes: u64) -> SimTime {
+        let cost = self.cost.net_latency + self.cost.net_bulk_cost(bytes);
+        receiver.advance(cost);
+        self.stats.rpc_count.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_received.fetch_add(bytes, Ordering::Relaxed);
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> Network {
+        Network::new(CostModel::default())
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId::Executor(3).to_string(), "executor-3");
+        assert_eq!(NodeId::Server(0).to_string(), "server-0");
+        assert_eq!(NodeId::Driver.to_string(), "driver");
+        assert_eq!(NodeId::Master.to_string(), "master");
+        assert_eq!(NodeId::Datanode(7).to_string(), "datanode-7");
+    }
+
+    #[test]
+    fn rpc_advances_client_past_round_trip() {
+        let n = net();
+        let client = NodeClock::new();
+        let port = ServicePort::new(NodeId::Server(0));
+        let rtt = n.rpc(&client, &port, 1000, 1000, 1000);
+        assert!(rtt > SimTime::ZERO);
+        assert_eq!(client.now().as_nanos(), rtt.as_nanos());
+        // Two latencies minimum.
+        assert!(rtt >= n.cost_model().net_latency + n.cost_model().net_latency);
+    }
+
+    #[test]
+    fn concurrent_rpcs_serialize_on_port() {
+        let n = net();
+        let c1 = NodeClock::new();
+        let c2 = NodeClock::new();
+        let port = ServicePort::new(NodeId::Server(0));
+        // Both requests arrive at the same time; heavy service work.
+        let ops = 2_000_000_000; // 1 simulated second of server CPU
+        n.rpc(&c1, &port, 10, ops, 10);
+        n.rpc(&c2, &port, 10, ops, 10);
+        // The second client waited for the first's service slot.
+        assert!(c2.now().as_secs_f64() > 1.9, "c2 at {}", c2.now());
+        assert!(c1.now().as_secs_f64() < 1.1, "c1 at {}", c1.now());
+    }
+
+    #[test]
+    fn port_serve_respects_arrival_time() {
+        let port = ServicePort::new(NodeId::Server(1));
+        let done = port.serve(SimTime::from_secs(5), SimTime::from_secs(1));
+        assert_eq!(done, SimTime::from_secs(6));
+        // An earlier-arriving request now queues behind.
+        let done2 = port.serve(SimTime::from_secs(0), SimTime::from_secs(1));
+        assert_eq!(done2, SimTime::from_secs(7));
+        assert_eq!(port.clock().now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn port_reset_clears_queue_horizon() {
+        let port = ServicePort::new(NodeId::Server(0));
+        port.serve(SimTime::ZERO, SimTime::from_secs(100));
+        port.reset(SimTime::from_secs(1));
+        let done = port.serve(SimTime::from_secs(1), SimTime::from_secs(1));
+        assert_eq!(done, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let n = net();
+        let c = NodeClock::new();
+        let port = ServicePort::new(NodeId::Server(0));
+        n.rpc(&c, &port, 100, 0, 200);
+        n.bulk_fetch(&c, 50);
+        assert_eq!(n.stats().rpcs(), 2);
+        assert_eq!(n.stats().bytes_sent(), 100);
+        assert_eq!(n.stats().bytes_received(), 250);
+        assert_eq!(n.stats().total_bytes(), 350);
+        n.stats().reset();
+        assert_eq!(n.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn one_way_delivers_at_arrival() {
+        let n = net();
+        let from = NodeClock::new();
+        let to = NodeClock::new();
+        from.advance(SimTime::from_secs(1));
+        let arrival = n.one_way(&from, &to, 1_000);
+        assert!(arrival > SimTime::from_secs(1));
+        assert_eq!(to.now(), arrival);
+        // Sender only paid latency, not full wire time of a big message.
+        assert!(from.now() < arrival + SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn bulk_fetch_cheaper_than_per_item_rpcs() {
+        let n = net();
+        let a = NodeClock::new();
+        let b = NodeClock::new();
+        let port = ServicePort::new(NodeId::Executor(0));
+        let bulk = n.bulk_fetch(&a, 1_000_000);
+        let mut rpc_total = SimTime::ZERO;
+        for _ in 0..100 {
+            rpc_total += n.rpc(&b, &port, 10_000, 0, 0);
+        }
+        assert!(bulk < rpc_total, "bulk {bulk} vs rpcs {rpc_total}");
+    }
+}

@@ -1,0 +1,550 @@
+//! Column-partitioned embedding matrices for LINE (paper §IV-D).
+//!
+//! "To enable the dot product operation on PS, we partition the embedding
+//! vectors and context vectors by column … the same dimensions of u and c
+//! are co-located on the same server, so that we can calculate partial dot
+//! products on PS and merge them on the executor."
+//!
+//! Each server holds a column slice `[c0, c1)` of *every* row. The psFunc
+//! operators [`ColMatrixHandle::dot_pairs`] and
+//! [`ColMatrixHandle::axpy_pairs`] run entirely server-side: only vertex-id
+//! pairs, scalar coefficients, and partial sums cross the network — this is
+//! the communication optimization the LINE ablation bench measures against
+//! pull-whole-row training.
+
+use bytes::{Buf, BufMut};
+use psgraph_sim::{FxHashMap, NodeClock, SplitMix64};
+use std::sync::Arc;
+
+use crate::error::{PsError, Result};
+use crate::partition::{PartitionLayout, Partitioner};
+use crate::ps::{ObjectOps, Ps, RecoveryMode};
+use crate::server::PsServer;
+
+/// One server's column slice of the matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColPart {
+    pub col_start: usize,
+    pub col_end: usize,
+    /// Row-major `rows × (col_end - col_start)` values.
+    pub data: Vec<f32>,
+}
+
+impl ColPart {
+    fn width(&self) -> usize {
+        self.col_end - self.col_start
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        self.data.len() as u64 * 4 + 48
+    }
+
+    #[inline]
+    fn row(&self, r: u64) -> &[f32] {
+        let w = self.width();
+        &self.data[r as usize * w..(r as usize + 1) * w]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, r: u64) -> &mut [f32] {
+        let w = self.width();
+        &mut self.data[r as usize * w..(r as usize + 1) * w]
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(24 + self.data.len() * 4);
+        buf.put_u64_le(self.col_start as u64);
+        buf.put_u64_le(self.col_end as u64);
+        buf.put_u64_le(self.data.len() as u64);
+        for v in &self.data {
+            buf.put_f32_le(*v);
+        }
+        buf
+    }
+
+    fn decode(mut bytes: &[u8]) -> Result<Self> {
+        let buf = &mut bytes;
+        if buf.remaining() < 24 {
+            return Err(PsError::Dfs("truncated col-matrix checkpoint".into()));
+        }
+        let col_start = buf.get_u64_le() as usize;
+        let col_end = buf.get_u64_le() as usize;
+        let len = buf.get_u64_le() as usize;
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(buf.get_f32_le());
+        }
+        Ok(ColPart { col_start, col_end, data })
+    }
+}
+
+struct ColMatrixOps {
+    name: String,
+    layout: PartitionLayout,
+    recovery: RecoveryMode,
+}
+
+impl ObjectOps for ColMatrixOps {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layout(&self) -> &PartitionLayout {
+        &self.layout
+    }
+
+    fn recovery_mode(&self) -> RecoveryMode {
+        self.recovery
+    }
+
+    fn encode_partition(&self, server: &PsServer, partition: usize) -> Result<Vec<u8>> {
+        server.get(&self.name, partition, |p: &ColPart| p.encode())
+    }
+
+    fn decode_partition(&self, server: &PsServer, partition: usize, bytes: &[u8]) -> Result<()> {
+        let part = ColPart::decode(bytes)?;
+        let size = part.approx_bytes();
+        server.insert(&self.name, partition, part, size)
+    }
+}
+
+/// Client handle to a column-partitioned `rows × cols` f32 matrix.
+#[derive(Clone)]
+pub struct ColMatrixHandle {
+    ps: Arc<Ps>,
+    name: String,
+    rows: u64,
+    cols: usize,
+    layout: PartitionLayout,
+}
+
+impl std::fmt::Debug for ColMatrixHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColMatrixHandle")
+            .field("name", &self.name)
+            .field("rows", &self.rows)
+            .field("cols", &self.cols)
+            .finish()
+    }
+}
+
+impl ColMatrixHandle {
+    /// Create a zero matrix whose columns are range-partitioned over the
+    /// servers.
+    pub fn create(
+        ps: &Arc<Ps>,
+        name: impl Into<String>,
+        rows: u64,
+        cols: usize,
+        recovery: RecoveryMode,
+    ) -> Result<Self> {
+        assert!(cols > 0, "need at least one column");
+        let name = name.into();
+        let layout = PartitionLayout::new(
+            Partitioner::Range,
+            cols as u64,
+            ps.num_servers().min(cols),
+            ps.num_servers(),
+        );
+        for p in 0..layout.num_partitions {
+            let (c0, c1) = layout.range_of(p).expect("range layout");
+            let server = ps.server(layout.server_of_partition(p));
+            let part = ColPart {
+                col_start: c0 as usize,
+                col_end: c1 as usize,
+                data: vec![0.0; rows as usize * (c1 - c0) as usize],
+            };
+            let bytes = part.approx_bytes();
+            server.insert(&name, p, part, bytes)?;
+        }
+        ps.register(Arc::new(ColMatrixOps {
+            name: name.clone(),
+            layout: layout.clone(),
+            recovery,
+        }));
+        Ok(ColMatrixHandle { ps: Arc::clone(ps), name, rows, cols, layout })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn check_rows(&self, rows: &[u64]) -> Result<()> {
+        for &r in rows {
+            if r >= self.rows {
+                return Err(PsError::IndexOutOfBounds {
+                    name: self.name.clone(),
+                    index: r,
+                    size: self.rows,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn same_shape(&self, other: &ColMatrixHandle) -> Result<()> {
+        if self.rows != other.rows || self.cols != other.cols || self.layout != other.layout {
+            return Err(PsError::DimensionMismatch(format!(
+                "{} and {} have different shapes/layouts",
+                self.name, other.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Seeded uniform init in `[-scale, scale)`.
+    pub fn init_uniform(&self, client: &NodeClock, seed: u64, scale: f32) -> Result<()> {
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            let n = server.update(&self.name, p, |part: &mut ColPart| {
+                let mut rng = SplitMix64::new(seed ^ (p as u64).wrapping_mul(0xA5A5_5A5A));
+                for v in part.data.iter_mut() {
+                    *v = (rng.next_f64() as f32 * 2.0 - 1.0) * scale;
+                }
+                part.data.len()
+            })?;
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                24,
+                n as u64 * self.ps.config().ops_per_item,
+                8,
+            );
+        }
+        Ok(())
+    }
+
+    /// Server-side partial dot products, merged client-side:
+    /// `out[k] = Σ_c self[i_k, c] × other[j_k, c]` for `pairs[k] = (i_k, j_k)`.
+    /// Only ids and one f64 per pair per server cross the wire.
+    pub fn dot_pairs(
+        &self,
+        client: &NodeClock,
+        other: &ColMatrixHandle,
+        pairs: &[(u64, u64)],
+    ) -> Result<Vec<f64>> {
+        self.same_shape(other)?;
+        let is: Vec<u64> = pairs.iter().map(|(i, _)| *i).collect();
+        let js: Vec<u64> = pairs.iter().map(|(_, j)| *j).collect();
+        self.check_rows(&is)?;
+        self.check_rows(&js)?;
+        let mut out = vec![0.0f64; pairs.len()];
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            // Copy the needed rows of `self` out, then scan `other`
+            // (avoids nested locks when self == other).
+            let mut self_rows: FxHashMap<u64, Vec<f32>> = FxHashMap::default();
+            server.get(&self.name, p, |a: &ColPart| {
+                for &i in &is {
+                    self_rows.entry(i).or_insert_with(|| a.row(i).to_vec());
+                }
+            })?;
+            let width = server.get(&other.name, p, |b: &ColPart| {
+                for (k, &(i, j)) in pairs.iter().enumerate() {
+                    let arow = &self_rows[&i];
+                    let brow = b.row(j);
+                    let mut s = 0.0f64;
+                    for (x, y) in arow.iter().zip(brow) {
+                        s += (*x as f64) * (*y as f64);
+                    }
+                    out[k] += s;
+                }
+                b.width()
+            })?;
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                pairs.len() as u64 * 16,
+                (pairs.len() * width) as u64 * 2,
+                pairs.len() as u64 * 8,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Server-side pair update: `self[dst] += coef × src[src_row]`, using
+    /// the *pre-update* value of `src` (SGD semantics when `src` is `self`
+    /// or a sibling matrix). Updates apply in input order.
+    pub fn axpy_pairs(
+        &self,
+        client: &NodeClock,
+        src: &ColMatrixHandle,
+        updates: &[(u64, u64, f64)],
+    ) -> Result<()> {
+        self.same_shape(src)?;
+        let dsts: Vec<u64> = updates.iter().map(|(d, _, _)| *d).collect();
+        let srcs: Vec<u64> = updates.iter().map(|(_, s, _)| *s).collect();
+        self.check_rows(&dsts)?;
+        self.check_rows(&srcs)?;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            let mut src_rows: FxHashMap<u64, Vec<f32>> = FxHashMap::default();
+            server.get(&src.name, p, |s: &ColPart| {
+                for &r in &srcs {
+                    src_rows.entry(r).or_insert_with(|| s.row(r).to_vec());
+                }
+            })?;
+            let width = server.update(&self.name, p, |d: &mut ColPart| {
+                for &(dst, srow, coef) in updates {
+                    let from = &src_rows[&srow];
+                    let to = d.row_mut(dst);
+                    for (t, f) in to.iter_mut().zip(from) {
+                        *t += coef as f32 * *f;
+                    }
+                }
+                d.width()
+            })?;
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                updates.len() as u64 * 24,
+                (updates.len() * width) as u64 * 2,
+                8,
+            );
+        }
+        Ok(())
+    }
+
+    /// Pull full rows, gathering slices from every server (the expensive
+    /// baseline the column layout avoids; also used for final readout).
+    pub fn pull_rows(&self, client: &NodeClock, rows: &[u64]) -> Result<Vec<Vec<f32>>> {
+        self.check_rows(rows)?;
+        let mut out = vec![vec![0.0f32; self.cols]; rows.len()];
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            let width = server.get(&self.name, p, |part: &ColPart| {
+                for (k, &r) in rows.iter().enumerate() {
+                    out[k][part.col_start..part.col_end].copy_from_slice(part.row(r));
+                }
+                part.width()
+            })?;
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                rows.len() as u64 * 8,
+                (rows.len() * width) as u64 * self.ps.config().ops_per_item,
+                (rows.len() * width * 4) as u64,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Push full-row deltas, scattering slices to every server (baseline
+    /// counterpart of [`ColMatrixHandle::pull_rows`]).
+    pub fn push_add_rows(
+        &self,
+        client: &NodeClock,
+        rows: &[u64],
+        deltas: &[Vec<f32>],
+    ) -> Result<()> {
+        if rows.len() != deltas.len() {
+            return Err(PsError::DimensionMismatch(format!(
+                "{}: {} rows vs {} deltas",
+                self.name,
+                rows.len(),
+                deltas.len()
+            )));
+        }
+        for d in deltas {
+            if d.len() != self.cols {
+                return Err(PsError::DimensionMismatch(format!(
+                    "{}: delta width {} vs cols {}",
+                    self.name,
+                    d.len(),
+                    self.cols
+                )));
+            }
+        }
+        self.check_rows(rows)?;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            let width = server.update(&self.name, p, |part: &mut ColPart| {
+                for (k, &r) in rows.iter().enumerate() {
+                    let slice = &deltas[k][part.col_start..part.col_end];
+                    for (t, f) in part.row_mut(r).iter_mut().zip(slice) {
+                        *t += *f;
+                    }
+                }
+                part.width()
+            })?;
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                (rows.len() * (8 + width * 4)) as u64,
+                (rows.len() * width) as u64 * self.ps.config().ops_per_item,
+                8,
+            );
+        }
+        Ok(())
+    }
+
+    /// Bytes resident on servers.
+    pub fn resident_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            total += server.get(&self.name, p, |part: &ColPart| part.approx_bytes())?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ps::PsConfig;
+    use psgraph_dfs::Dfs;
+
+    fn ps() -> Arc<Ps> {
+        Ps::new(PsConfig { servers: 3, ..Default::default() })
+    }
+
+    #[test]
+    fn create_splits_columns_across_servers() {
+        let ps = ps();
+        let m = ColMatrixHandle::create(&ps, "u", 10, 9, RecoveryMode::Inconsistent).unwrap();
+        assert_eq!(m.cols(), 9);
+        assert_eq!(m.rows(), 10);
+        // Three servers → three column slices of width 3.
+        let c = NodeClock::new();
+        let rows = m.pull_rows(&c, &[0]).unwrap();
+        assert_eq!(rows[0].len(), 9);
+    }
+
+    #[test]
+    fn push_pull_rows_roundtrip() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let m = ColMatrixHandle::create(&ps, "u", 5, 6, RecoveryMode::Inconsistent).unwrap();
+        let delta: Vec<f32> = (0..6).map(|i| i as f32).collect();
+        m.push_add_rows(&c, &[2], std::slice::from_ref(&delta)).unwrap();
+        m.push_add_rows(&c, &[2], &[vec![1.0; 6]]).unwrap();
+        let got = m.pull_rows(&c, &[2, 0]).unwrap();
+        let want: Vec<f32> = delta.iter().map(|x| x + 1.0).collect();
+        assert_eq!(got[0], want);
+        assert_eq!(got[1], vec![0.0; 6]);
+    }
+
+    #[test]
+    fn dot_pairs_matches_client_side_dot() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let u = ColMatrixHandle::create(&ps, "u", 8, 7, RecoveryMode::Inconsistent).unwrap();
+        let v = ColMatrixHandle::create(&ps, "v", 8, 7, RecoveryMode::Inconsistent).unwrap();
+        u.init_uniform(&c, 1, 1.0).unwrap();
+        v.init_uniform(&c, 2, 1.0).unwrap();
+        let pairs = [(0u64, 1u64), (3, 3), (7, 0)];
+        let server_side = u.dot_pairs(&c, &v, &pairs).unwrap();
+        // Reference: pull rows and dot on the client.
+        for (k, &(i, j)) in pairs.iter().enumerate() {
+            let a = &u.pull_rows(&c, &[i]).unwrap()[0];
+            let b = &v.pull_rows(&c, &[j]).unwrap()[0];
+            let want: f64 = a.iter().zip(b).map(|(x, y)| *x as f64 * *y as f64).sum();
+            assert!((server_side[k] - want).abs() < 1e-6, "pair {k}");
+        }
+    }
+
+    #[test]
+    fn dot_pairs_self_is_norm_squared() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let u = ColMatrixHandle::create(&ps, "u", 4, 5, RecoveryMode::Inconsistent).unwrap();
+        u.push_add_rows(&c, &[1], &[vec![2.0; 5]]).unwrap();
+        let d = u.dot_pairs(&c, &u, &[(1, 1)]).unwrap();
+        assert!((d[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axpy_pairs_updates_server_side() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let u = ColMatrixHandle::create(&ps, "u", 4, 6, RecoveryMode::Inconsistent).unwrap();
+        u.push_add_rows(&c, &[0], &[vec![1.0; 6]]).unwrap();
+        u.push_add_rows(&c, &[1], &[vec![2.0; 6]]).unwrap();
+        // u[0] += 0.5 * u[1] → 2.0; both sides pre-update values.
+        u.axpy_pairs(&c, &u.clone(), &[(0, 1, 0.5)]).unwrap();
+        assert_eq!(u.pull_rows(&c, &[0]).unwrap()[0], vec![2.0f32; 6]);
+        assert_eq!(u.pull_rows(&c, &[1]).unwrap()[0], vec![2.0f32; 6]);
+    }
+
+    #[test]
+    fn axpy_cross_matrix() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let u = ColMatrixHandle::create(&ps, "u", 4, 6, RecoveryMode::Inconsistent).unwrap();
+        let ctx = ColMatrixHandle::create(&ps, "ctx", 4, 6, RecoveryMode::Inconsistent).unwrap();
+        ctx.push_add_rows(&c, &[3], &[vec![4.0; 6]]).unwrap();
+        u.axpy_pairs(&c, &ctx, &[(2, 3, -0.25)]).unwrap();
+        assert_eq!(u.pull_rows(&c, &[2]).unwrap()[0], vec![-1.0f32; 6]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let a = ColMatrixHandle::create(&ps, "a", 4, 6, RecoveryMode::Inconsistent).unwrap();
+        let b = ColMatrixHandle::create(&ps, "b", 4, 8, RecoveryMode::Inconsistent).unwrap();
+        assert!(a.dot_pairs(&c, &b, &[(0, 0)]).is_err());
+        assert!(a.axpy_pairs(&c, &b, &[(0, 0, 1.0)]).is_err());
+        assert!(a.pull_rows(&c, &[4]).is_err());
+        assert!(a.push_add_rows(&c, &[0], &[vec![0.0; 5]]).is_err());
+    }
+
+    #[test]
+    fn dot_pairs_cheaper_than_pull_rows_in_sim_time() {
+        // The §IV-D optimization: server-side dots move O(pairs) bytes,
+        // pulling whole embeddings moves O(pairs × dim) bytes.
+        let ps = Ps::new(PsConfig { servers: 4, ..Default::default() });
+        let dim = 256;
+        let u = ColMatrixHandle::create(&ps, "u", 1000, dim, RecoveryMode::Inconsistent).unwrap();
+        let init = NodeClock::new();
+        u.init_uniform(&init, 7, 0.5).unwrap();
+        let pairs: Vec<(u64, u64)> = (0..500).map(|i| (i % 1000, (i * 7) % 1000)).collect();
+        let c1 = NodeClock::new();
+        u.dot_pairs(&c1, &u.clone(), &pairs).unwrap();
+        let c2 = NodeClock::new();
+        let ids: Vec<u64> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+        u.pull_rows(&c2, &ids).unwrap();
+        assert!(
+            c1.now() < c2.now(),
+            "psFunc dots ({}) should beat row pulls ({})",
+            c1.now(),
+            c2.now()
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_colmatrix() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let dfs = Dfs::in_memory();
+        let u = ColMatrixHandle::create(&ps, "u", 6, 6, RecoveryMode::Inconsistent).unwrap();
+        u.init_uniform(&c, 5, 1.0).unwrap();
+        let before = u.pull_rows(&c, &[0, 5]).unwrap();
+        ps.checkpoint(&dfs, "u").unwrap();
+        ps.kill_server(1);
+        ps.restart_server(1, c.now());
+        ps.recover_server(1, &dfs, &c).unwrap();
+        assert_eq!(u.pull_rows(&c, &[0, 5]).unwrap(), before);
+    }
+
+    #[test]
+    fn colpart_encode_decode() {
+        let p = ColPart { col_start: 2, col_end: 4, data: vec![1.0, 2.0, 3.0, 4.0] };
+        assert_eq!(ColPart::decode(&p.encode()).unwrap(), p);
+        assert!(ColPart::decode(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,422 @@
+//! CSR (compressed sparse row) adjacency on the PS — one of the §III-A
+//! data structures ("PS supports different data structures, e.g.,
+//! sparse/dense vector, sparse/dense matrix, CSR, vertex, and neighbor
+//! table").
+//!
+//! Unlike [`crate::NeighborTableHandle`] (a mutable hash map of neighbor
+//! lists), the CSR store is an immutable, range-partitioned snapshot of
+//! the whole graph: each server holds a contiguous vertex range with
+//! offsets + packed neighbor ids. It is the memory-densest representation
+//! (8 B per edge + 8 B per vertex, no per-entry map overhead), suited to
+//! algorithms that build the adjacency once and only read it.
+
+use bytes::{Buf, BufMut};
+use psgraph_sim::NodeClock;
+use std::sync::Arc;
+
+use crate::error::{PsError, Result};
+use crate::partition::{PartitionLayout, Partitioner};
+use crate::ps::{ObjectOps, Ps, RecoveryMode};
+use crate::server::PsServer;
+
+/// One server's CSR slice: vertices `[start, start + n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrPart {
+    pub start: u64,
+    /// `offsets.len() == n + 1`; neighbors of local vertex `i` are
+    /// `targets[offsets[i]..offsets[i+1]]`.
+    pub offsets: Vec<u64>,
+    pub targets: Vec<u64>,
+}
+
+impl CsrPart {
+    fn approx_bytes(&self) -> u64 {
+        (self.offsets.len() + self.targets.len()) as u64 * 8 + 48
+    }
+
+    fn neighbors(&self, v: u64) -> &[u64] {
+        let i = (v - self.start) as usize;
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf =
+            Vec::with_capacity(24 + (self.offsets.len() + self.targets.len()) * 8);
+        buf.put_u64_le(self.start);
+        buf.put_u64_le(self.offsets.len() as u64);
+        buf.put_u64_le(self.targets.len() as u64);
+        for &o in &self.offsets {
+            buf.put_u64_le(o);
+        }
+        for &t in &self.targets {
+            buf.put_u64_le(t);
+        }
+        buf
+    }
+
+    fn decode(mut bytes: &[u8]) -> Result<Self> {
+        let buf = &mut bytes;
+        if buf.remaining() < 24 {
+            return Err(PsError::Dfs("truncated CSR checkpoint".into()));
+        }
+        let start = buf.get_u64_le();
+        let n_off = buf.get_u64_le() as usize;
+        let n_tgt = buf.get_u64_le() as usize;
+        if buf.remaining() < (n_off + n_tgt) * 8 {
+            return Err(PsError::Dfs("truncated CSR checkpoint".into()));
+        }
+        let offsets = (0..n_off).map(|_| buf.get_u64_le()).collect();
+        let targets = (0..n_tgt).map(|_| buf.get_u64_le()).collect();
+        Ok(CsrPart { start, offsets, targets })
+    }
+}
+
+struct CsrOps {
+    name: String,
+    layout: PartitionLayout,
+    recovery: RecoveryMode,
+}
+
+impl ObjectOps for CsrOps {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layout(&self) -> &PartitionLayout {
+        &self.layout
+    }
+
+    fn recovery_mode(&self) -> RecoveryMode {
+        self.recovery
+    }
+
+    fn encode_partition(&self, server: &PsServer, partition: usize) -> Result<Vec<u8>> {
+        server.get(&self.name, partition, |p: &CsrPart| p.encode())
+    }
+
+    fn decode_partition(&self, server: &PsServer, partition: usize, bytes: &[u8]) -> Result<()> {
+        let part = CsrPart::decode(bytes)?;
+        let size = part.approx_bytes();
+        server.insert(&self.name, partition, part, size)
+    }
+}
+
+/// Client handle to an immutable CSR adjacency snapshot on the PS.
+#[derive(Clone)]
+pub struct CsrHandle {
+    ps: Arc<Ps>,
+    name: String,
+    layout: PartitionLayout,
+}
+
+impl std::fmt::Debug for CsrHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrHandle")
+            .field("name", &self.name)
+            .field("vertices", &self.layout.size)
+            .finish()
+    }
+}
+
+impl CsrHandle {
+    /// Build the CSR snapshot from `(src, sorted-neighbors)` entries.
+    /// Vertices absent from `tables` get empty adjacency. The upload is
+    /// charged to `client` (one bulk push per server).
+    pub fn build(
+        ps: &Arc<Ps>,
+        name: impl Into<String>,
+        num_vertices: u64,
+        tables: &[(u64, Vec<u64>)],
+        client: &NodeClock,
+        recovery: RecoveryMode,
+    ) -> Result<Self> {
+        let name = name.into();
+        let layout = PartitionLayout::new(
+            Partitioner::Range,
+            num_vertices,
+            ps.num_servers(),
+            ps.num_servers(),
+        );
+        // Index input entries by vertex.
+        let mut by_vertex: Vec<Option<&Vec<u64>>> = vec![None; num_vertices as usize];
+        for (v, ns) in tables {
+            if *v >= num_vertices {
+                return Err(PsError::IndexOutOfBounds {
+                    name: name.clone(),
+                    index: *v,
+                    size: num_vertices,
+                });
+            }
+            by_vertex[*v as usize] = Some(ns);
+        }
+        for p in 0..layout.num_partitions {
+            let (start, end) = layout.range_of(p).expect("range layout");
+            let mut offsets = Vec::with_capacity((end - start) as usize + 1);
+            let mut targets = Vec::new();
+            offsets.push(0);
+            for v in start..end {
+                if let Some(ns) = by_vertex[v as usize] {
+                    targets.extend_from_slice(ns);
+                }
+                offsets.push(targets.len() as u64);
+            }
+            let part = CsrPart { start, offsets, targets };
+            let bytes = part.approx_bytes();
+            let server = ps.server(layout.server_of_partition(p));
+            ps.network().rpc(
+                client,
+                server.port(),
+                bytes,
+                part.targets.len() as u64 * ps.config().ops_per_item,
+                8,
+            );
+            server.insert(&name, p, part, bytes)?;
+        }
+        ps.register(Arc::new(CsrOps { name: name.clone(), layout: layout.clone(), recovery }));
+        Ok(CsrHandle { ps: Arc::clone(ps), name, layout })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn num_vertices(&self) -> u64 {
+        self.layout.size
+    }
+
+    /// Pull adjacency lists for `ids` (aligned with the input).
+    pub fn pull(&self, client: &NodeClock, ids: &[u64]) -> Result<Vec<Vec<u64>>> {
+        for &v in ids {
+            if v >= self.layout.size {
+                return Err(PsError::IndexOutOfBounds {
+                    name: self.name.clone(),
+                    index: v,
+                    size: self.layout.size,
+                });
+            }
+        }
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); ids.len()];
+        let mut groups: psgraph_sim::FxHashMap<usize, Vec<usize>> = Default::default();
+        for (pos, &v) in ids.iter().enumerate() {
+            groups.entry(self.layout.partition_of(v)).or_default().push(pos);
+        }
+        for (p, positions) in groups {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            let mut resp = 0u64;
+            server.get(&self.name, p, |part: &CsrPart| {
+                for &pos in &positions {
+                    let ns = part.neighbors(ids[pos]);
+                    resp += ns.len() as u64 * 8 + 8;
+                    out[pos] = ns.to_vec();
+                }
+            })?;
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                positions.len() as u64 * 8,
+                positions.len() as u64 * self.ps.config().ops_per_item,
+                resp,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Out-degrees for `ids` (only counts cross the wire).
+    pub fn degrees(&self, client: &NodeClock, ids: &[u64]) -> Result<Vec<u64>> {
+        for &v in ids {
+            if v >= self.layout.size {
+                return Err(PsError::IndexOutOfBounds {
+                    name: self.name.clone(),
+                    index: v,
+                    size: self.layout.size,
+                });
+            }
+        }
+        let mut out = vec![0u64; ids.len()];
+        let mut groups: psgraph_sim::FxHashMap<usize, Vec<usize>> = Default::default();
+        for (pos, &v) in ids.iter().enumerate() {
+            groups.entry(self.layout.partition_of(v)).or_default().push(pos);
+        }
+        for (p, positions) in groups {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            server.get(&self.name, p, |part: &CsrPart| {
+                for &pos in &positions {
+                    out[pos] = part.neighbors(ids[pos]).len() as u64;
+                }
+            })?;
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                positions.len() as u64 * 8,
+                positions.len() as u64 * self.ps.config().ops_per_item,
+                positions.len() as u64 * 8,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Total edges stored (diagnostics).
+    pub fn num_edges(&self) -> Result<u64> {
+        let mut total = 0;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            total += server.get(&self.name, p, |part: &CsrPart| part.targets.len() as u64)?;
+        }
+        Ok(total)
+    }
+
+    /// Bytes resident on servers — compare with
+    /// `NeighborTableHandle::resident_bytes` to see the CSR advantage.
+    pub fn resident_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            total += server.get(&self.name, p, |part: &CsrPart| part.approx_bytes())?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor::NeighborTableHandle;
+    use crate::ps::PsConfig;
+    use psgraph_dfs::Dfs;
+
+    fn ps() -> Arc<Ps> {
+        Ps::new(PsConfig { servers: 3, ..Default::default() })
+    }
+
+    fn sample_tables() -> Vec<(u64, Vec<u64>)> {
+        vec![(0, vec![1, 2, 3]), (2, vec![0]), (7, vec![5, 6]), (9, vec![0, 9])]
+    }
+
+    #[test]
+    fn build_and_pull() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let csr =
+            CsrHandle::build(&ps, "csr", 10, &sample_tables(), &c, RecoveryMode::Inconsistent)
+                .unwrap();
+        let got = csr.pull(&c, &[0, 1, 2, 7, 9]).unwrap();
+        assert_eq!(got[0], vec![1, 2, 3]);
+        assert!(got[1].is_empty());
+        assert_eq!(got[2], vec![0]);
+        assert_eq!(got[3], vec![5, 6]);
+        assert_eq!(got[4], vec![0, 9]);
+        assert_eq!(csr.num_edges().unwrap(), 8);
+        assert_eq!(csr.num_vertices(), 10);
+        assert!(c.now() > psgraph_sim::SimTime::ZERO);
+    }
+
+    #[test]
+    fn degrees_match_lists() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let csr =
+            CsrHandle::build(&ps, "csr", 10, &sample_tables(), &c, RecoveryMode::Inconsistent)
+                .unwrap();
+        assert_eq!(csr.degrees(&c, &[0, 1, 7]).unwrap(), vec![3, 0, 2]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let csr =
+            CsrHandle::build(&ps, "csr", 10, &sample_tables(), &c, RecoveryMode::Inconsistent)
+                .unwrap();
+        assert!(csr.pull(&c, &[10]).is_err());
+        assert!(CsrHandle::build(&ps, "bad", 5, &[(9, vec![])], &c, RecoveryMode::Inconsistent)
+            .is_err());
+    }
+
+    #[test]
+    fn denser_than_neighbor_table() {
+        let ps = ps();
+        let c = NodeClock::new();
+        // Same adjacency in both representations.
+        let tables: Vec<(u64, Vec<u64>)> =
+            (0..200u64).map(|v| (v, ((v + 1) % 200..(v + 6) % 200).collect())).collect();
+        let tables: Vec<(u64, Vec<u64>)> = tables
+            .into_iter()
+            .map(|(v, _)| (v, (0..5).map(|i| (v + i + 1) % 200).collect()))
+            .collect();
+        let csr = CsrHandle::build(&ps, "csr", 200, &tables, &c, RecoveryMode::Inconsistent)
+            .unwrap();
+        let nt = NeighborTableHandle::create(
+            &ps, "nt", 200, Partitioner::Hash, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        nt.push(&c, &tables).unwrap();
+        let csr_bytes = csr.resident_bytes().unwrap();
+        let nt_bytes = nt.resident_bytes().unwrap();
+        assert!(
+            csr_bytes < nt_bytes,
+            "CSR ({csr_bytes}) should be denser than the hash table ({nt_bytes})"
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrip() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let dfs = Dfs::in_memory();
+        let csr =
+            CsrHandle::build(&ps, "csr", 10, &sample_tables(), &c, RecoveryMode::Inconsistent)
+                .unwrap();
+        ps.checkpoint(&dfs, "csr").unwrap();
+        for s in 0..ps.num_servers() {
+            ps.kill_server(s);
+            ps.restart_server(s, c.now());
+            ps.recover_server(s, &dfs, &c).unwrap();
+        }
+        assert_eq!(csr.pull(&c, &[0]).unwrap()[0], vec![1, 2, 3]);
+        assert_eq!(csr.num_edges().unwrap(), 8);
+    }
+
+    #[test]
+    fn csrpart_encode_decode() {
+        let p = CsrPart { start: 5, offsets: vec![0, 2, 2, 3], targets: vec![9, 8, 7] };
+        assert_eq!(CsrPart::decode(&p.encode()).unwrap(), p);
+        assert!(CsrPart::decode(&[1, 2]).is_err());
+    }
+}
+
+#[cfg(test)]
+mod degree_cost_tests {
+    use super::*;
+    use crate::ps::{Ps, PsConfig};
+
+    #[test]
+    fn degrees_cheaper_than_pull_for_fat_lists() {
+        let ps = Ps::new(PsConfig { servers: 2, ..Default::default() });
+        let c0 = NodeClock::new();
+        let fat: Vec<(u64, Vec<u64>)> = (0..50u64).map(|v| (v, (0..400).collect())).collect();
+        let csr = CsrHandle::build(&ps, "fat", 50, &fat, &c0, RecoveryMode::Inconsistent)
+            .unwrap();
+        let ids: Vec<u64> = (0..50).collect();
+        let c1 = NodeClock::new();
+        csr.degrees(&c1, &ids).unwrap();
+        let c2 = NodeClock::new();
+        csr.pull(&c2, &ids).unwrap();
+        assert!(
+            c1.now() < c2.now(),
+            "degrees ({}) should beat full pulls ({})",
+            c1.now(),
+            c2.now()
+        );
+    }
+
+    #[test]
+    fn degrees_rejects_out_of_range() {
+        let ps = Ps::new(PsConfig { servers: 2, ..Default::default() });
+        let c = NodeClock::new();
+        let csr = CsrHandle::build(&ps, "x", 5, &[(0, vec![1])], &c, RecoveryMode::Inconsistent)
+            .unwrap();
+        assert!(csr.degrees(&c, &[5]).is_err());
+    }
+}

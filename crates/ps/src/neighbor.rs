@@ -1,0 +1,486 @@
+//! Server-resident neighbor tables (paper §III-A, §IV-B): the adjacency
+//! structure used by Common Neighbor, Triangle Count, and GraphSage's
+//! neighbor sampling.
+//!
+//! Executors build `(src, Array[dst])` entries with `groupBy` and push
+//! them to the PS; afterwards any executor can pull the adjacency of any
+//! vertex without a shuffle.
+
+use bytes::{Buf, BufMut};
+use psgraph_sim::{FxHashMap, NodeClock, SplitMix64};
+use std::sync::Arc;
+
+use crate::error::{PsError, Result};
+use crate::partition::{PartitionLayout, Partitioner};
+use crate::ps::{ObjectOps, Ps, RecoveryMode};
+use crate::server::PsServer;
+
+type TablePart = FxHashMap<u64, Arc<Vec<u64>>>;
+
+fn part_bytes(map: &TablePart) -> u64 {
+    map.values().map(|v| 8 + 24 + v.len() as u64 * 8)
+        .sum::<u64>()
+        + 48
+}
+
+fn encode_part(map: &TablePart) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.put_u64_le(map.len() as u64);
+    let mut keys: Vec<u64> = map.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        let v = &map[&k];
+        buf.put_u64_le(k);
+        buf.put_u64_le(v.len() as u64);
+        for &n in v.iter() {
+            buf.put_u64_le(n);
+        }
+    }
+    buf
+}
+
+fn decode_part(mut bytes: &[u8]) -> Result<TablePart> {
+    let buf = &mut bytes;
+    if buf.remaining() < 8 {
+        return Err(PsError::Dfs("truncated neighbor-table checkpoint".into()));
+    }
+    let n = buf.get_u64_le() as usize;
+    let mut map = TablePart::default();
+    map.reserve(n);
+    for _ in 0..n {
+        let k = buf.get_u64_le();
+        let len = buf.get_u64_le() as usize;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(buf.get_u64_le());
+        }
+        map.insert(k, Arc::new(v));
+    }
+    Ok(map)
+}
+
+struct NeighborOps {
+    name: String,
+    layout: PartitionLayout,
+    recovery: RecoveryMode,
+}
+
+impl ObjectOps for NeighborOps {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layout(&self) -> &PartitionLayout {
+        &self.layout
+    }
+
+    fn recovery_mode(&self) -> RecoveryMode {
+        self.recovery
+    }
+
+    fn encode_partition(&self, server: &PsServer, partition: usize) -> Result<Vec<u8>> {
+        server.get(&self.name, partition, |p: &TablePart| encode_part(p))
+    }
+
+    fn decode_partition(&self, server: &PsServer, partition: usize, bytes: &[u8]) -> Result<()> {
+        let part = decode_part(bytes)?;
+        let size = part_bytes(&part);
+        server.insert(&self.name, partition, part, size)
+    }
+}
+
+/// Client handle to a PS neighbor table.
+#[derive(Clone)]
+pub struct NeighborTableHandle {
+    ps: Arc<Ps>,
+    name: String,
+    layout: PartitionLayout,
+}
+
+impl std::fmt::Debug for NeighborTableHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NeighborTableHandle")
+            .field("name", &self.name)
+            .field("vertices", &self.layout.size)
+            .finish()
+    }
+}
+
+impl NeighborTableHandle {
+    /// Create an empty table over vertex ids `[0, num_vertices)`.
+    pub fn create(
+        ps: &Arc<Ps>,
+        name: impl Into<String>,
+        num_vertices: u64,
+        partitioner: Partitioner,
+        recovery: RecoveryMode,
+    ) -> Result<Self> {
+        let name = name.into();
+        let layout =
+            PartitionLayout::new(partitioner, num_vertices, ps.num_servers(), ps.num_servers());
+        for p in 0..layout.num_partitions {
+            let server = ps.server(layout.server_of_partition(p));
+            let part = TablePart::default();
+            let bytes = part_bytes(&part);
+            server.insert(&name, p, part, bytes)?;
+        }
+        ps.register(Arc::new(NeighborOps {
+            name: name.clone(),
+            layout: layout.clone(),
+            recovery,
+        }));
+        Ok(NeighborTableHandle { ps: Arc::clone(ps), name, layout })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn num_vertices(&self) -> u64 {
+        self.layout.size
+    }
+
+    pub fn layout(&self) -> &PartitionLayout {
+        &self.layout
+    }
+
+    fn check(&self, ids: &[u64]) -> Result<()> {
+        for &v in ids {
+            if v >= self.layout.size {
+                return Err(PsError::IndexOutOfBounds {
+                    name: self.name.clone(),
+                    index: v,
+                    size: self.layout.size,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Push neighbor lists (replacing any existing entry for the vertex).
+    pub fn push(&self, client: &NodeClock, entries: &[(u64, Vec<u64>)]) -> Result<()> {
+        let ids: Vec<u64> = entries.iter().map(|(v, _)| *v).collect();
+        self.check(&ids)?;
+        // Group entry positions by (server, partition).
+        let mut groups: FxHashMap<usize, FxHashMap<usize, Vec<usize>>> = FxHashMap::default();
+        for (pos, &v) in ids.iter().enumerate() {
+            let p = self.layout.partition_of(v);
+            let s = self.layout.server_of_partition(p);
+            groups.entry(s).or_default().entry(p).or_default().push(pos);
+        }
+        for (s, parts) in groups {
+            let server = self.ps.server(s);
+            server.ensure_alive()?;
+            let total: u64 = parts
+                .values()
+                .flatten()
+                .map(|&pos| 16 + entries[pos].1.len() as u64 * 8)
+                .sum();
+            let items: u64 = parts
+                .values()
+                .flatten()
+                .map(|&pos| entries[pos].1.len() as u64 + 1)
+                .sum();
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                total,
+                items * self.ps.config().ops_per_item,
+                8,
+            );
+            for (p, positions) in parts {
+                server.update_resize(&self.name, p, |part: &mut TablePart, _old| {
+                    for &pos in &positions {
+                        let (v, ns) = &entries[pos];
+                        part.insert(*v, Arc::new(ns.clone()));
+                    }
+                    ((), part_bytes(part))
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pull the adjacency of `ids`. Vertices with no entry return an empty
+    /// list. Result aligns with the input.
+    pub fn pull(&self, client: &NodeClock, ids: &[u64]) -> Result<Vec<Arc<Vec<u64>>>> {
+        self.check(ids)?;
+        static EMPTY: std::sync::OnceLock<Arc<Vec<u64>>> = std::sync::OnceLock::new();
+        let empty = EMPTY.get_or_init(|| Arc::new(Vec::new()));
+        let mut out: Vec<Arc<Vec<u64>>> = vec![Arc::clone(empty); ids.len()];
+        let mut groups: FxHashMap<usize, FxHashMap<usize, Vec<usize>>> = FxHashMap::default();
+        for (pos, &v) in ids.iter().enumerate() {
+            let p = self.layout.partition_of(v);
+            let s = self.layout.server_of_partition(p);
+            groups.entry(s).or_default().entry(p).or_default().push(pos);
+        }
+        for (s, parts) in groups {
+            let server = self.ps.server(s);
+            server.ensure_alive()?;
+            let mut resp_bytes = 0u64;
+            let mut items = 0u64;
+            for (p, positions) in &parts {
+                server.get(&self.name, *p, |part: &TablePart| {
+                    for &pos in positions {
+                        if let Some(ns) = part.get(&ids[pos]) {
+                            resp_bytes += ns.len() as u64 * 8 + 16;
+                            items += ns.len() as u64 + 1;
+                            out[pos] = Arc::clone(ns);
+                        }
+                    }
+                })?;
+            }
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                parts.values().map(|v| v.len() as u64 * 8).sum(),
+                items * self.ps.config().ops_per_item,
+                resp_bytes,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Out-degrees of `ids` (server-side; only counts cross the wire).
+    pub fn degrees(&self, client: &NodeClock, ids: &[u64]) -> Result<Vec<u64>> {
+        self.check(ids)?;
+        let mut out = vec![0u64; ids.len()];
+        let mut groups: FxHashMap<usize, FxHashMap<usize, Vec<usize>>> = FxHashMap::default();
+        for (pos, &v) in ids.iter().enumerate() {
+            let p = self.layout.partition_of(v);
+            let s = self.layout.server_of_partition(p);
+            groups.entry(s).or_default().entry(p).or_default().push(pos);
+        }
+        for (s, parts) in groups {
+            let server = self.ps.server(s);
+            server.ensure_alive()?;
+            let n: usize = parts.values().map(Vec::len).sum();
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                n as u64 * 8,
+                n as u64 * self.ps.config().ops_per_item,
+                n as u64 * 8,
+            );
+            for (p, positions) in parts {
+                server.get(&self.name, p, |part: &TablePart| {
+                    for &pos in &positions {
+                        out[pos] = part.get(&ids[pos]).map_or(0, |v| v.len() as u64);
+                    }
+                })?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Server-side fixed-size neighbor sampling (GraphSage §IV-E): for each
+    /// requested vertex return at most `k` neighbors, sampled without
+    /// replacement, so only the sample crosses the wire.
+    pub fn sample_neighbors(
+        &self,
+        client: &NodeClock,
+        ids: &[u64],
+        k: usize,
+        seed: u64,
+    ) -> Result<Vec<Vec<u64>>> {
+        self.check(ids)?;
+        let mut out: Vec<Vec<u64>> = vec![Vec::new(); ids.len()];
+        let mut groups: FxHashMap<usize, FxHashMap<usize, Vec<usize>>> = FxHashMap::default();
+        for (pos, &v) in ids.iter().enumerate() {
+            let p = self.layout.partition_of(v);
+            let s = self.layout.server_of_partition(p);
+            groups.entry(s).or_default().entry(p).or_default().push(pos);
+        }
+        for (s, parts) in groups {
+            let server = self.ps.server(s);
+            server.ensure_alive()?;
+            let n: usize = parts.values().map(Vec::len).sum();
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                n as u64 * 8,
+                (n * k) as u64 * self.ps.config().ops_per_item,
+                (n * k) as u64 * 8,
+            );
+            for (p, positions) in parts {
+                server.get(&self.name, p, |part: &TablePart| {
+                    for &pos in &positions {
+                        let v = ids[pos];
+                        if let Some(ns) = part.get(&v) {
+                            let mut rng = SplitMix64::new(seed ^ v.wrapping_mul(0x9E37_79B9));
+                            if ns.len() <= k {
+                                out[pos] = ns.as_ref().clone();
+                            } else {
+                                // Partial Fisher–Yates over indices.
+                                let mut idx: Vec<usize> = (0..ns.len()).collect();
+                                for i in 0..k {
+                                    let j = i + rng.next_below((idx.len() - i) as u64) as usize;
+                                    idx.swap(i, j);
+                                }
+                                out[pos] = idx[..k].iter().map(|&i| ns[i]).collect();
+                            }
+                        }
+                    }
+                })?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Number of vertices with entries (diagnostics).
+    pub fn len(&self) -> Result<usize> {
+        let mut total = 0;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            total += server.get(&self.name, p, |part: &TablePart| part.len())?;
+        }
+        Ok(total)
+    }
+
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Bytes resident on servers.
+    pub fn resident_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            total += server.get(&self.name, p, |part: &TablePart| part_bytes(part))?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ps::PsConfig;
+    use psgraph_dfs::Dfs;
+
+    fn ps() -> Arc<Ps> {
+        Ps::new(PsConfig { servers: 3, ..Default::default() })
+    }
+
+    fn table(ps: &Arc<Ps>) -> NeighborTableHandle {
+        NeighborTableHandle::create(ps, "adj", 100, Partitioner::Hash, RecoveryMode::Inconsistent)
+            .unwrap()
+    }
+
+    #[test]
+    fn push_pull_roundtrip() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        t.push(&c, &[(1, vec![2, 3, 4]), (2, vec![1]), (99, vec![0])]).unwrap();
+        let got = t.pull(&c, &[2, 99, 1, 50]).unwrap();
+        assert_eq!(*got[0], vec![1]);
+        assert_eq!(*got[1], vec![0]);
+        assert_eq!(*got[2], vec![2, 3, 4]);
+        assert!(got[3].is_empty(), "missing vertex reads as empty");
+        assert_eq!(t.len().unwrap(), 3);
+        assert!(!t.is_empty().unwrap());
+    }
+
+    #[test]
+    fn push_replaces_existing_entry() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        t.push(&c, &[(5, vec![1, 2])]).unwrap();
+        t.push(&c, &[(5, vec![9])]).unwrap();
+        assert_eq!(*t.pull(&c, &[5]).unwrap()[0], vec![9]);
+    }
+
+    #[test]
+    fn degrees_match_entries() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        t.push(&c, &[(0, vec![1, 2, 3]), (1, vec![])]).unwrap();
+        assert_eq!(t.degrees(&c, &[0, 1, 2]).unwrap(), vec![3, 0, 0]);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        assert!(t.pull(&c, &[100]).is_err());
+        assert!(t.push(&c, &[(100, vec![])]).is_err());
+    }
+
+    #[test]
+    fn sampling_bounds_and_determinism() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        let big: Vec<u64> = (1..=50).collect();
+        t.push(&c, &[(7, big.clone()), (8, vec![1, 2])]).unwrap();
+        let s1 = t.sample_neighbors(&c, &[7, 8, 9], 10, 42).unwrap();
+        assert_eq!(s1[0].len(), 10);
+        assert_eq!(s1[1], vec![1, 2], "small lists returned whole");
+        assert!(s1[2].is_empty());
+        // Sampled values come from the true neighbor set, no duplicates.
+        let set: std::collections::HashSet<u64> = s1[0].iter().copied().collect();
+        assert_eq!(set.len(), 10);
+        assert!(set.iter().all(|v| big.contains(v)));
+        // Deterministic per (seed, vertex).
+        let s2 = t.sample_neighbors(&c, &[7], 10, 42).unwrap();
+        assert_eq!(s1[0], s2[0]);
+        let s3 = t.sample_neighbors(&c, &[7], 10, 43).unwrap();
+        assert_ne!(s1[0], s3[0], "different seed should change the sample");
+    }
+
+    #[test]
+    fn memory_grows_with_pushes() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        let before = t.resident_bytes().unwrap();
+        t.push(&c, &[(1, (0..1000).collect())]).unwrap();
+        assert!(t.resident_bytes().unwrap() >= before + 8000);
+    }
+
+    #[test]
+    fn oom_on_tiny_server_budget() {
+        let ps = Ps::new(PsConfig { servers: 1, memory_per_server: 512, ..Default::default() });
+        let c = NodeClock::new();
+        let t = NeighborTableHandle::create(
+            &ps, "adj", 100, Partitioner::Hash, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        let err = t.push(&c, &[(1, (0..10_000).collect())]).unwrap_err();
+        assert!(matches!(err, PsError::Oom(_)));
+    }
+
+    #[test]
+    fn checkpoint_restore_roundtrip() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let dfs = Dfs::in_memory();
+        let t = table(&ps);
+        t.push(&c, &[(1, vec![2, 3]), (50, vec![60, 70, 80])]).unwrap();
+        ps.checkpoint(&dfs, "adj").unwrap();
+        for s in 0..ps.num_servers() {
+            ps.kill_server(s);
+            ps.restart_server(s, c.now());
+            ps.recover_server(s, &dfs, &c).unwrap();
+        }
+        assert_eq!(*t.pull(&c, &[1]).unwrap()[0], vec![2, 3]);
+        assert_eq!(*t.pull(&c, &[50]).unwrap()[0], vec![60, 70, 80]);
+        assert_eq!(t.len().unwrap(), 2);
+    }
+
+    #[test]
+    fn encode_decode_part_roundtrip() {
+        let mut part = TablePart::default();
+        part.insert(3, Arc::new(vec![1, 2]));
+        part.insert(9, Arc::new(vec![]));
+        let decoded = decode_part(&encode_part(&part)).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(*decoded[&3], vec![1, 2]);
+        assert!(decoded[&9].is_empty());
+        assert!(decode_part(&[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,299 @@
+//! One parameter server: a memory-metered, typed partition store behind a
+//! network service port.
+
+use parking_lot::RwLock;
+use psgraph_net::{NodeId, ServicePort};
+use psgraph_sim::{FxHashMap, MemoryMeter, SimTime};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::error::{PsError, Result};
+
+struct StoredPartition {
+    data: Box<dyn Any + Send + Sync>,
+    bytes: u64,
+}
+
+/// A PS server node.
+pub struct PsServer {
+    id: usize,
+    port: ServicePort,
+    memory: MemoryMeter,
+    alive: AtomicBool,
+    store: RwLock<FxHashMap<(String, usize), StoredPartition>>,
+}
+
+impl std::fmt::Debug for PsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PsServer")
+            .field("id", &self.id)
+            .field("alive", &self.is_alive())
+            .field("partitions", &self.store.read().len())
+            .finish()
+    }
+}
+
+impl PsServer {
+    pub fn new(id: usize, memory_budget: u64) -> Self {
+        PsServer {
+            id,
+            port: ServicePort::new(NodeId::Server(id)),
+            memory: MemoryMeter::new(format!("ps-server-{id}"), memory_budget),
+            alive: AtomicBool::new(true),
+            store: RwLock::default(),
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn port(&self) -> &ServicePort {
+        &self.port
+    }
+
+    pub fn memory(&self) -> &MemoryMeter {
+        &self.memory
+    }
+
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Fail the caller if this server is down.
+    pub fn ensure_alive(&self) -> Result<()> {
+        if self.is_alive() {
+            Ok(())
+        } else {
+            Err(PsError::ServerDown { id: self.id })
+        }
+    }
+
+    /// Kill: all in-memory partitions and accounting are lost.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+        self.store.write().clear();
+        self.memory.clear();
+    }
+
+    /// Restart at simulated time `t` with an empty store (recovery
+    /// re-populates it from checkpoints).
+    pub fn restart(&self, t: SimTime) {
+        self.port.reset(t);
+        self.alive.store(true, Ordering::Release);
+    }
+
+    /// Create or replace a partition.
+    pub fn insert<T: Send + Sync + 'static>(
+        &self,
+        name: &str,
+        partition: usize,
+        value: T,
+        bytes: u64,
+    ) -> Result<()> {
+        self.ensure_alive()?;
+        let mut store = self.store.write();
+        let key = (name.to_string(), partition);
+        if let Some(old) = store.remove(&key) {
+            self.memory.free(old.bytes);
+        }
+        self.memory.alloc(bytes)?;
+        store.insert(key, StoredPartition { data: Box::new(value), bytes });
+        Ok(())
+    }
+
+    /// Read-only access to a partition.
+    pub fn get<T: 'static, R>(
+        &self,
+        name: &str,
+        partition: usize,
+        f: impl FnOnce(&T) -> R,
+    ) -> Result<R> {
+        self.ensure_alive()?;
+        let store = self.store.read();
+        let part = store
+            .get(&(name.to_string(), partition))
+            .ok_or_else(|| PsError::NotFound(format!("{name}[{partition}]")))?;
+        let typed = part
+            .data
+            .downcast_ref::<T>()
+            .ok_or_else(|| PsError::TypeMismatch { name: name.to_string() })?;
+        Ok(f(typed))
+    }
+
+    /// Mutable access; the closure must not change the partition's
+    /// footprint (use [`PsServer::update_resize`] if it can).
+    pub fn update<T: 'static, R>(
+        &self,
+        name: &str,
+        partition: usize,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> Result<R> {
+        self.update_resize(name, partition, |t, bytes| (f(t), bytes))
+    }
+
+    /// Mutable access where the closure may grow/shrink the partition: it
+    /// receives the current charged bytes and returns the new footprint.
+    pub fn update_resize<T: 'static, R>(
+        &self,
+        name: &str,
+        partition: usize,
+        f: impl FnOnce(&mut T, u64) -> (R, u64),
+    ) -> Result<R> {
+        self.ensure_alive()?;
+        let mut store = self.store.write();
+        let part = store
+            .get_mut(&(name.to_string(), partition))
+            .ok_or_else(|| PsError::NotFound(format!("{name}[{partition}]")))?;
+        let old_bytes = part.bytes;
+        let typed = part
+            .data
+            .downcast_mut::<T>()
+            .ok_or_else(|| PsError::TypeMismatch { name: name.to_string() })?;
+        let (r, new_bytes) = f(typed, old_bytes);
+        if new_bytes > old_bytes {
+            self.memory.alloc(new_bytes - old_bytes)?;
+        } else {
+            self.memory.free(old_bytes - new_bytes);
+        }
+        part.bytes = new_bytes;
+        Ok(r)
+    }
+
+    /// Whether a partition exists.
+    pub fn contains(&self, name: &str, partition: usize) -> bool {
+        self.store.read().contains_key(&(name.to_string(), partition))
+    }
+
+    /// Drop a partition, releasing its memory. Returns whether it existed.
+    pub fn remove(&self, name: &str, partition: usize) -> bool {
+        let mut store = self.store.write();
+        if let Some(old) = store.remove(&(name.to_string(), partition)) {
+            self.memory.free(old.bytes);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop every partition of a named object.
+    pub fn remove_object(&self, name: &str) {
+        let mut store = self.store.write();
+        let keys: Vec<_> = store.keys().filter(|(n, _)| n == name).cloned().collect();
+        for k in keys {
+            if let Some(old) = store.remove(&k) {
+                self.memory.free(old.bytes);
+            }
+        }
+    }
+
+    /// Number of stored partitions (diagnostics).
+    pub fn partition_count(&self) -> usize {
+        self.store.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_update_roundtrip() {
+        let s = PsServer::new(0, 1 << 20);
+        s.insert("v", 0, vec![1.0f64, 2.0], 16).unwrap();
+        let sum = s.get("v", 0, |v: &Vec<f64>| v.iter().sum::<f64>()).unwrap();
+        assert_eq!(sum, 3.0);
+        s.update("v", 0, |v: &mut Vec<f64>| v[0] = 10.0).unwrap();
+        let first = s.get("v", 0, |v: &Vec<f64>| v[0]).unwrap();
+        assert_eq!(first, 10.0);
+    }
+
+    #[test]
+    fn get_missing_partition_not_found() {
+        let s = PsServer::new(0, 1 << 20);
+        let err = s.get("nope", 0, |_: &Vec<f64>| ()).unwrap_err();
+        assert!(matches!(err, PsError::NotFound(_)));
+    }
+
+    #[test]
+    fn wrong_type_is_type_mismatch() {
+        let s = PsServer::new(0, 1 << 20);
+        s.insert("v", 0, vec![1.0f64], 8).unwrap();
+        let err = s.get("v", 0, |_: &Vec<u64>| ()).unwrap_err();
+        assert!(matches!(err, PsError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn memory_accounting_on_insert_replace_remove() {
+        let s = PsServer::new(0, 1000);
+        s.insert("a", 0, (), 400).unwrap();
+        assert_eq!(s.memory().in_use(), 400);
+        s.insert("a", 0, (), 300).unwrap(); // replace frees old
+        assert_eq!(s.memory().in_use(), 300);
+        assert!(s.remove("a", 0));
+        assert_eq!(s.memory().in_use(), 0);
+        assert!(!s.remove("a", 0));
+    }
+
+    #[test]
+    fn oom_on_budget_exceeded() {
+        let s = PsServer::new(0, 100);
+        let err = s.insert("a", 0, (), 200).unwrap_err();
+        assert!(matches!(err, PsError::Oom(_)));
+        assert_eq!(s.memory().in_use(), 0);
+    }
+
+    #[test]
+    fn update_resize_adjusts_accounting() {
+        let s = PsServer::new(0, 1000);
+        s.insert("m", 0, Vec::<u64>::new(), 100).unwrap();
+        s.update_resize("m", 0, |v: &mut Vec<u64>, _old| {
+            v.push(7);
+            ((), 500)
+        })
+        .unwrap();
+        assert_eq!(s.memory().in_use(), 500);
+        s.update_resize("m", 0, |_: &mut Vec<u64>, _old| ((), 50)).unwrap();
+        assert_eq!(s.memory().in_use(), 50);
+    }
+
+    #[test]
+    fn update_resize_oom_rejects() {
+        let s = PsServer::new(0, 100);
+        s.insert("m", 0, (), 80).unwrap();
+        let err = s.update_resize("m", 0, |_: &mut (), _| ((), 500)).unwrap_err();
+        assert!(matches!(err, PsError::Oom(_)));
+    }
+
+    #[test]
+    fn kill_clears_everything_and_blocks_access() {
+        let s = PsServer::new(3, 1000);
+        s.insert("v", 0, 1u64, 8).unwrap();
+        s.kill();
+        assert!(!s.is_alive());
+        assert_eq!(s.memory().in_use(), 0);
+        assert!(matches!(
+            s.get("v", 0, |_: &u64| ()),
+            Err(PsError::ServerDown { id: 3 })
+        ));
+        assert!(matches!(s.insert("v", 0, 1u64, 8), Err(PsError::ServerDown { .. })));
+        s.restart(SimTime::from_secs(5));
+        assert!(s.is_alive());
+        // Store is empty after restart.
+        assert!(matches!(s.get("v", 0, |_: &u64| ()), Err(PsError::NotFound(_))));
+    }
+
+    #[test]
+    fn remove_object_drops_all_partitions() {
+        let s = PsServer::new(0, 1000);
+        s.insert("x", 0, (), 10).unwrap();
+        s.insert("x", 1, (), 10).unwrap();
+        s.insert("y", 0, (), 10).unwrap();
+        s.remove_object("x");
+        assert!(!s.contains("x", 0));
+        assert!(!s.contains("x", 1));
+        assert!(s.contains("y", 0));
+        assert_eq!(s.memory().in_use(), 10);
+        assert_eq!(s.partition_count(), 1);
+    }
+}

@@ -1,0 +1,798 @@
+//! Server-resident vectors: the PS data structure behind PageRank's
+//! `ranks`/`Δranks`, K-Core's coreness, and Fast Unfolding's
+//! `vertex2com`/`com2weight` (paper §IV).
+//!
+//! A vector of logical size `n` is split by a [`PartitionLayout`]: range
+//! partitions store dense slices, hash partitions store sparse maps whose
+//! missing keys read as `E::default()`.
+
+use bytes::{Buf, BufMut};
+use psgraph_sim::{FxHashMap, NodeClock};
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use crate::element::Element;
+use crate::error::{PsError, Result};
+use crate::partition::{PartitionLayout, Partitioner};
+use crate::ps::{ObjectOps, Ps, RecoveryMode};
+use crate::server::PsServer;
+
+/// One stored vector partition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VecPart<E> {
+    /// Contiguous slice `[start, start + data.len())` of the vector.
+    Dense { start: u64, data: Vec<E> },
+    /// Sparse subset; absent keys are `E::default()`.
+    Sparse { map: FxHashMap<u64, E> },
+}
+
+impl<E: Element> VecPart<E> {
+    fn approx_bytes(&self) -> u64 {
+        match self {
+            VecPart::Dense { data, .. } => (data.len() * E::WIDTH) as u64 + 32,
+            VecPart::Sparse { map } => (map.len() * (8 + E::WIDTH + 16)) as u64 + 32,
+        }
+    }
+
+    fn get(&self, key: u64) -> E {
+        match self {
+            VecPart::Dense { start, data } => data[(key - start) as usize],
+            VecPart::Sparse { map } => map.get(&key).copied().unwrap_or_default(),
+        }
+    }
+
+    fn add(&mut self, key: u64, delta: E) {
+        match self {
+            VecPart::Dense { start, data } => {
+                let i = (key - *start) as usize;
+                data[i] = data[i].add(delta);
+            }
+            VecPart::Sparse { map } => {
+                let e = map.entry(key).or_default();
+                *e = e.add(delta);
+            }
+        }
+    }
+
+    fn set(&mut self, key: u64, value: E) {
+        match self {
+            VecPart::Dense { start, data } => data[(key - *start) as usize] = value,
+            VecPart::Sparse { map } => {
+                map.insert(key, value);
+            }
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            VecPart::Dense { start, data } => {
+                buf.put_u8(0);
+                buf.put_u64_le(*start);
+                buf.put_u64_le(data.len() as u64);
+                for v in data {
+                    v.encode(&mut buf);
+                }
+            }
+            VecPart::Sparse { map } => {
+                buf.put_u8(1);
+                buf.put_u64_le(map.len() as u64);
+                let mut entries: Vec<_> = map.iter().collect();
+                entries.sort_by_key(|(k, _)| **k); // deterministic checkpoints
+                for (k, v) in entries {
+                    buf.put_u64_le(*k);
+                    v.encode(&mut buf);
+                }
+            }
+        }
+        buf
+    }
+
+    fn decode(mut bytes: &[u8]) -> Result<Self> {
+        let buf = &mut bytes;
+        if buf.remaining() < 1 {
+            return Err(PsError::Dfs("truncated vector checkpoint".into()));
+        }
+        match buf.get_u8() {
+            0 => {
+                let start = buf.get_u64_le();
+                let len = buf.get_u64_le() as usize;
+                let mut data = Vec::with_capacity(len);
+                for _ in 0..len {
+                    data.push(E::decode(buf));
+                }
+                Ok(VecPart::Dense { start, data })
+            }
+            1 => {
+                let len = buf.get_u64_le() as usize;
+                let mut map = FxHashMap::default();
+                map.reserve(len);
+                for _ in 0..len {
+                    let k = buf.get_u64_le();
+                    map.insert(k, E::decode(buf));
+                }
+                Ok(VecPart::Sparse { map })
+            }
+            t => Err(PsError::Dfs(format!("bad vector partition tag {t}"))),
+        }
+    }
+}
+
+/// Typed client handle to a PS vector.
+pub struct VectorHandle<E: Element> {
+    ps: Arc<Ps>,
+    name: String,
+    layout: PartitionLayout,
+    _e: PhantomData<fn() -> E>,
+}
+
+impl<E: Element> Clone for VectorHandle<E> {
+    fn clone(&self) -> Self {
+        VectorHandle {
+            ps: Arc::clone(&self.ps),
+            name: self.name.clone(),
+            layout: self.layout.clone(),
+            _e: PhantomData,
+        }
+    }
+}
+
+impl<E: Element> std::fmt::Debug for VectorHandle<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VectorHandle")
+            .field("name", &self.name)
+            .field("size", &self.layout.size)
+            .finish()
+    }
+}
+
+struct VectorOps<E: Element> {
+    name: String,
+    layout: PartitionLayout,
+    recovery: RecoveryMode,
+    _e: PhantomData<fn() -> E>,
+}
+
+impl<E: Element> ObjectOps for VectorOps<E> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layout(&self) -> &PartitionLayout {
+        &self.layout
+    }
+
+    fn recovery_mode(&self) -> RecoveryMode {
+        self.recovery
+    }
+
+    fn encode_partition(&self, server: &PsServer, partition: usize) -> Result<Vec<u8>> {
+        server.get(&self.name, partition, |p: &VecPart<E>| p.encode())
+    }
+
+    fn decode_partition(&self, server: &PsServer, partition: usize, bytes: &[u8]) -> Result<()> {
+        let part = VecPart::<E>::decode(bytes)?;
+        let size = part.approx_bytes();
+        server.insert(&self.name, partition, part, size)
+    }
+}
+
+impl<E: Element> VectorHandle<E> {
+    /// Create a zero-initialized vector of logical size `size`, partitioned
+    /// by `partitioner` with one partition per server.
+    pub fn create(
+        ps: &Arc<Ps>,
+        name: impl Into<String>,
+        size: u64,
+        partitioner: Partitioner,
+        recovery: RecoveryMode,
+    ) -> Result<Self> {
+        let name = name.into();
+        let layout =
+            PartitionLayout::new(partitioner, size, ps.num_servers(), ps.num_servers());
+        let handle = VectorHandle {
+            ps: Arc::clone(ps),
+            name: name.clone(),
+            layout: layout.clone(),
+            _e: PhantomData,
+        };
+        for p in 0..layout.num_partitions {
+            let server = ps.server(layout.server_of_partition(p));
+            let part = match layout.range_of(p) {
+                Some((start, end)) => VecPart::Dense {
+                    start,
+                    data: vec![E::default(); (end - start) as usize],
+                },
+                None => VecPart::Sparse { map: FxHashMap::default() },
+            };
+            let bytes = part.approx_bytes();
+            server.insert(&name, p, part, bytes)?;
+        }
+        ps.register(Arc::new(VectorOps::<E> {
+            name,
+            layout,
+            recovery,
+            _e: PhantomData,
+        }));
+        Ok(handle)
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn size(&self) -> u64 {
+        self.layout.size
+    }
+
+    pub fn layout(&self) -> &PartitionLayout {
+        &self.layout
+    }
+
+    fn check_indices(&self, indices: &[u64]) -> Result<()> {
+        for &i in indices {
+            if i >= self.layout.size {
+                return Err(PsError::IndexOutOfBounds {
+                    name: self.name.clone(),
+                    index: i,
+                    size: self.layout.size,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Group positions of `indices` by (server, partition).
+    fn group(&self, indices: &[u64]) -> FxHashMap<usize, FxHashMap<usize, Vec<usize>>> {
+        let mut groups: FxHashMap<usize, FxHashMap<usize, Vec<usize>>> = FxHashMap::default();
+        for (pos, &k) in indices.iter().enumerate() {
+            let p = self.layout.partition_of(k);
+            let s = self.layout.server_of_partition(p);
+            groups.entry(s).or_default().entry(p).or_default().push(pos);
+        }
+        groups
+    }
+
+    fn charge_rpc(
+        &self,
+        client: &NodeClock,
+        server: &PsServer,
+        req_bytes: u64,
+        items: u64,
+        resp_bytes: u64,
+    ) {
+        self.ps.network().rpc(
+            client,
+            server.port(),
+            req_bytes,
+            items * self.ps.config().ops_per_item,
+            resp_bytes,
+        );
+    }
+
+    /// Pull `indices` (any order, duplicates allowed); result aligns with
+    /// the input.
+    pub fn pull(&self, client: &NodeClock, indices: &[u64]) -> Result<Vec<E>> {
+        self.check_indices(indices)?;
+        let mut out = vec![E::default(); indices.len()];
+        for (s, parts) in self.group(indices) {
+            let server = self.ps.server(s);
+            server.ensure_alive()?;
+            let n: usize = parts.values().map(Vec::len).sum();
+            self.charge_rpc(client, server, n as u64 * 8, n as u64, (n * E::WIDTH) as u64);
+            for (p, positions) in parts {
+                server.get(&self.name, p, |part: &VecPart<E>| {
+                    for &pos in &positions {
+                        out[pos] = part.get(indices[pos]);
+                    }
+                })?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Like [`VectorHandle::pull`], but the servers send only the nonzero
+    /// entries plus a presence bitmap — the §IV-A sparsity optimization
+    /// ("the ranks of many vertices barely change … transferring the
+    /// increments of ranks"). Same result as `pull`; only the charged
+    /// response bytes differ.
+    pub fn pull_sparse(&self, client: &NodeClock, indices: &[u64]) -> Result<Vec<E>> {
+        self.check_indices(indices)?;
+        let mut out = vec![E::default(); indices.len()];
+        for (s, parts) in self.group(indices) {
+            let server = self.ps.server(s);
+            server.ensure_alive()?;
+            let mut nonzero = 0u64;
+            for (p, positions) in parts {
+                server.get(&self.name, p, |part: &VecPart<E>| {
+                    for &pos in &positions {
+                        let v = part.get(indices[pos]);
+                        if v != E::default() {
+                            nonzero += 1;
+                        }
+                        out[pos] = v;
+                    }
+                })?;
+            }
+            let n = out.len() as u64;
+            self.charge_rpc(
+                client,
+                server,
+                n * 8,
+                n,
+                nonzero * E::WIDTH as u64 + n / 8 + 8,
+            );
+        }
+        Ok(out)
+    }
+
+    /// Add `values[i]` into position `indices[i]` (the `push`+`add`
+    /// operator of §III-A).
+    pub fn push_add(&self, client: &NodeClock, indices: &[u64], values: &[E]) -> Result<()> {
+        self.push_with(client, indices, values, |part, k, v| part.add(k, v))
+    }
+
+    /// Overwrite positions (the `push`+`set` operator).
+    pub fn push_set(&self, client: &NodeClock, indices: &[u64], values: &[E]) -> Result<()> {
+        self.push_with(client, indices, values, |part, k, v| part.set(k, v))
+    }
+
+    fn push_with(
+        &self,
+        client: &NodeClock,
+        indices: &[u64],
+        values: &[E],
+        apply: impl Fn(&mut VecPart<E>, u64, E),
+    ) -> Result<()> {
+        if indices.len() != values.len() {
+            return Err(PsError::DimensionMismatch(format!(
+                "{}: {} indices vs {} values",
+                self.name,
+                indices.len(),
+                values.len()
+            )));
+        }
+        self.check_indices(indices)?;
+        for (s, parts) in self.group(indices) {
+            let server = self.ps.server(s);
+            server.ensure_alive()?;
+            let n: usize = parts.values().map(Vec::len).sum();
+            self.charge_rpc(client, server, (n * (8 + E::WIDTH)) as u64, n as u64, 8);
+            for (p, positions) in parts {
+                server.update_resize(&self.name, p, |part: &mut VecPart<E>, _old| {
+                    for &pos in &positions {
+                        apply(part, indices[pos], values[pos]);
+                    }
+                    ((), part.approx_bytes())
+                })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pull the entire vector (bulk, one RPC per partition).
+    pub fn pull_all(&self, client: &NodeClock) -> Result<Vec<E>> {
+        let mut out = vec![E::default(); self.layout.size as usize];
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            let n = server.get(&self.name, p, |part: &VecPart<E>| match part {
+                VecPart::Dense { start, data } => {
+                    out[*start as usize..*start as usize + data.len()].copy_from_slice(data);
+                    data.len()
+                }
+                VecPart::Sparse { map } => {
+                    for (&k, &v) in map {
+                        out[k as usize] = v;
+                    }
+                    map.len()
+                }
+            })?;
+            self.charge_rpc(client, server, 16, n as u64, (n * E::WIDTH) as u64);
+        }
+        Ok(out)
+    }
+
+    /// Server-side fill. For sparse partitions a non-default fill is
+    /// rejected (no enumerable key set).
+    pub fn fill(&self, client: &NodeClock, value: E) -> Result<()> {
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            let n = server.update_resize(&self.name, p, |part: &mut VecPart<E>, old| {
+                let n = match part {
+                    VecPart::Dense { data, .. } => {
+                        data.fill(value);
+                        data.len()
+                    }
+                    VecPart::Sparse { map } => {
+                        if value == E::default() {
+                            let n = map.len();
+                            map.clear();
+                            n
+                        } else {
+                            let err = PsError::DimensionMismatch(format!(
+                                "{}: non-default fill on sparse partition",
+                                self.name
+                            ));
+                            return (Err(err), old);
+                        }
+                    }
+                };
+                (Ok(n), part.approx_bytes())
+            })??;
+            self.charge_rpc(client, server, 16, n as u64, 8);
+        }
+        Ok(())
+    }
+
+    /// Server-side `self += other; other := 0` — the PageRank step 4 of
+    /// §IV-A ("PS adds Δranks to ranks and resets Δranks to zero"),
+    /// executed entirely on the servers without moving the vectors.
+    pub fn accumulate_and_reset(&self, client: &NodeClock, delta: &VectorHandle<E>) -> Result<()> {
+        if self.layout != delta.layout {
+            return Err(PsError::DimensionMismatch(format!(
+                "{} and {} have different layouts",
+                self.name, delta.name
+            )));
+        }
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            // Take the delta partition's contents, zeroing it.
+            let drained: Vec<(u64, E)> =
+                server.update_resize(&delta.name, p, |part: &mut VecPart<E>, _old| {
+                    let drained = match part {
+                        VecPart::Dense { start, data } => {
+                            let d: Vec<(u64, E)> = data
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, v)| **v != E::default())
+                                .map(|(i, v)| (*start + i as u64, *v))
+                                .collect();
+                            data.fill(E::default());
+                            d
+                        }
+                        VecPart::Sparse { map } => map.drain().collect(),
+                    };
+                    (drained, part.approx_bytes())
+                })?;
+            let n = drained.len();
+            server.update_resize(&self.name, p, |part: &mut VecPart<E>, _old| {
+                for (k, v) in drained {
+                    part.add(k, v);
+                }
+                ((), part.approx_bytes())
+            })?;
+            self.charge_rpc(client, server, 16, 2 * n as u64, 8);
+        }
+        Ok(())
+    }
+
+    /// Server-side aggregate: `Σ f(value)` over all stored entries
+    /// (dense: every slot; sparse: the present keys). Used for
+    /// convergence checks (e.g. `Σ |Δrank|`).
+    pub fn aggregate(&self, client: &NodeClock, f: impl Fn(E) -> f64) -> Result<f64> {
+        let mut total = 0.0;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            server.ensure_alive()?;
+            let (part_sum, n) = server.get(&self.name, p, |part: &VecPart<E>| match part {
+                VecPart::Dense { data, .. } => {
+                    (data.iter().map(|&v| f(v)).sum::<f64>(), data.len())
+                }
+                VecPart::Sparse { map } => {
+                    (map.values().map(|&v| f(v)).sum::<f64>(), map.len())
+                }
+            })?;
+            self.charge_rpc(client, server, 16, n as u64, 8);
+            total += part_sum;
+        }
+        Ok(total)
+    }
+
+    /// Crate-internal: mutate one partition in place on its server
+    /// (footprint re-measured afterwards). Used by the psFunc machinery.
+    pub(crate) fn with_partition_mut<R>(
+        &self,
+        p: usize,
+        f: impl FnOnce(&mut VecPart<E>) -> R,
+    ) -> Result<R> {
+        let server = self.ps.server(self.layout.server_of_partition(p));
+        server.ensure_alive()?;
+        server.update_resize(&self.name, p, |part: &mut VecPart<E>, _old| {
+            let r = f(part);
+            let bytes = part.approx_bytes();
+            (r, bytes)
+        })
+    }
+
+    /// Crate-internal: charge one RPC against a server by index.
+    pub(crate) fn charge_server_rpc(
+        &self,
+        client: &NodeClock,
+        server_idx: usize,
+        req_bytes: u64,
+        items: u64,
+        resp_bytes: u64,
+    ) {
+        let server = self.ps.server(server_idx);
+        self.charge_rpc(client, server, req_bytes, items, resp_bytes);
+    }
+
+    /// Bytes resident on the servers for this vector.
+    pub fn resident_bytes(&self) -> Result<u64> {
+        let mut total = 0;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            total += server.get(&self.name, p, |part: &VecPart<E>| part.approx_bytes())?;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ps::PsConfig;
+    use psgraph_dfs::Dfs;
+
+    fn ps() -> Arc<Ps> {
+        Ps::new(PsConfig { servers: 3, ..Default::default() })
+    }
+
+    fn client() -> NodeClock {
+        NodeClock::new()
+    }
+
+    #[test]
+    fn create_pull_push_roundtrip_range() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "ranks", 100, Partitioner::Range, RecoveryMode::Consistent,
+        )
+        .unwrap();
+        assert_eq!(v.pull(&c, &[0, 50, 99]).unwrap(), vec![0.0, 0.0, 0.0]);
+        v.push_add(&c, &[0, 50, 99], &[1.0, 2.0, 3.0]).unwrap();
+        v.push_add(&c, &[50], &[0.5]).unwrap();
+        assert_eq!(v.pull(&c, &[99, 0, 50]).unwrap(), vec![3.0, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn hash_partitioned_sparse_vector() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<u64>::create(
+            &ps, "coreness", 1000, Partitioner::Hash, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        v.push_set(&c, &[7, 999, 13], &[70, 9990, 130]).unwrap();
+        assert_eq!(v.pull(&c, &[999, 13, 7, 5]).unwrap(), vec![9990, 130, 70, 0]);
+    }
+
+    #[test]
+    fn push_set_overwrites() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "x", 10, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        v.push_add(&c, &[3], &[5.0]).unwrap();
+        v.push_set(&c, &[3], &[1.0]).unwrap();
+        assert_eq!(v.pull(&c, &[3]).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn pull_all_and_fill() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 20, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        v.fill(&c, 2.5).unwrap();
+        let all = v.pull_all(&c).unwrap();
+        assert_eq!(all.len(), 20);
+        assert!(all.iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn sparse_fill_default_clears() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "s", 100, Partitioner::Hash, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        v.push_set(&c, &[1, 2, 3], &[1.0, 2.0, 3.0]).unwrap();
+        v.fill(&c, 0.0).unwrap();
+        assert_eq!(v.pull(&c, &[1, 2, 3]).unwrap(), vec![0.0, 0.0, 0.0]);
+        // Non-default sparse fill rejected.
+        assert!(v.fill(&c, 1.0).is_err());
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 10, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        assert!(matches!(
+            v.pull(&c, &[10]),
+            Err(PsError::IndexOutOfBounds { index: 10, .. })
+        ));
+        assert!(v.push_add(&c, &[99], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 10, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        assert!(matches!(
+            v.push_add(&c, &[1, 2], &[1.0]),
+            Err(PsError::DimensionMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn accumulate_and_reset_matches_paper_step() {
+        let ps = ps();
+        let c = client();
+        let ranks = VectorHandle::<f64>::create(
+            &ps, "ranks", 50, Partitioner::Range, RecoveryMode::Consistent,
+        )
+        .unwrap();
+        let delta = VectorHandle::<f64>::create(
+            &ps, "dranks", 50, Partitioner::Range, RecoveryMode::Consistent,
+        )
+        .unwrap();
+        delta.push_add(&c, &[0, 25, 49], &[1.0, 2.0, 3.0]).unwrap();
+        ranks.accumulate_and_reset(&c, &delta).unwrap();
+        assert_eq!(ranks.pull(&c, &[0, 25, 49]).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(delta.pull(&c, &[0, 25, 49]).unwrap(), vec![0.0, 0.0, 0.0]);
+        // Second accumulate is a no-op (delta was reset).
+        ranks.accumulate_and_reset(&c, &delta).unwrap();
+        assert_eq!(ranks.pull(&c, &[0]).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn aggregate_sums_server_side() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 30, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        v.push_add(&c, &[0, 10, 29], &[-1.0, 2.0, -3.0]).unwrap();
+        let s = v.aggregate(&c, |x| x.abs()).unwrap();
+        assert!((s - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operations_cost_simulated_time() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 1000, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        let t0 = c.now();
+        let idx: Vec<u64> = (0..1000).collect();
+        v.pull(&c, &idx).unwrap();
+        assert!(c.now() > t0);
+    }
+
+    #[test]
+    fn dead_server_fails_pull() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 30, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        ps.kill_server(0);
+        let err = v.pull_all(&c).unwrap_err();
+        assert!(matches!(err, PsError::ServerDown { id: 0 }));
+    }
+
+    #[test]
+    fn checkpoint_and_recover_failed_server() {
+        let ps = ps();
+        let c = client();
+        let dfs = Dfs::in_memory();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 90, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        let idx: Vec<u64> = (0..90).collect();
+        let vals: Vec<f64> = (0..90).map(|i| i as f64).collect();
+        v.push_set(&c, &idx, &vals).unwrap();
+        ps.checkpoint_all(&dfs).unwrap();
+        // Lose server 1 after further (uncheckpointed) updates.
+        v.push_add(&c, &[0], &[100.0]).unwrap();
+        ps.kill_server(1);
+        ps.restart_server(1, c.now());
+        ps.recover_server(1, &dfs, &c).unwrap();
+        let all = v.pull_all(&c).unwrap();
+        // Server 1's partition restored from checkpoint…
+        assert_eq!(all[30], 30.0);
+        assert_eq!(all[59], 59.0);
+        // …while inconsistency-tolerant recovery kept server 0's later
+        // update (index 0 lives on server 0).
+        assert_eq!(all[0], 100.0);
+    }
+
+    #[test]
+    fn consistent_recovery_rolls_everyone_back() {
+        let ps = ps();
+        let c = client();
+        let dfs = Dfs::in_memory();
+        let v = VectorHandle::<f64>::create(
+            &ps, "ranks", 90, Partitioner::Range, RecoveryMode::Consistent,
+        )
+        .unwrap();
+        v.push_set(&c, &[0, 40, 80], &[1.0, 2.0, 3.0]).unwrap();
+        ps.checkpoint_all(&dfs).unwrap();
+        v.push_add(&c, &[0, 40, 80], &[10.0, 10.0, 10.0]).unwrap();
+        ps.kill_server(2);
+        ps.restart_server(2, c.now());
+        ps.recover_server(2, &dfs, &c).unwrap();
+        // All partitions rolled back to checkpoint values.
+        assert_eq!(v.pull(&c, &[0, 40, 80]).unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn recovery_without_checkpoint_fails() {
+        let ps = ps();
+        let c = client();
+        let dfs = Dfs::in_memory();
+        let _v = VectorHandle::<f64>::create(
+            &ps, "v", 30, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        ps.kill_server(0);
+        ps.restart_server(0, c.now());
+        assert!(matches!(
+            ps.recover_server(0, &dfs, &c),
+            Err(PsError::NoCheckpoint(_))
+        ));
+    }
+
+    #[test]
+    fn vecpart_encode_decode_roundtrip() {
+        let dense: VecPart<f64> = VecPart::Dense { start: 10, data: vec![1.0, -2.0, 3.5] };
+        assert_eq!(VecPart::<f64>::decode(&dense.encode()).unwrap(), dense);
+        let mut map = FxHashMap::default();
+        map.insert(5u64, 7u64);
+        map.insert(99, 1);
+        let sparse: VecPart<u64> = VecPart::Sparse { map };
+        assert_eq!(VecPart::<u64>::decode(&sparse.encode()).unwrap(), sparse);
+        assert!(VecPart::<u64>::decode(&[]).is_err());
+        assert!(VecPart::<u64>::decode(&[9]).is_err());
+    }
+
+    #[test]
+    fn resident_bytes_reflects_content() {
+        let ps = ps();
+        let c = client();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 1000, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        let r = v.resident_bytes().unwrap();
+        assert!(r >= 8000, "dense vector should charge ≥ 8 B/slot, got {r}");
+        assert!(ps.resident_bytes() >= r);
+        drop(v);
+        ps.unregister("v");
+        assert_eq!(ps.resident_bytes(), 0);
+        c.now(); // silence unused
+    }
+}

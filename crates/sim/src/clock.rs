@@ -1,0 +1,287 @@
+//! Simulated time: [`SimTime`] durations/instants, per-node clocks, and a
+//! cluster-wide clock with BSP barrier semantics.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A simulated instant or duration, in nanoseconds.
+///
+/// `SimTime` is used both as a point on a node's timeline and as a length of
+/// time; the arithmetic is identical and keeping one type avoids a large
+/// amount of conversion noise in the cost-charging call sites.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    pub fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us.saturating_mul(1_000))
+    }
+
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms.saturating_mul(1_000_000))
+    }
+
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s.saturating_mul(1_000_000_000))
+    }
+
+    pub fn from_secs_f64(s: f64) -> Self {
+        SimTime((s.max(0.0) * 1e9) as u64)
+    }
+
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    pub fn as_minutes_f64(self) -> f64 {
+        self.as_secs_f64() / 60.0
+    }
+
+    pub fn as_hours_f64(self) -> f64 {
+        self.as_secs_f64() / 3600.0
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale by a floating factor (used by the cost model's global knob).
+    pub fn scale(self, factor: f64) -> SimTime {
+        SimTime((self.0 as f64 * factor) as u64)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::iter::Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        iter.fold(SimTime::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SimTime({self})")
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Human-readable rendering: picks the largest sensible unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.as_secs_f64();
+        if secs >= 3600.0 {
+            write!(f, "{:.2}h", secs / 3600.0)
+        } else if secs >= 60.0 {
+            write!(f, "{:.2}min", secs / 60.0)
+        } else if secs >= 1.0 {
+            write!(f, "{secs:.2}s")
+        } else if secs >= 1e-3 {
+            write!(f, "{:.2}ms", secs * 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// The simulated clock of one logical node (executor, PS server, datanode).
+///
+/// Thread-safe: tasks running on a shared thread pool can charge costs to
+/// the node they logically execute on.
+#[derive(Debug, Default)]
+pub struct NodeClock {
+    nanos: AtomicU64,
+}
+
+impl NodeClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current local time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.nanos.load(Ordering::Relaxed))
+    }
+
+    /// Charge `cost` to this node's timeline.
+    pub fn advance(&self, cost: SimTime) {
+        self.nanos.fetch_add(cost.0, Ordering::Relaxed);
+    }
+
+    /// Move the clock forward to `t` if it is currently behind (models a
+    /// node waiting at a barrier or for an RPC response issued at `t`).
+    pub fn sync_to(&self, t: SimTime) {
+        self.nanos.fetch_max(t.0, Ordering::Relaxed);
+    }
+
+    /// Reset to a given time (used when restarting a failed node: the
+    /// replacement starts at the failure-detection time).
+    pub fn reset_to(&self, t: SimTime) {
+        self.nanos.store(t.0, Ordering::Relaxed);
+    }
+}
+
+/// Cluster-wide simulated clock implementing BSP barrier semantics.
+///
+/// Nodes run their supersteps concurrently (in real threads) but on
+/// independent simulated timelines; [`ClusterClock::barrier`] advances the
+/// global time to the maximum of the participants and re-synchronizes all
+/// of them, exactly like a synchronization barrier in the paper's BSP mode.
+#[derive(Debug, Default)]
+pub struct ClusterClock {
+    global: NodeClock,
+}
+
+impl ClusterClock {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.global.now()
+    }
+
+    /// Advance global time directly (driver-side sequential work).
+    pub fn advance(&self, cost: SimTime) {
+        self.global.advance(cost);
+    }
+
+    /// BSP barrier over `nodes`: global time jumps to the slowest
+    /// participant, and every participant is synchronized to that time.
+    pub fn barrier<'a, I>(&self, nodes: I) -> SimTime
+    where
+        I: IntoIterator<Item = &'a NodeClock> + Clone,
+    {
+        let mut max = self.global.now();
+        for n in nodes.clone() {
+            max = max.max(n.now());
+        }
+        self.global.sync_to(max);
+        for n in nodes {
+            n.sync_to(max);
+        }
+        max
+    }
+
+    /// Start a node at the current global time (fresh nodes join "now").
+    pub fn register(&self, node: &NodeClock) {
+        node.sync_to(self.global.now());
+    }
+}
+
+/// Convenience: a shared cluster clock handle.
+pub type SharedClusterClock = Arc<ClusterClock>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simtime_constructors_and_accessors() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert!((SimTime::from_secs_f64(1.5).as_secs_f64() - 1.5).abs() < 1e-9);
+        assert!((SimTime::from_secs(7200).as_hours_f64() - 2.0).abs() < 1e-12);
+        assert!((SimTime::from_secs(90).as_minutes_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simtime_arithmetic_saturates() {
+        let a = SimTime(u64::MAX - 1);
+        assert_eq!((a + SimTime(10)).0, u64::MAX);
+        assert_eq!((SimTime(5) - SimTime(10)).0, 0);
+        assert_eq!(SimTime(5).saturating_sub(SimTime(10)), SimTime::ZERO);
+        let total: SimTime = [SimTime(1), SimTime(2), SimTime(3)].into_iter().sum();
+        assert_eq!(total, SimTime(6));
+    }
+
+    #[test]
+    fn simtime_display_units() {
+        assert_eq!(SimTime::from_secs(7200).to_string(), "2.00h");
+        assert_eq!(SimTime::from_secs(120).to_string(), "2.00min");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2.00s");
+        assert_eq!(SimTime::from_millis(2).to_string(), "2.00ms");
+        assert_eq!(SimTime(42).to_string(), "42ns");
+    }
+
+    #[test]
+    fn node_clock_advance_and_sync() {
+        let c = NodeClock::new();
+        c.advance(SimTime(100));
+        assert_eq!(c.now(), SimTime(100));
+        c.sync_to(SimTime(50)); // behind: no-op
+        assert_eq!(c.now(), SimTime(100));
+        c.sync_to(SimTime(200));
+        assert_eq!(c.now(), SimTime(200));
+        c.reset_to(SimTime(10));
+        assert_eq!(c.now(), SimTime(10));
+    }
+
+    #[test]
+    fn cluster_barrier_takes_max_and_syncs() {
+        let cc = ClusterClock::new();
+        let a = NodeClock::new();
+        let b = NodeClock::new();
+        a.advance(SimTime(100));
+        b.advance(SimTime(300));
+        let t = cc.barrier([&a, &b]);
+        assert_eq!(t, SimTime(300));
+        assert_eq!(cc.now(), SimTime(300));
+        assert_eq!(a.now(), SimTime(300));
+        assert_eq!(b.now(), SimTime(300));
+    }
+
+    #[test]
+    fn cluster_barrier_never_goes_backwards() {
+        let cc = ClusterClock::new();
+        cc.advance(SimTime(500));
+        let a = NodeClock::new();
+        a.advance(SimTime(100));
+        let t = cc.barrier([&a]);
+        assert_eq!(t, SimTime(500));
+        assert_eq!(a.now(), SimTime(500));
+    }
+
+    #[test]
+    fn register_joins_at_global_now() {
+        let cc = ClusterClock::new();
+        cc.advance(SimTime::from_secs(3));
+        let n = NodeClock::new();
+        cc.register(&n);
+        assert_eq!(n.now(), SimTime::from_secs(3));
+    }
+}

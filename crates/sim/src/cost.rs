@@ -1,0 +1,172 @@
+//! The calibrated cost model for the simulated cluster.
+//!
+//! Constants default to the paper's hardware: a production cluster wired
+//! with 10 GbE, spinning-disk HDFS, and commodity server CPUs. All charges
+//! go through this struct so experiments can scale or distort individual
+//! resources (e.g. an ablation that makes the network free).
+
+use crate::clock::SimTime;
+
+/// Cost constants for one simulated cluster.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// One-way network latency charged per RPC message.
+    pub net_latency: SimTime,
+    /// Network bandwidth in bytes/second (10 GbE ≈ 1.25 GB/s, minus
+    /// protocol overhead).
+    pub net_bandwidth_bps: f64,
+    /// Disk seek / open overhead charged per sequential I/O burst.
+    pub disk_seek: SimTime,
+    /// Sequential disk bandwidth in bytes/second (HDFS-era spinning disks).
+    pub disk_bandwidth_bps: f64,
+    /// Simple scalar CPU throughput: "primitive operations" per second.
+    /// Algorithms charge one op per edge visit / hash probe / float fma.
+    pub cpu_ops_per_sec: f64,
+    /// JVM ↔ native (JNI) copy bandwidth in bytes/second. The paper moves
+    /// graph mini-batches across this boundary for every PyTorch call.
+    pub jni_bandwidth_bps: f64,
+    /// Per-record serialization overhead factor: Spark-style Java
+    /// serialization costs extra CPU ops per byte shuffled.
+    pub ser_ops_per_byte: f64,
+    /// Detection delay before the master notices a dead node (health-check
+    /// period in the paper's master).
+    pub failure_detect: SimTime,
+    /// Time for the resource manager (Yarn/K8s) to restart a container.
+    pub container_restart: SimTime,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            net_latency: SimTime::from_micros(25),
+            net_bandwidth_bps: 1.10e9,
+            disk_seek: SimTime::from_millis(4),
+            disk_bandwidth_bps: 1.5e8,
+            cpu_ops_per_sec: 2.0e9,
+            jni_bandwidth_bps: 2.0e9,
+            ser_ops_per_byte: 2.0,
+            failure_detect: SimTime::from_secs(10),
+            container_restart: SimTime::from_secs(20),
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of sending `bytes` in one RPC (latency + wire time).
+    pub fn net_cost(&self, bytes: u64) -> SimTime {
+        self.net_latency + SimTime::from_secs_f64(bytes as f64 / self.net_bandwidth_bps)
+    }
+
+    /// Wire time only, for bulk transfers where latency is amortized over
+    /// many pipelined messages.
+    pub fn net_bulk_cost(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.net_bandwidth_bps)
+    }
+
+    /// Cost of one sequential disk burst of `bytes`.
+    pub fn disk_cost(&self, bytes: u64) -> SimTime {
+        self.disk_seek + SimTime::from_secs_f64(bytes as f64 / self.disk_bandwidth_bps)
+    }
+
+    /// Streaming disk cost without the per-burst seek.
+    pub fn disk_bulk_cost(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.disk_bandwidth_bps)
+    }
+
+    /// Cost of `ops` primitive CPU operations.
+    pub fn cpu_cost(&self, ops: u64) -> SimTime {
+        SimTime::from_secs_f64(ops as f64 / self.cpu_ops_per_sec)
+    }
+
+    /// Cost of copying `bytes` across the JNI boundary (both directions
+    /// are charged by the caller).
+    pub fn jni_cost(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs_f64(bytes as f64 / self.jni_bandwidth_bps)
+    }
+
+    /// Cost of (de)serializing `bytes` of shuffle data.
+    pub fn ser_cost(&self, bytes: u64) -> SimTime {
+        self.cpu_cost((bytes as f64 * self.ser_ops_per_byte) as u64)
+    }
+
+    /// Total time to recover a failed node: detection + container restart.
+    pub fn restart_overhead(&self) -> SimTime {
+        self.failure_detect + self.container_restart
+    }
+
+    /// A cost model where every resource is `factor`× faster. Used by
+    /// ablation benches.
+    pub fn scaled(&self, factor: f64) -> CostModel {
+        assert!(factor > 0.0, "scale factor must be positive");
+        CostModel {
+            net_latency: self.net_latency.scale(1.0 / factor),
+            net_bandwidth_bps: self.net_bandwidth_bps * factor,
+            disk_seek: self.disk_seek.scale(1.0 / factor),
+            disk_bandwidth_bps: self.disk_bandwidth_bps * factor,
+            cpu_ops_per_sec: self.cpu_ops_per_sec * factor,
+            jni_bandwidth_bps: self.jni_bandwidth_bps * factor,
+            ser_ops_per_byte: self.ser_ops_per_byte,
+            failure_detect: self.failure_detect,
+            container_restart: self.container_restart,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn net_cost_includes_latency_and_wire_time() {
+        let m = CostModel::default();
+        let c = m.net_cost(1_100_000_000); // ~1 second of wire time
+        assert!(c.as_secs_f64() > 0.99 && c.as_secs_f64() < 1.01);
+        // Small messages are latency-bound.
+        let s = m.net_cost(1);
+        assert!(s >= m.net_latency);
+    }
+
+    #[test]
+    fn bulk_costs_drop_fixed_overheads() {
+        let m = CostModel::default();
+        assert!(m.net_bulk_cost(1000) < m.net_cost(1000));
+        assert!(m.disk_bulk_cost(1000) < m.disk_cost(1000));
+    }
+
+    #[test]
+    fn disk_slower_than_net_per_byte() {
+        // Sanity: the model must keep HDFS slower than the 10 GbE wire,
+        // which is what makes Euler's disk-bound preprocessing lose.
+        let m = CostModel::default();
+        assert!(m.disk_bulk_cost(1 << 30) > m.net_bulk_cost(1 << 30));
+    }
+
+    #[test]
+    fn cpu_cost_linear() {
+        let m = CostModel::default();
+        let one = m.cpu_cost(1_000_000);
+        let two = m.cpu_cost(2_000_000);
+        assert!(two.as_nanos() >= 2 * one.as_nanos() - 2);
+    }
+
+    #[test]
+    fn scaled_model_speeds_everything_up() {
+        let m = CostModel::default();
+        let fast = m.scaled(10.0);
+        assert!(fast.net_cost(1 << 20) < m.net_cost(1 << 20));
+        assert!(fast.disk_cost(1 << 20) < m.disk_cost(1 << 20));
+        assert!(fast.cpu_cost(1 << 20) < m.cpu_cost(1 << 20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn scaled_rejects_zero() {
+        CostModel::default().scaled(0.0);
+    }
+
+    #[test]
+    fn restart_overhead_sums_detection_and_restart() {
+        let m = CostModel::default();
+        assert_eq!(m.restart_overhead(), m.failure_detect + m.container_restart);
+    }
+}

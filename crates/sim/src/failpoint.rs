@@ -1,0 +1,155 @@
+//! Failure injection for the Table II experiment and for fault-tolerance
+//! tests.
+//!
+//! A [`FailPlan`] lists scripted kills — "kill executor 3 at superstep 5" —
+//! and the [`FailureInjector`] is consulted by the engines at the top of
+//! each superstep. A kill fires exactly once; recovery is then exercised by
+//! the master / lineage machinery of the crates under test.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Which kind of node a scripted failure targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    Executor,
+    Server,
+    Datanode,
+}
+
+/// One scripted kill.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailPlan {
+    pub kind: NodeKind,
+    /// Index of the node within its kind.
+    pub node_id: usize,
+    /// Superstep (0-based) at whose start the node dies.
+    pub at_superstep: u64,
+}
+
+impl FailPlan {
+    pub fn kill_executor(node_id: usize, at_superstep: u64) -> Self {
+        FailPlan { kind: NodeKind::Executor, node_id, at_superstep }
+    }
+
+    pub fn kill_server(node_id: usize, at_superstep: u64) -> Self {
+        FailPlan { kind: NodeKind::Server, node_id, at_superstep }
+    }
+
+    pub fn kill_datanode(node_id: usize, at_superstep: u64) -> Self {
+        FailPlan { kind: NodeKind::Datanode, node_id, at_superstep }
+    }
+}
+
+/// Shared registry of scripted failures. Cheap to clone; thread-safe.
+#[derive(Debug, Clone, Default)]
+pub struct FailureInjector {
+    inner: Arc<Mutex<Vec<FailPlan>>>,
+}
+
+impl FailureInjector {
+    /// An injector with no scripted failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// An injector pre-loaded with `plans`.
+    pub fn with_plans(plans: impl IntoIterator<Item = FailPlan>) -> Self {
+        FailureInjector {
+            inner: Arc::new(Mutex::new(plans.into_iter().collect())),
+        }
+    }
+
+    /// Add a scripted failure.
+    pub fn schedule(&self, plan: FailPlan) {
+        self.inner.lock().push(plan);
+    }
+
+    /// Called by engines at the start of `superstep`: returns — and
+    /// consumes — every kill that fires now for the given node kind.
+    pub fn take_due(&self, kind: NodeKind, superstep: u64) -> Vec<FailPlan> {
+        let mut guard = self.inner.lock();
+        let mut due = Vec::new();
+        guard.retain(|p| {
+            if p.kind == kind && p.at_superstep == superstep {
+                due.push(p.clone());
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// Whether a specific node dies at this superstep (consumes the plan).
+    pub fn should_kill(&self, kind: NodeKind, node_id: usize, superstep: u64) -> bool {
+        let mut guard = self.inner.lock();
+        let before = guard.len();
+        guard.retain(|p| {
+            !(p.kind == kind && p.node_id == node_id && p.at_superstep == superstep)
+        });
+        guard.len() != before
+    }
+
+    /// Number of kills still pending.
+    pub fn pending(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_injector_never_kills() {
+        let inj = FailureInjector::none();
+        assert!(!inj.should_kill(NodeKind::Executor, 0, 0));
+        assert!(inj.take_due(NodeKind::Server, 0).is_empty());
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn kill_fires_once_at_the_right_step() {
+        let inj = FailureInjector::with_plans([FailPlan::kill_executor(2, 5)]);
+        assert!(!inj.should_kill(NodeKind::Executor, 2, 4));
+        assert!(!inj.should_kill(NodeKind::Executor, 1, 5));
+        assert!(!inj.should_kill(NodeKind::Server, 2, 5));
+        assert!(inj.should_kill(NodeKind::Executor, 2, 5));
+        // Consumed: does not fire again.
+        assert!(!inj.should_kill(NodeKind::Executor, 2, 5));
+        assert_eq!(inj.pending(), 0);
+    }
+
+    #[test]
+    fn take_due_consumes_only_matching() {
+        let inj = FailureInjector::with_plans([
+            FailPlan::kill_executor(0, 3),
+            FailPlan::kill_server(1, 3),
+            FailPlan::kill_executor(4, 7),
+        ]);
+        let due = inj.take_due(NodeKind::Executor, 3);
+        assert_eq!(due, vec![FailPlan::kill_executor(0, 3)]);
+        assert_eq!(inj.pending(), 2);
+        let due = inj.take_due(NodeKind::Server, 3);
+        assert_eq!(due, vec![FailPlan::kill_server(1, 3)]);
+        assert_eq!(inj.pending(), 1);
+    }
+
+    #[test]
+    fn schedule_adds_after_construction() {
+        let inj = FailureInjector::none();
+        inj.schedule(FailPlan::kill_datanode(9, 1));
+        assert_eq!(inj.pending(), 1);
+        assert!(inj.should_kill(NodeKind::Datanode, 9, 1));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = FailureInjector::none();
+        let b = a.clone();
+        a.schedule(FailPlan::kill_executor(0, 0));
+        assert!(b.should_kill(NodeKind::Executor, 0, 0));
+        assert_eq!(a.pending(), 0);
+    }
+}

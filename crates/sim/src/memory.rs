@@ -1,0 +1,252 @@
+//! Memory budgets with OOM semantics.
+//!
+//! Each simulated executor / PS server owns a [`MemoryMeter`] sized to its
+//! (scaled-down) container allocation. Allocations that exceed the budget
+//! fail with [`OutOfMemory`], which is how the GraphX baseline dies on
+//! K-Core, Triangle Count, and the DS2 workloads exactly as in Fig. 6 of
+//! the paper — the OOM is emergent from real allocation tracking, not
+//! hard-coded.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error returned when a budgeted allocation does not fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Which meter rejected the allocation.
+    pub owner: String,
+    /// Bytes requested by the failing allocation.
+    pub requested: u64,
+    /// Bytes already in use.
+    pub in_use: u64,
+    /// The budget.
+    pub budget: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OOM on {}: requested {} B with {} B in use of {} B budget",
+            self.owner, self.requested, self.in_use, self.budget
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Tracks resident bytes against a budget.
+#[derive(Debug)]
+pub struct MemoryMeter {
+    owner: String,
+    budget: u64,
+    in_use: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryMeter {
+    /// A meter with a hard budget in bytes.
+    pub fn new(owner: impl Into<String>, budget: u64) -> Self {
+        MemoryMeter {
+            owner: owner.into(),
+            budget,
+            in_use: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// An effectively unlimited meter (for nodes whose memory is not the
+    /// experiment's subject).
+    pub fn unbounded(owner: impl Into<String>) -> Self {
+        Self::new(owner, u64::MAX)
+    }
+
+    pub fn owner(&self) -> &str {
+        &self.owner
+    }
+
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    pub fn in_use(&self) -> u64 {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since creation / last reset.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Try to allocate `bytes`; fails if the budget would be exceeded.
+    pub fn alloc(&self, bytes: u64) -> Result<(), OutOfMemory> {
+        let mut cur = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_add(bytes);
+            if new > self.budget {
+                return Err(OutOfMemory {
+                    owner: self.owner.clone(),
+                    requested: bytes,
+                    in_use: cur,
+                    budget: self.budget,
+                });
+            }
+            match self
+                .in_use
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    self.peak.fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Release `bytes` back to the budget. Releasing more than is in use
+    /// clamps to zero (idempotent frees keep callers simple on error paths).
+    pub fn free(&self, bytes: u64) {
+        let mut cur = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let new = cur.saturating_sub(bytes);
+            match self
+                .in_use
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Drop all accounted memory (node restart).
+    pub fn clear(&self) {
+        self.in_use.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII allocation: frees its bytes when dropped.
+#[derive(Debug)]
+pub struct Reservation<'a> {
+    meter: &'a MemoryMeter,
+    bytes: u64,
+}
+
+impl<'a> Reservation<'a> {
+    /// Reserve `bytes` on `meter`, failing with OOM if it does not fit.
+    pub fn new(meter: &'a MemoryMeter, bytes: u64) -> Result<Self, OutOfMemory> {
+        meter.alloc(bytes)?;
+        Ok(Reservation { meter, bytes })
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Grow the reservation in place.
+    pub fn grow(&mut self, extra: u64) -> Result<(), OutOfMemory> {
+        self.meter.alloc(extra)?;
+        self.bytes += extra;
+        Ok(())
+    }
+}
+
+impl Drop for Reservation<'_> {
+    fn drop(&mut self) {
+        self.meter.free(self.bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_within_budget_succeeds() {
+        let m = MemoryMeter::new("exec-0", 100);
+        assert!(m.alloc(60).is_ok());
+        assert!(m.alloc(40).is_ok());
+        assert_eq!(m.in_use(), 100);
+    }
+
+    #[test]
+    fn alloc_over_budget_fails_with_details() {
+        let m = MemoryMeter::new("exec-0", 100);
+        m.alloc(90).unwrap();
+        let err = m.alloc(20).unwrap_err();
+        assert_eq!(err.owner, "exec-0");
+        assert_eq!(err.requested, 20);
+        assert_eq!(err.in_use, 90);
+        assert_eq!(err.budget, 100);
+        assert!(err.to_string().contains("OOM on exec-0"));
+    }
+
+    #[test]
+    fn free_returns_capacity() {
+        let m = MemoryMeter::new("x", 100);
+        m.alloc(100).unwrap();
+        m.free(50);
+        assert!(m.alloc(50).is_ok());
+    }
+
+    #[test]
+    fn over_free_clamps_to_zero() {
+        let m = MemoryMeter::new("x", 100);
+        m.alloc(10).unwrap();
+        m.free(1000);
+        assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let m = MemoryMeter::new("x", 1000);
+        m.alloc(700).unwrap();
+        m.free(600);
+        m.alloc(100).unwrap();
+        assert_eq!(m.peak(), 700);
+        assert_eq!(m.in_use(), 200);
+    }
+
+    #[test]
+    fn unbounded_never_fails() {
+        let m = MemoryMeter::unbounded("driver");
+        assert!(m.alloc(u64::MAX / 2).is_ok());
+        assert!(m.alloc(u64::MAX / 2).is_ok());
+    }
+
+    #[test]
+    fn reservation_frees_on_drop() {
+        let m = MemoryMeter::new("x", 100);
+        {
+            let mut r = Reservation::new(&m, 80).unwrap();
+            assert_eq!(m.in_use(), 80);
+            r.grow(20).unwrap();
+            assert_eq!(r.bytes(), 100);
+            assert!(r.grow(1).is_err());
+        }
+        assert_eq!(m.in_use(), 0);
+    }
+
+    #[test]
+    fn concurrent_allocs_respect_budget() {
+        use std::sync::Arc;
+        let m = Arc::new(MemoryMeter::new("x", 1000));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                let mut got = 0u64;
+                for _ in 0..1000 {
+                    if m.alloc(1).is_ok() {
+                        got += 1;
+                    }
+                }
+                got
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total <= 1000);
+        assert_eq!(m.in_use(), total);
+    }
+}

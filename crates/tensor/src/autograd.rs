@@ -1,0 +1,429 @@
+//! Reverse-mode automatic differentiation over a tape of tensor ops — the
+//! "Autograd mechanism" the paper relies on PyTorch for (§III-C: "PyTorch
+//! performs forward calculation and backward propagation with Autograd").
+
+use crate::tensor::Tensor;
+
+/// Handle to a node in the computation graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Leaf (input or parameter). `requires_grad` distinguishes params
+    /// from inputs for [`Graph::is_param`].
+    Leaf { requires_grad: bool },
+    MatMul(Var, Var),
+    Add(Var, Var),
+    /// `x + bias_row` broadcast over rows.
+    AddBias(Var, Var),
+    Relu(Var),
+    Sigmoid(Var),
+    Tanh(Var),
+    Scale(Var, f32),
+    ConcatCols(Var, Var),
+    /// Mean softmax cross-entropy against integer labels; scalar output.
+    SoftmaxCrossEntropy { logits: Var, labels: Vec<usize> },
+    /// Mean squared error against a constant target; scalar output.
+    Mse { pred: Var, target: Tensor },
+}
+
+struct Node {
+    op: Op,
+    value: Tensor,
+    grad: Option<Tensor>,
+}
+
+/// A dynamic computation graph (fresh per forward/backward pass, like a
+/// PyTorch tape).
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    fn push(&mut self, op: Op, value: Tensor) -> Var {
+        self.nodes.push(Node { op, value, grad: None });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// A constant input (no gradient).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf { requires_grad: false }, value)
+    }
+
+    /// A trainable parameter (gradient accumulated by `backward`).
+    pub fn param(&mut self, value: Tensor) -> Var {
+        self.push(Op::Leaf { requires_grad: true }, value)
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of the last `backward` target w.r.t. `v` (if it flowed).
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Whether `v` is a trainable parameter leaf.
+    pub fn is_param(&self, v: Var) -> bool {
+        matches!(self.nodes[v.0].op, Op::Leaf { requires_grad: true })
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a, b), value)
+    }
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(Op::Add(a, b), value)
+    }
+
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        let value = self.value(x).add_row(self.value(bias));
+        self.push(Op::AddBias(x, bias), value)
+    }
+
+    pub fn relu(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| v.max(0.0));
+        self.push(Op::Relu(x), value)
+    }
+
+    pub fn sigmoid(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.push(Op::Sigmoid(x), value)
+    }
+
+    pub fn tanh(&mut self, x: Var) -> Var {
+        let value = self.value(x).map(f32::tanh);
+        self.push(Op::Tanh(x), value)
+    }
+
+    pub fn scale(&mut self, x: Var, k: f32) -> Var {
+        let value = self.value(x).scale(k);
+        self.push(Op::Scale(x, k), value)
+    }
+
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_cols(self.value(b));
+        self.push(Op::ConcatCols(a, b), value)
+    }
+
+    /// Mean softmax cross-entropy loss (scalar `1 × 1`).
+    pub fn softmax_cross_entropy(&mut self, logits: Var, labels: &[usize]) -> Var {
+        let l = self.value(logits);
+        assert_eq!(l.rows(), labels.len(), "labels/batch mismatch");
+        let probs = l.softmax_rows();
+        let mut loss = 0.0f32;
+        for (r, &y) in labels.iter().enumerate() {
+            loss -= probs.get(r, y).max(1e-12).ln();
+        }
+        loss /= labels.len() as f32;
+        self.push(
+            Op::SoftmaxCrossEntropy { logits, labels: labels.to_vec() },
+            Tensor::from_vec(1, 1, vec![loss]),
+        )
+    }
+
+    /// Mean squared error against `target` (scalar `1 × 1`).
+    pub fn mse(&mut self, pred: Var, target: Tensor) -> Var {
+        let p = self.value(pred);
+        assert_eq!((p.rows(), p.cols()), (target.rows(), target.cols()));
+        let n = p.len() as f32;
+        let loss = p
+            .data()
+            .iter()
+            .zip(target.data())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n;
+        self.push(Op::Mse { pred, target }, Tensor::from_vec(1, 1, vec![loss]))
+    }
+
+    fn accumulate(&mut self, v: Var, g: Tensor) {
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => *existing = existing.add(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Backpropagate from the scalar node `target`.
+    pub fn backward(&mut self, target: Var) {
+        assert_eq!(self.value(target).len(), 1, "backward target must be scalar");
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[target.0].grad = Some(Tensor::from_vec(1, 1, vec![1.0]));
+
+        // The tape is already topologically ordered (ops only reference
+        // earlier nodes), so one reverse sweep suffices.
+        for i in (0..=target.0).rev() {
+            let Some(g) = self.nodes[i].grad.clone() else { continue };
+            match self.nodes[i].op.clone() {
+                Op::Leaf { .. } => {}
+                Op::MatMul(a, b) => {
+                    let da = g.matmul(&self.value(b).transpose());
+                    let db = self.value(a).transpose().matmul(&g);
+                    self.accumulate(a, da);
+                    self.accumulate(b, db);
+                }
+                Op::Add(a, b) => {
+                    self.accumulate(a, g.clone());
+                    self.accumulate(b, g);
+                }
+                Op::AddBias(x, bias) => {
+                    self.accumulate(bias, g.col_sum());
+                    self.accumulate(x, g);
+                }
+                Op::Relu(x) => {
+                    let mask = self.value(x).map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                    self.accumulate(x, g.hadamard(&mask));
+                }
+                Op::Sigmoid(x) => {
+                    let s = &self.nodes[i].value;
+                    let ds = s.map(|v| v * (1.0 - v));
+                    self.accumulate(x, g.hadamard(&ds));
+                }
+                Op::Tanh(x) => {
+                    let t = &self.nodes[i].value;
+                    let dt = t.map(|v| 1.0 - v * v);
+                    self.accumulate(x, g.hadamard(&dt));
+                }
+                Op::Scale(x, k) => {
+                    self.accumulate(x, g.scale(k));
+                }
+                Op::ConcatCols(a, b) => {
+                    let ca = self.value(a).cols();
+                    let rows = g.rows();
+                    let cb = g.cols() - ca;
+                    let mut ga = Tensor::zeros(rows, ca);
+                    let mut gb = Tensor::zeros(rows, cb);
+                    for r in 0..rows {
+                        ga.row_mut(r).copy_from_slice(&g.row(r)[..ca]);
+                        gb.row_mut(r).copy_from_slice(&g.row(r)[ca..]);
+                    }
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::SoftmaxCrossEntropy { logits, labels } => {
+                    let scale = g.get(0, 0) / labels.len() as f32;
+                    let mut dl = self.value(logits).softmax_rows();
+                    for (r, &y) in labels.iter().enumerate() {
+                        let v = dl.get(r, y);
+                        dl.set(r, y, v - 1.0);
+                    }
+                    self.accumulate(logits, dl.scale(scale));
+                }
+                Op::Mse { pred, target } => {
+                    let scale = g.get(0, 0) * 2.0 / self.value(pred).len() as f32;
+                    let mut dp = self.value(pred).clone();
+                    for (d, t) in dp.data_mut().iter_mut().zip(target.data()) {
+                        *d -= t;
+                    }
+                    self.accumulate(pred, dp.scale(scale));
+                }
+            }
+        }
+    }
+
+    /// Scalar value of a loss node.
+    pub fn scalar(&self, v: Var) -> f32 {
+        assert_eq!(self.value(v).len(), 1);
+        self.value(v).get(0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numeric gradient of `loss(build)` w.r.t. one parameter entry.
+    fn numeric_grad(
+        build: &dyn Fn(&mut Graph, &Tensor) -> Var,
+        param: &Tensor,
+        r: usize,
+        c: usize,
+    ) -> f32 {
+        let eps = 1e-3f32;
+        let mut plus = param.clone();
+        plus.set(r, c, plus.get(r, c) + eps);
+        let mut minus = param.clone();
+        minus.set(r, c, minus.get(r, c) - eps);
+        let mut g1 = Graph::new();
+        let l1 = build(&mut g1, &plus);
+        let mut g2 = Graph::new();
+        let l2 = build(&mut g2, &minus);
+        (g1.scalar(l1) - g2.scalar(l2)) / (2.0 * eps)
+    }
+
+    fn check_grads(build: impl Fn(&mut Graph, &Tensor) -> (Var, Var), param: Tensor) {
+        let mut g = Graph::new();
+        let (pvar, loss) = build(&mut g, &param);
+        g.backward(loss);
+        let analytic = g.grad(pvar).expect("param grad").clone();
+        let rebuild = |gg: &mut Graph, p: &Tensor| build(gg, p).1;
+        for r in 0..param.rows() {
+            for c in 0..param.cols() {
+                let num = numeric_grad(&rebuild, &param, r, c);
+                let ana = analytic.get(r, c);
+                assert!(
+                    (num - ana).abs() < 1e-2 * (1.0 + num.abs().max(ana.abs())),
+                    "grad mismatch at ({r},{c}): numeric {num} vs analytic {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_check_linear_mse() {
+        let w = Tensor::uniform(3, 2, 0.5, 11);
+        check_grads(
+            |g, p| {
+                let x = g.input(Tensor::uniform(4, 3, 1.0, 5));
+                let w = g.param(p.clone());
+                let y = g.matmul(x, w);
+                let loss = g.mse(y, Tensor::uniform(4, 2, 1.0, 6));
+                (w, loss)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_check_bias() {
+        let b = Tensor::uniform(1, 2, 0.5, 3);
+        check_grads(
+            |g, p| {
+                let x = g.input(Tensor::uniform(4, 2, 1.0, 9));
+                let b = g.param(p.clone());
+                let y = g.add_bias(x, b);
+                let loss = g.mse(y, Tensor::zeros(4, 2));
+                (b, loss)
+            },
+            b,
+        );
+    }
+
+    #[test]
+    fn grad_check_relu_sigmoid_tanh_chain() {
+        let w = Tensor::uniform(2, 2, 0.7, 21);
+        check_grads(
+            |g, p| {
+                let x = g.input(Tensor::uniform(3, 2, 1.0, 8));
+                let w = g.param(p.clone());
+                let h = g.matmul(x, w);
+                let h = g.relu(h);
+                let h = g.sigmoid(h);
+                let h = g.tanh(h);
+                let loss = g.mse(h, Tensor::zeros(3, 2));
+                (w, loss)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_check_concat_and_scale() {
+        let w = Tensor::uniform(2, 2, 0.5, 31);
+        check_grads(
+            |g, p| {
+                let x = g.input(Tensor::uniform(3, 2, 1.0, 12));
+                let w = g.param(p.clone());
+                let a = g.matmul(x, w);
+                let b = g.scale(a, 0.5);
+                let cat = g.concat_cols(a, b);
+                let loss = g.mse(cat, Tensor::zeros(3, 4));
+                (w, loss)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_check_softmax_cross_entropy() {
+        let w = Tensor::uniform(3, 4, 0.5, 41);
+        let labels = vec![0usize, 3, 1, 2, 0];
+        check_grads(
+            |g, p| {
+                let x = g.input(Tensor::uniform(5, 3, 1.0, 17));
+                let w = g.param(p.clone());
+                let logits = g.matmul(x, w);
+                let loss = g.softmax_cross_entropy(logits, &labels);
+                (w, loss)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_check_shared_parameter_two_paths() {
+        // Gradient accumulates across both uses of the parameter.
+        let w = Tensor::uniform(2, 2, 0.5, 51);
+        check_grads(
+            |g, p| {
+                let x = g.input(Tensor::uniform(2, 2, 1.0, 13));
+                let w = g.param(p.clone());
+                let a = g.matmul(x, w);
+                let b = g.matmul(a, w); // w used twice
+                let loss = g.mse(b, Tensor::zeros(2, 2));
+                (w, loss)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        // One linear layer learning y = x·W* on random data.
+        let wstar = Tensor::uniform(3, 2, 1.0, 1);
+        let x = Tensor::uniform(16, 3, 1.0, 2);
+        let y = x.matmul(&wstar);
+        let mut w = Tensor::uniform(3, 2, 0.1, 3);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let wv = g.param(w.clone());
+            let pred = g.matmul(xv, wv);
+            let loss = g.mse(pred, y.clone());
+            g.backward(loss);
+            let gw = g.grad(wv).unwrap();
+            for (wi, gi) in w.data_mut().iter_mut().zip(gw.data()) {
+                *wi -= 0.1 * gi;
+            }
+            last = g.scalar(loss);
+            first.get_or_insert(last);
+        }
+        assert!(last < first.unwrap() * 0.01, "loss {first:?} → {last}");
+    }
+
+    #[test]
+    fn inputs_have_no_grad_but_flow_through() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::uniform(2, 2, 1.0, 4));
+        let w = g.param(Tensor::uniform(2, 2, 1.0, 5));
+        let y = g.matmul(x, w);
+        let loss = g.mse(y, Tensor::zeros(2, 2));
+        g.backward(loss);
+        assert!(g.grad(w).is_some());
+        // Inputs also receive grads (needed for multi-layer GNNs) — they
+        // are just not updated by optimizers.
+        assert!(g.grad(x).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::zeros(2, 2));
+        g.backward(x);
+    }
+}

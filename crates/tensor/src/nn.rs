@@ -1,0 +1,161 @@
+//! Neural-network layers over the autograd graph.
+
+use crate::autograd::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// A fully-connected layer `y = x·W + b` with the weights held as plain
+/// tensors so they can be synced to/from the parameter server between
+/// steps (PSGraph pulls `W^k` from PS, builds the tape, and pushes the
+/// gradients back — paper Fig. 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    pub weight: Tensor,
+    pub bias: Tensor,
+}
+
+impl Linear {
+    /// Xavier-uniform initialization.
+    pub fn new(in_dim: usize, out_dim: usize, seed: u64) -> Self {
+        let scale = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        Linear {
+            weight: Tensor::uniform(in_dim, out_dim, scale, seed),
+            bias: Tensor::zeros(1, out_dim),
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Register parameters on the tape and apply the layer. Returns
+    /// `(output, weight var, bias var)` so callers can read the gradients
+    /// after `backward`.
+    pub fn forward(&self, g: &mut Graph, x: Var) -> (Var, Var, Var) {
+        let w = g.param(self.weight.clone());
+        let b = g.param(self.bias.clone());
+        let xw = g.matmul(x, w);
+        let y = g.add_bias(xw, b);
+        (y, w, b)
+    }
+
+    /// Flatten parameters into one row-major vector (PS storage layout:
+    /// weight rows then bias).
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut v = self.weight.data().to_vec();
+        v.extend_from_slice(self.bias.data());
+        v
+    }
+
+    /// Inverse of [`Linear::to_flat`].
+    pub fn from_flat(in_dim: usize, out_dim: usize, flat: &[f32]) -> Self {
+        assert_eq!(flat.len(), in_dim * out_dim + out_dim, "flat size mismatch");
+        Linear {
+            weight: Tensor::from_vec(in_dim, out_dim, flat[..in_dim * out_dim].to_vec()),
+            bias: Tensor::from_vec(1, out_dim, flat[in_dim * out_dim..].to_vec()),
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+}
+
+/// Classification accuracy of `logits` against integer labels.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes_and_forward() {
+        let layer = Linear::new(3, 2, 7);
+        assert_eq!((layer.in_dim(), layer.out_dim()), (3, 2));
+        assert_eq!(layer.param_count(), 8);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::uniform(4, 3, 1.0, 1));
+        let (y, _, _) = layer.forward(&mut g, x);
+        assert_eq!((g.value(y).rows(), g.value(y).cols()), (4, 2));
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let layer = Linear::new(5, 3, 9);
+        let flat = layer.to_flat();
+        assert_eq!(flat.len(), 18);
+        let back = Linear::from_flat(5, 3, &flat);
+        assert_eq!(back, layer);
+    }
+
+    #[test]
+    #[should_panic(expected = "flat size mismatch")]
+    fn from_flat_validates() {
+        Linear::from_flat(2, 2, &[0.0; 5]);
+    }
+
+    #[test]
+    fn gradients_flow_through_layer() {
+        let layer = Linear::new(3, 2, 11);
+        let mut g = Graph::new();
+        let x = g.input(Tensor::uniform(4, 3, 1.0, 2));
+        let (y, wv, bv) = layer.forward(&mut g, x);
+        let loss = g.mse(y, Tensor::zeros(4, 2));
+        g.backward(loss);
+        assert!(g.grad(wv).unwrap().norm() > 0.0);
+        assert_eq!(g.grad(bv).unwrap().cols(), 2);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = Tensor::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-12);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy(&Tensor::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    fn two_layer_net_learns_xor() {
+        // Classic sanity check that the whole stack trains.
+        let x = Tensor::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let labels = vec![0usize, 1, 1, 0];
+        let mut l1 = Linear::new(2, 8, 1);
+        let mut l2 = Linear::new(8, 2, 2);
+        let mut final_acc = 0.0;
+        for _ in 0..800 {
+            let mut g = Graph::new();
+            let xv = g.input(x.clone());
+            let (h, w1, b1) = l1.forward(&mut g, xv);
+            let h = g.relu(h);
+            let (logits, w2, b2) = l2.forward(&mut g, h);
+            let loss = g.softmax_cross_entropy(logits, &labels);
+            g.backward(loss);
+            let lr = 0.5;
+            for (p, gv) in [
+                (&mut l1.weight, w1),
+                (&mut l1.bias, b1),
+                (&mut l2.weight, w2),
+                (&mut l2.bias, b2),
+            ] {
+                let grad = g.grad(gv).unwrap();
+                for (pi, gi) in p.data_mut().iter_mut().zip(grad.data()) {
+                    *pi -= lr * gi;
+                }
+            }
+            final_acc = accuracy(g.value(logits), &labels);
+        }
+        assert!(final_acc > 0.99, "xor accuracy {final_acc}");
+    }
+}

@@ -1,0 +1,87 @@
+//! LINE vertex embeddings (§IV-D): train second-order LINE with the
+//! column-partitioned embedding/context matrices on the parameter server,
+//! then use cosine similarity in the embedding space for a
+//! "people you may know" style nearest-neighbor lookup.
+//!
+//! ```text
+//! cargo run --release --example embeddings
+//! ```
+
+use psgraph::core::algos::{Line, LineConfig, LineOrder};
+use psgraph::core::runner::distribute_edges;
+use psgraph::core::PsGraphContext;
+use psgraph::graph::gen;
+
+fn cosine(a: &[f32], b: &[f32]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| *x as f64 * *y as f64).sum();
+    let na: f64 = a.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| (*x as f64).powi(2)).sum::<f64>().sqrt();
+    dot / (na * nb + 1e-12)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ctx = PsGraphContext::local();
+
+    // A clustered graph: embeddings should place cluster-mates together.
+    let s = gen::sbm2(300, 12.0, 0.5, 4, 0.5, 77);
+    let edges = distribute_edges(&ctx, &s.graph, 8)?;
+
+    let out = Line::new(LineConfig {
+        dim: 32,
+        order: LineOrder::First,
+        epochs: 10,
+        lr: 0.08,
+        ..Default::default()
+    })
+    .run(&ctx, &edges, 300)?;
+    println!(
+        "trained LINE(dim=32) for {} epochs; loss {:.3} → {:.3}; {}",
+        out.loss_per_epoch.len(),
+        out.loss_per_epoch.first().unwrap(),
+        out.loss_per_epoch.last().unwrap(),
+        out.stats
+    );
+
+    // Nearest neighbors of a few query vertices.
+    for &query in &[0u64, 150, 299] {
+        let qe = &out.embeddings[query as usize];
+        let mut sims: Vec<(u64, f64)> = (0..300u64)
+            .filter(|&v| v != query)
+            .map(|v| (v, cosine(qe, &out.embeddings[v as usize])))
+            .collect();
+        sims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let side = |v: u64| if v < 150 { "A" } else { "B" };
+        print!("closest to {query} (cluster {}): ", side(query));
+        for (v, s) in sims.iter().take(5) {
+            print!("{v}[{}] {s:.2}  ", side(*v));
+        }
+        println!();
+    }
+
+    // Quantitative check: average within-cluster similarity must beat
+    // cross-cluster similarity.
+    let (mut within, mut cross, mut wn, mut cn) = (0.0, 0.0, 0usize, 0usize);
+    for a in (0..300).step_by(7) {
+        for b in (0..300).step_by(11) {
+            if a == b {
+                continue;
+            }
+            let sim = cosine(&out.embeddings[a], &out.embeddings[b]);
+            if (a < 150) == (b < 150) {
+                within += sim;
+                wn += 1;
+            } else {
+                cross += sim;
+                cn += 1;
+            }
+        }
+    }
+    println!(
+        "avg cosine: within-cluster {:.3}, cross-cluster {:.3}",
+        within / wn as f64,
+        cross / cn as f64
+    );
+    assert!(within / wn as f64 > cross / cn as f64);
+    println!("simulated cluster time: {}", ctx.now());
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! PSGraph — a reproduction of "PSGraph: How Tencent trains extremely
+//! large-scale graphs with Spark?" (ICDE 2020) as a pure-Rust, simulated
+//! cluster.
+//!
+//! This facade crate re-exports every subsystem so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`sim`] — simulated time, cost model, memory budgets, failure injection.
+//! * [`net`] — the in-process RPC / message bus between logical nodes.
+//! * [`dfs`] — a miniature HDFS (blocks, replication, checksums).
+//! * [`dataflow`] — a Spark-like engine (RDDs, shuffle, stages, lineage).
+//! * [`ps`] — the distributed parameter server (the paper's centerpiece).
+//! * [`tensor`] — a small autograd / neural-network library ("PyTorch").
+//! * [`graph`] — graph structures, generators, and dataset presets.
+//! * [`core`] — PSGraph itself: `PSContext`, PS agents, the Listing-1
+//!   job API, and the algorithms (PageRank, K-Core, Common Neighbor,
+//!   Triangle Count, Fast Unfolding, Label Propagation, Connected
+//!   Components, LINE, GraphSage).
+//! * [`graphx`] — the join/shuffle-based GraphX baseline.
+//! * [`euler`] — the Euler baseline for the GraphSage comparison.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+//!
+//! ```
+//! use psgraph::core::{algos::PageRank, runner, PsGraphContext};
+//! use psgraph::graph::gen;
+//!
+//! // A full deployment: simulated Spark executors + parameter servers + DFS.
+//! let ctx = PsGraphContext::local();
+//! let graph = gen::rmat(1_000, 8_000, gen::RmatParams::default(), 7);
+//! let edges = runner::distribute_edges(&ctx, &graph, 8).unwrap();
+//! let out = PageRank { max_iterations: 10, ..Default::default() }
+//!     .run(&ctx, &edges, graph.num_vertices())
+//!     .unwrap();
+//! assert_eq!(out.ranks.len(), 1_000);
+//! assert!(ctx.now() > psgraph::sim::SimTime::ZERO); // simulated time elapsed
+//! ```
+
+pub use psgraph_core as core;
+pub use psgraph_dataflow as dataflow;
+pub use psgraph_dfs as dfs;
+pub use psgraph_euler as euler;
+pub use psgraph_graph as graph;
+pub use psgraph_graphx as graphx;
+pub use psgraph_net as net;
+pub use psgraph_ps as ps;
+pub use psgraph_sim as sim;
+pub use psgraph_tensor as tensor;

@@ -1,0 +1,123 @@
+//! End-to-end pipeline integration: DFS → edge RDD → PS algorithms →
+//! DFS output, spanning every substrate crate through the facade.
+
+use std::sync::Arc;
+
+use psgraph::core::algos::{
+    CommonNeighbor, FastUnfolding, GraphSage, GraphSageConfig, KCore, Line, LineConfig,
+    PageRank, TriangleCount,
+};
+use psgraph::core::runner;
+use psgraph::core::{PsGraphConfig, PsGraphContext};
+use psgraph::graph::{gen, io, metrics};
+use psgraph::sim::SimTime;
+
+fn ctx() -> Arc<PsGraphContext> {
+    PsGraphContext::new(PsGraphConfig::default())
+}
+
+#[test]
+fn full_pagerank_pipeline_through_dfs() {
+    let ctx = ctx();
+    let g = gen::rmat(500, 4_000, Default::default(), 11).dedup();
+    io::write_binary(ctx.dfs(), "/in/g.bin", &g, ctx.cluster().driver()).unwrap();
+
+    let edges = runner::load_edges(&ctx, "/in/g.bin").unwrap();
+    let out = PageRank { max_iterations: 40, ..Default::default() }
+        .run(&ctx, &edges, g.num_vertices())
+        .unwrap();
+
+    let ranked: Vec<(u64, f64)> =
+        out.ranks.iter().enumerate().map(|(v, &r)| (v as u64, r)).collect();
+    runner::save_vertex_values(&ctx, "/out/pr.bin", &ranked).unwrap();
+    let back = runner::load_vertex_values(&ctx, "/out/pr.bin").unwrap();
+    assert_eq!(back, ranked);
+
+    // Ranking order must agree with the exact reference on the top ids.
+    let exact = metrics::pagerank_exact(&g, 0.85, 60);
+    let top_ours = ranked
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+    let top_exact = exact
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0 as u64;
+    assert_eq!(top_ours, top_exact, "top-ranked vertex must match");
+    assert!(ctx.now() > SimTime::ZERO);
+}
+
+#[test]
+fn all_traditional_algorithms_one_deployment() {
+    // Run the full Fig. 6 algorithm set against ONE shared deployment —
+    // PS objects must not collide and memory must be returned.
+    let ctx = ctx();
+    let g = gen::rmat(200, 1_500, Default::default(), 13).dedup();
+    let edges = runner::distribute_edges(&ctx, &g, 8).unwrap();
+
+    let pr = PageRank { max_iterations: 20, ..Default::default() }
+        .run(&ctx, &edges, g.num_vertices())
+        .unwrap();
+    assert_eq!(pr.ranks.len() as u64, g.num_vertices());
+
+    let kc = KCore::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+    assert_eq!(kc.coreness, metrics::kcore_exact(&g));
+
+    let tc = TriangleCount::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+    assert_eq!(tc.triangles, metrics::triangles_exact(&g));
+
+    let cn = CommonNeighbor::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+    let queried: Vec<(u64, u64)> = cn.counts.iter().map(|&(a, b, _)| (a, b)).collect();
+    let expect = metrics::common_neighbors_exact(&g, &queried);
+    for ((_, _, c), e) in cn.counts.iter().zip(&expect) {
+        assert_eq!(c, e);
+    }
+
+    let fu = FastUnfolding::default()
+        .run_unweighted(&ctx, &edges, g.num_vertices())
+        .unwrap();
+    assert!(fu.modularity.is_finite());
+
+    // After all runs, the PS holds no leftover registered objects' state
+    // beyond what unregister cleaned (every algorithm unregisters).
+    assert_eq!(ctx.ps().resident_bytes(), 0, "PS must be clean after jobs");
+}
+
+#[test]
+fn ge_and_gnn_on_one_deployment() {
+    let ctx = ctx();
+    let s = gen::sbm2(200, 8.0, 0.6, 8, 1.0, 17);
+    let edges = runner::distribute_edges(&ctx, &s.graph, 8).unwrap();
+
+    let line = Line::new(LineConfig { dim: 16, epochs: 3, ..Default::default() })
+        .run(&ctx, &edges, 200)
+        .unwrap();
+    assert_eq!(line.embeddings.len(), 200);
+    assert!(line.loss_per_epoch.last().unwrap() < &line.loss_per_epoch[0]);
+
+    let feats = Arc::new(s.features.clone());
+    let labels = Arc::new(s.labels.clone());
+    let gs = GraphSage::new(GraphSageConfig { feat_dim: 8, epochs: 2, ..Default::default() })
+        .run(&ctx, &edges, &feats, &labels, 200)
+        .unwrap();
+    assert!(gs.test_accuracy > 0.6);
+    assert_eq!(ctx.ps().resident_bytes(), 0);
+}
+
+#[test]
+fn simulated_time_accumulates_across_jobs() {
+    let ctx = ctx();
+    let g = gen::rmat(100, 600, Default::default(), 19);
+    let edges = runner::distribute_edges(&ctx, &g, 4).unwrap();
+    let t1 = ctx.now();
+    PageRank { max_iterations: 5, ..Default::default() }
+        .run(&ctx, &edges, 100)
+        .unwrap();
+    let t2 = ctx.now();
+    assert!(t2 > t1);
+    TriangleCount::default().run(&ctx, &edges, 100).unwrap();
+    assert!(ctx.now() > t2, "jobs on one context share a timeline");
+}

@@ -1,0 +1,126 @@
+//! Failure-injection integration tests across the whole stack: executor
+//! kills (lineage reload), PS server kills (checkpoint restore), datanode
+//! kills (DFS replication), and combinations — results must always match
+//! the failure-free run.
+
+use psgraph::core::algos::{CommonNeighbor, KCore, PageRank};
+use psgraph::core::runner::distribute_edges;
+use psgraph::core::PsGraphContext;
+use psgraph::graph::{gen, metrics};
+use psgraph::sim::{FailPlan, SimTime};
+
+#[test]
+fn executor_and_server_failures_in_one_run() {
+    let g = gen::rmat(120, 900, Default::default(), 211).dedup();
+    let ctx = PsGraphContext::local();
+    let edges = distribute_edges(&ctx, &g, 8).unwrap();
+    // Kill an executor at superstep 2 and a PS server at superstep 4.
+    // Small batches force enough supersteps for both kills to fire.
+    ctx.cluster().injector().schedule(FailPlan::kill_executor(2, 2));
+    ctx.ps().injector().schedule(FailPlan::kill_server(1, 4));
+    let out = CommonNeighbor { checkpoint: true, batch_size: 8 }
+        .run(&ctx, &edges, g.num_vertices())
+        .unwrap();
+    let queried: Vec<(u64, u64)> = out.counts.iter().map(|&(a, b, _)| (a, b)).collect();
+    let exact = metrics::common_neighbors_exact(&g, &queried);
+    for ((_, _, c), e) in out.counts.iter().zip(&exact) {
+        assert_eq!(c, e, "counts must survive both failures");
+    }
+    assert!(ctx.now() >= ctx.cost().restart_overhead());
+}
+
+#[test]
+fn repeated_executor_failures() {
+    let g = gen::rmat(100, 700, Default::default(), 223).dedup();
+    let ctx = PsGraphContext::local();
+    let edges = distribute_edges(&ctx, &g, 8).unwrap();
+    // Three kills across the run, different executors.
+    for (e, step) in [(0usize, 2u64), (1, 5), (3, 9)] {
+        ctx.cluster().injector().schedule(FailPlan::kill_executor(e, step));
+    }
+    let out = KCore::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+    assert_eq!(out.coreness, metrics::kcore_exact(&g));
+}
+
+#[test]
+fn consistent_recovery_rolls_pagerank_back_correctly() {
+    let g = gen::rmat(80, 500, Default::default(), 227).dedup();
+
+    let run = |kill: bool| {
+        let ctx = PsGraphContext::local();
+        let edges = distribute_edges(&ctx, &g, 8).unwrap();
+        if kill {
+            ctx.ps().injector().schedule(FailPlan::kill_server(0, 6));
+        }
+        (
+            PageRank { max_iterations: 25, checkpoint_every: 2, ..Default::default() }
+                .run(&ctx, &edges, g.num_vertices())
+                .unwrap(),
+            ctx.now(),
+        )
+    };
+    let (clean, t_clean) = run(false);
+    let (failed, t_failed) = run(true);
+    for (v, (a, b)) in clean.ranks.iter().zip(&failed.ranks).enumerate() {
+        assert!((a - b).abs() < 1e-3, "vertex {v}: {a} vs {b}");
+    }
+    assert!(t_failed > t_clean, "recovery must cost simulated time");
+}
+
+#[test]
+fn dfs_survives_datanode_loss_under_checkpointing() {
+    let g = gen::rmat(80, 500, Default::default(), 229).dedup();
+    let ctx = PsGraphContext::local();
+    let edges = distribute_edges(&ctx, &g, 8).unwrap();
+    // Write checkpoints, lose a datanode, then force a server recovery
+    // that must read the checkpoint from the surviving replicas.
+    ctx.ps().injector().schedule(FailPlan::kill_server(1, 3));
+    ctx.dfs().kill_datanode(0).unwrap();
+    let out = CommonNeighbor { checkpoint: true, batch_size: 8 }
+        .run(&ctx, &edges, g.num_vertices())
+        .unwrap();
+    assert!(!out.counts.is_empty());
+}
+
+#[test]
+fn unrecoverable_when_checkpoint_missing() {
+    // A server dies but nothing was ever checkpointed: the master cannot
+    // restore, and the job must surface a clean error (not wrong data).
+    let g = gen::rmat(60, 300, Default::default(), 233).dedup();
+    let ctx = PsGraphContext::local();
+    let edges = distribute_edges(&ctx, &g, 8).unwrap();
+    ctx.ps().injector().schedule(FailPlan::kill_server(0, 1));
+    let err = CommonNeighbor { checkpoint: false, batch_size: 8 }
+        .run(&ctx, &edges, g.num_vertices())
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("checkpoint"),
+        "expected a no-checkpoint error, got: {err}"
+    );
+}
+
+#[test]
+fn failure_free_runs_are_reproducible() {
+    let g = gen::rmat(100, 800, Default::default(), 239).dedup();
+    let run = || {
+        let ctx = PsGraphContext::local();
+        let edges = distribute_edges(&ctx, &g, 8).unwrap();
+        let out = PageRank { max_iterations: 15, ..Default::default() }
+            .run(&ctx, &edges, g.num_vertices())
+            .unwrap();
+        (out.ranks, out.stats.elapsed)
+    };
+    let (r1, t1) = run();
+    let (r2, t2) = run();
+    // Ranks agree to float-accumulation noise: executors push their
+    // updates to the PS concurrently, so server-side summation order can
+    // differ in the last ULP between runs. Everything else is seeded.
+    for (v, (a, b)) in r1.iter().zip(&r2).enumerate() {
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "vertex {v}: {a} vs {b}");
+    }
+    // Simulated time is *near*-deterministic: per-node costs are exact,
+    // but PS-port queueing order also depends on thread interleaving.
+    let ratio = t1.as_secs_f64() / t2.as_secs_f64();
+    assert!((0.9..1.1).contains(&ratio), "elapsed {t1} vs {t2}");
+    assert!(t1 > SimTime::ZERO);
+}
