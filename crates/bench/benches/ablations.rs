@@ -7,7 +7,7 @@
 //!   re-shuffling both sides (the GraphX CN fix).
 //! * **BSP vs ASP** — superstep barrier cost under stragglers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psgraph_harness::bench::{BenchmarkId, Harness};
 
 use psgraph_bench::deploy::{psgraph_context, PaperAlloc, ScaleRule};
 use psgraph_core::algos::PageRank;
@@ -20,13 +20,13 @@ use psgraph_sim::{ClusterClock, NodeClock, SimTime};
 
 const SCALE: f64 = 0.01;
 
-fn ablation_delta_pagerank(c: &mut Criterion) {
+fn ablation_delta_pagerank(c: &mut Harness) {
     let g = Dataset::Ds1.generate(SCALE);
     let rule = ScaleRule::new(Dataset::Ds1, SCALE);
     let mut group = c.benchmark_group("ablation_delta_pagerank");
     group.sample_size(10);
     for (name, threshold) in [("delta_sparse", 1e-4), ("exact_dense", 0.0)] {
-        // Criterion measures wall clock of the simulator; the design
+        // The harness measures wall clock of the simulator; the design
         // claim is about *simulated* cluster time — print it once.
         {
             let ctx = psgraph_context(rule, PaperAlloc::PSGRAPH_DS1);
@@ -50,7 +50,7 @@ fn ablation_delta_pagerank(c: &mut Criterion) {
     group.finish();
 }
 
-fn ablation_partitioner(c: &mut Criterion) {
+fn ablation_partitioner(c: &mut Harness) {
     let mut group = c.benchmark_group("ablation_partitioner");
     group.sample_size(20);
     // Skewed access under concurrency: eight executors simultaneously
@@ -105,7 +105,7 @@ fn ablation_partitioner(c: &mut Criterion) {
     group.finish();
 }
 
-fn ablation_copartitioned_join(c: &mut Criterion) {
+fn ablation_copartitioned_join(c: &mut Harness) {
     let mut group = c.benchmark_group("ablation_copartitioned_join");
     group.sample_size(10);
     let cluster = Cluster::local();
@@ -131,7 +131,7 @@ fn ablation_copartitioned_join(c: &mut Criterion) {
     group.finish();
 }
 
-fn ablation_bsp_vs_asp(c: &mut Criterion) {
+fn ablation_bsp_vs_asp(c: &mut Harness) {
     let mut group = c.benchmark_group("ablation_sync_mode");
     group.sample_size(30);
     // Ten supersteps with one straggler: BSP propagates the straggler's
@@ -157,11 +157,9 @@ fn ablation_bsp_vs_asp(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
+psgraph_harness::bench_main!(
     ablation_delta_pagerank,
     ablation_partitioner,
     ablation_copartitioned_join,
-    ablation_bsp_vs_asp
+    ablation_bsp_vs_asp,
 );
-criterion_main!(benches);

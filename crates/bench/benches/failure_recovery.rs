@@ -1,7 +1,7 @@
-//! Criterion bench for Table II: Common Neighbor on DS1′ without failure,
+//! Micro-bench for Table II: Common Neighbor on DS1′ without failure,
 //! with an executor kill, and with a PS-server kill.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psgraph_harness::bench::{BenchmarkId, Harness};
 
 use psgraph_bench::deploy::{psgraph_context, PaperAlloc, ScaleRule};
 use psgraph_core::algos::CommonNeighbor;
@@ -33,7 +33,7 @@ fn run(kill: Kill) {
         .unwrap();
 }
 
-fn bench_recovery(c: &mut Criterion) {
+fn bench_recovery(c: &mut Harness) {
     let mut group = c.benchmark_group("table2_failure_recovery");
     group.sample_size(10);
     for (name, kill) in [
@@ -48,5 +48,4 @@ fn bench_recovery(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_recovery);
-criterion_main!(benches);
+psgraph_harness::bench_main!(bench_recovery);

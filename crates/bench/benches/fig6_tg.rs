@@ -1,4 +1,4 @@
-//! Criterion bench for Fig. 6: wall-clock of the simulated runs for each
+//! Micro-bench for Fig. 6: wall-clock of the simulated runs for each
 //! traditional-graph algorithm, PSGraph vs GraphX. Clusters run
 //! *unbounded* here — this bench measures engine wall-time at a small
 //! scale; the emergent OOM pattern (which is budget- and scale-
@@ -7,7 +7,7 @@
 //! Count are skipped: unbounded they exhaust host memory by design (that
 //! IS the Fig. 6 result).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psgraph_harness::bench::{BenchmarkId, Harness};
 
 use psgraph_bench::deploy::{graphx_unbounded, psgraph_unbounded, SIM_EXECUTORS};
 use psgraph_core::algos::{CommonNeighbor, FastUnfolding, KCore, PageRank, TriangleCount};
@@ -17,7 +17,7 @@ use psgraph_graphx::{gx_common_neighbor, gx_fast_unfolding, gx_pagerank, GxGraph
 
 const SCALE: f64 = 0.01;
 
-fn bench_fig6(c: &mut Criterion) {
+fn bench_fig6(c: &mut Harness) {
     let g = Dataset::Ds1.generate(SCALE);
     let mut group = c.benchmark_group("fig6_ds1");
     group.sample_size(10);
@@ -90,5 +90,4 @@ fn bench_fig6(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);
+psgraph_harness::bench_main!(bench_fig6);

@@ -1,9 +1,9 @@
-//! Criterion bench for Table I: GraphSage preprocessing + training on
+//! Micro-bench for Table I: GraphSage preprocessing + training on
 //! DS3′, PSGraph vs the Euler baseline.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psgraph_harness::bench::{BenchmarkId, Harness};
 
 use psgraph_bench::deploy::{psgraph_context, PaperAlloc, ScaleRule};
 use psgraph_bench::table1::FEAT_DIM;
@@ -15,7 +15,7 @@ use psgraph_sim::{CostModel, NodeClock};
 
 const SCALE: f64 = 0.02;
 
-fn bench_graphsage(c: &mut Criterion) {
+fn bench_graphsage(c: &mut Harness) {
     let s = Dataset::generate_ds3_features(SCALE, FEAT_DIM);
     let rule = ScaleRule::new(Dataset::Ds3, SCALE);
     let mut group = c.benchmark_group("table1_graphsage_ds3");
@@ -54,5 +54,4 @@ fn bench_graphsage(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_graphsage);
-criterion_main!(benches);
+psgraph_harness::bench_main!(bench_graphsage);

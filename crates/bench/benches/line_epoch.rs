@@ -1,7 +1,7 @@
-//! Criterion bench for §V-B2: one LINE training epoch on DS1′, with and
+//! Micro-bench for §V-B2: one LINE training epoch on DS1′, with and
 //! without the psFunc server-side dot products (the §IV-D optimization).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psgraph_harness::bench::{BenchmarkId, Harness};
 
 use psgraph_bench::deploy::{psgraph_context, PaperAlloc, ScaleRule};
 use psgraph_core::algos::{Line, LineConfig};
@@ -10,7 +10,7 @@ use psgraph_graph::Dataset;
 
 const SCALE: f64 = 0.005;
 
-fn bench_line(c: &mut Criterion) {
+fn bench_line(c: &mut Harness) {
     let g = Dataset::Ds1.generate(SCALE);
     let rule = ScaleRule::new(Dataset::Ds1, SCALE);
     let mut group = c.benchmark_group("line_epoch_ds1");
@@ -36,5 +36,4 @@ fn bench_line(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_line);
-criterion_main!(benches);
+psgraph_harness::bench_main!(bench_line);

@@ -14,7 +14,7 @@
 //! *increments* cross the network — the sparsity optimization the paper
 //! credits for the 8× win over GraphX.
 
-use parking_lot::Mutex;
+use psgraph_sim::sync::Mutex;
 use std::sync::Arc;
 
 use psgraph_dataflow::Rdd;
@@ -99,25 +99,30 @@ impl PageRank {
             }
             supersteps += 1;
 
-            // Steps 2–3: pull Δ of local sources, compute contributions.
+            // Steps 2–3: pull Δ of local sources, compute contributions as
+            // (dst, src, value) triples. Keeping the source id lets the
+            // driver fold every destination's sum in a canonical order, so
+            // the floating-point result is identical no matter how the
+            // edge list was partitioned (determinism contract: same seed ⇒
+            // bit-identical ranks).
             let damping = self.damping;
             let threshold = self.delta_threshold;
             let dranks_ref = &dranks;
-            let staged: Vec<FxHashMap<u64, f64>> = ctx
+            let staged: Vec<Vec<(u64, u64, f64)>> = ctx
                 .cluster()
                 .run_stage(tables.num_partitions(), |p, exec| {
                     let part = tables.partition(p)?;
                     let srcs: Vec<u64> = part.iter().map(|(s, _)| *s).collect();
                     let deltas = dranks_ref.pull_sparse(exec.clock(), &srcs).df()?;
-                    let mut updates: FxHashMap<u64, f64> = FxHashMap::default();
+                    let mut updates: Vec<(u64, u64, f64)> = Vec::new();
                     let mut work = 0u64;
-                    for ((_, neighbors), delta) in part.iter().zip(deltas) {
+                    for ((src, neighbors), delta) in part.iter().zip(deltas) {
                         if delta.abs() <= threshold || neighbors.is_empty() {
                             continue;
                         }
                         let contrib = damping * delta / neighbors.len() as f64;
                         for &dst in neighbors {
-                            *updates.entry(dst).or_default() += contrib;
+                            updates.push((dst, *src, contrib));
                         }
                         work += neighbors.len() as u64;
                     }
@@ -125,6 +130,21 @@ impl PageRank {
                     Ok(updates)
                 })
                 .map_err(crate::error::CoreError::from)?;
+
+            // Canonical fold: sort contributions by (dst, src) and sum
+            // each destination sequentially. Each destination then gets
+            // exactly one add per superstep, from its owner partition.
+            let num_parts = tables.num_partitions();
+            let mut contribs: Vec<(u64, u64, f64)> =
+                staged.into_iter().flatten().collect();
+            contribs.sort_unstable_by_key(|&(dst, src, _)| (dst, src));
+            let mut per_part: Vec<FxHashMap<u64, f64>> =
+                vec![FxHashMap::default(); num_parts];
+            for (dst, _src, c) in contribs {
+                let owner = (dst % num_parts as u64) as usize;
+                *per_part[owner].entry(dst).or_default() += c;
+            }
+            let staged = per_part;
 
             // Step 4: PS folds Δranks into ranks and resets Δranks.
             ranks.accumulate_and_reset(ctx.cluster().driver(), &dranks)?;

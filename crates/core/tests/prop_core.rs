@@ -1,0 +1,83 @@
+//! Property tests for algorithm invariants that hold on any graph, using
+//! the in-tree harness.
+
+use psgraph_core::algos::{ConnectedComponents, KCore, TriangleCount};
+use psgraph_core::runner::distribute_edges;
+use psgraph_core::PsGraphContext;
+use psgraph_harness::prop::{check_with, Config, Source};
+use psgraph_harness::{prop_assert, prop_assert_eq};
+use psgraph_graph::EdgeList;
+
+fn arb_graph(src: &mut Source) -> EdgeList {
+    let n = src.u64_range(4, 40);
+    let edges = src.vec_with(1, 120, |s| (s.u64_range(0, n), s.u64_range(0, n)));
+    EdgeList::new(n, edges).dedup()
+}
+
+#[test]
+fn coreness_never_exceeds_degree() {
+    check_with(
+        "coreness_never_exceeds_degree",
+        &Config::with_cases(10),
+        arb_graph,
+        |g| {
+            let ctx = PsGraphContext::local();
+            let edges = distribute_edges(&ctx, g, 4).unwrap();
+            let out = KCore::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+            let deg = g.undirected().out_degrees();
+            for (v, (&c, &d)) in out.coreness.iter().zip(&deg).enumerate() {
+                prop_assert!(c <= d, "vertex {}: coreness {} > degree {}", v, c, d);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn triangle_count_bounded_by_edge_triples() {
+    check_with(
+        "triangle_count_bounded_by_edge_triples",
+        &Config::with_cases(10),
+        arb_graph,
+        |g| {
+            let ctx = PsGraphContext::local();
+            let edges = distribute_edges(&ctx, g, 4).unwrap();
+            let out = TriangleCount::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+            // m undirected edges allow at most m·(m-1)/3 triangles — a
+            // loose sanity bound that catches double counting.
+            let m = g.undirected().edges().len() as u64 / 2;
+            prop_assert!(
+                out.triangles <= m.saturating_mul(m.saturating_sub(1)) / 3 + 1,
+                "{} triangles from {} edges",
+                out.triangles,
+                m
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn component_labels_are_constant_within_an_edge() {
+    check_with(
+        "component_labels_are_constant_within_an_edge",
+        &Config::with_cases(10),
+        arb_graph,
+        |g| {
+            let ctx = PsGraphContext::local();
+            let edges = distribute_edges(&ctx, g, 4).unwrap();
+            let out =
+                ConnectedComponents::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+            for &(s, d) in g.edges() {
+                prop_assert_eq!(
+                    out.labels[s as usize],
+                    out.labels[d as usize],
+                    "edge ({}, {}) spans components",
+                    s,
+                    d
+                );
+            }
+            Ok(())
+        },
+    );
+}

@@ -1,6 +1,6 @@
 //! The simulated Spark cluster: a driver plus a pool of executors.
 
-use parking_lot::Mutex;
+use psgraph_sim::sync::Mutex;
 use psgraph_net::Network;
 use psgraph_sim::{
     ClusterClock, CostModel, FailureInjector, MemoryMeter, NodeClock, SimTime,
@@ -281,7 +281,7 @@ impl Cluster {
             Mutex::new((0..tasks).map(|_| None).collect());
         let first_err: Mutex<Option<DataflowError>> = Mutex::new(None);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (eid, parts) in by_exec.iter().enumerate() {
                 if parts.is_empty() {
                     continue;
@@ -290,7 +290,7 @@ impl Cluster {
                 let f = &f;
                 let results = &results;
                 let first_err = &first_err;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for &p in parts {
                         if first_err.lock().is_some() {
                             return;
@@ -315,8 +315,7 @@ impl Cluster {
                     }
                 });
             }
-        })
-        .expect("stage worker panicked");
+        });
 
         if let Some(e) = first_err.into_inner() {
             return Err(e);

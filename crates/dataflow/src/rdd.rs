@@ -8,7 +8,7 @@
 //! those through the provenance chain — Spark's lineage recovery in
 //! miniature (paper §III-C "Failure recovery").
 
-use parking_lot::RwLock;
+use psgraph_sim::sync::RwLock;
 use std::sync::Arc;
 
 use crate::cluster::{Cluster, Executor};
@@ -34,7 +34,7 @@ struct RddInner<T: Record> {
     name: String,
     parts: Vec<PartitionSlot<T>>,
     /// Bytes charged per partition (for Drop-time release).
-    charged: Vec<parking_lot::Mutex<u64>>,
+    charged: Vec<psgraph_sim::sync::Mutex<u64>>,
 }
 
 impl<T: Record> Drop for RddInner<T> {
@@ -88,7 +88,7 @@ impl<T: Record> Rdd<T> {
             cluster: Arc::clone(cluster),
             name: name.into(),
             parts: (0..partitions).map(|_| PartitionSlot::default()).collect(),
-            charged: (0..partitions).map(|_| parking_lot::Mutex::new(0)).collect(),
+            charged: (0..partitions).map(|_| psgraph_sim::sync::Mutex::new(0)).collect(),
         });
 
         let inner2 = Arc::clone(&inner);

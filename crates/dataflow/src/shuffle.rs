@@ -18,7 +18,7 @@ use psgraph_sim::FxHashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use psgraph_sim::sync::Mutex;
 use psgraph_sim::memory::Reservation;
 
 use crate::cluster::Executor;

@@ -1,0 +1,82 @@
+//! Property tests for the dataflow engine, using the in-tree harness.
+
+use psgraph_dataflow::{Cluster, Rdd};
+use psgraph_harness::prop::{check, Source};
+use psgraph_harness::{prop_assert, prop_assert_eq};
+
+#[test]
+fn map_filter_composition_matches_vec_semantics() {
+    check(
+        "map_filter_composition_matches_vec_semantics",
+        |src: &mut Source| {
+            (src.vec_with(0, 200, |s| s.u64_range(0, 1000)), src.usize_range(1, 10))
+        },
+        |(data, parts)| {
+            let cluster = Cluster::local();
+            let rdd = Rdd::from_vec(&cluster, data.clone(), *parts).unwrap();
+            let mut got = rdd
+                .map(|&x| x * 3 + 1)
+                .unwrap()
+                .filter(|&x| x % 2 == 0)
+                .unwrap()
+                .collect()
+                .unwrap();
+            got.sort_unstable();
+            let mut expected: Vec<u64> =
+                data.iter().map(|&x| x * 3 + 1).filter(|&x| x % 2 == 0).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn count_is_partition_count_invariant() {
+    check(
+        "count_is_partition_count_invariant",
+        |src: &mut Source| {
+            (
+                src.vec_with(0, 300, |s| s.u64_range(0, 50)),
+                src.usize_range(1, 12),
+                src.usize_range(1, 12),
+            )
+        },
+        |(data, p1, p2)| {
+            let cluster = Cluster::local();
+            let a = Rdd::from_vec(&cluster, data.clone(), *p1).unwrap();
+            let b = Rdd::from_vec(&cluster, data.clone(), *p2).unwrap();
+            prop_assert_eq!(a.count().unwrap(), data.len());
+            prop_assert_eq!(b.count().unwrap(), data.len());
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn reduce_by_key_is_partition_count_invariant() {
+    check(
+        "reduce_by_key_is_partition_count_invariant",
+        |src: &mut Source| {
+            (
+                src.vec_with(0, 150, |s| (s.u64_range(0, 10), s.u64_range(0, 100))),
+                src.usize_range(1, 9),
+                src.usize_range(1, 9),
+            )
+        },
+        |(pairs, p1, p2)| {
+            let cluster = Cluster::local();
+            let run = |parts: usize| {
+                let rdd = Rdd::from_vec(&cluster, pairs.clone(), parts).unwrap();
+                let mut out =
+                    rdd.reduce_by_key(parts, |a, b| a + b).unwrap().collect().unwrap();
+                out.sort_unstable();
+                out
+            };
+            let r1 = run(*p1);
+            prop_assert_eq!(r1, run(*p2));
+            prop_assert!(r1.len() <= pairs.len());
+            Ok(())
+        },
+    );
+}

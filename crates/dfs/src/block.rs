@@ -1,6 +1,6 @@
 //! Blocks: the unit of DFS storage, replication, and checksumming.
 
-use bytes::Bytes;
+use psgraph_sim::bytes::Bytes;
 use psgraph_sim::hash::FxHasher;
 use std::hash::Hasher;
 

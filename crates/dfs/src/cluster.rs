@@ -1,7 +1,7 @@
 //! The DFS cluster: namenode metadata, datanodes, and the client API.
 
-use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use psgraph_sim::bytes::Bytes;
+use psgraph_sim::sync::{Mutex, RwLock};
 use psgraph_net::Network;
 use psgraph_sim::{FxHashMap, NodeClock};
 
@@ -30,7 +30,7 @@ impl Default for DfsConfig {
 #[derive(Debug, Default)]
 pub struct Datanode {
     blocks: RwLock<FxHashMap<BlockId, Block>>,
-    alive: parking_lot::Mutex<bool>,
+    alive: psgraph_sim::sync::Mutex<bool>,
 }
 
 impl Datanode {

@@ -7,7 +7,7 @@
 //! a text format of `src<TAB>dst` lines (what raw logs look like; Euler's
 //! preprocessing pipeline parses and rewrites it).
 
-use bytes::{Buf, BufMut};
+use psgraph_sim::bytes::{Buf, BufMut};
 use psgraph_dfs::{Dfs, DfsError};
 use psgraph_sim::NodeClock;
 

@@ -1,0 +1,83 @@
+//! Property tests for graph containers and generators, using the in-tree
+//! harness.
+
+use psgraph_graph::{gen, EdgeList};
+use psgraph_harness::prop::{check, Source};
+use psgraph_harness::{prop_assert, prop_assert_eq};
+
+fn arb_graph(src: &mut Source) -> EdgeList {
+    let n = src.u64_range(1, 80);
+    let edges = src.vec_with(0, 300, |s| (s.u64_range(0, n), s.u64_range(0, n)));
+    EdgeList::new(n, edges)
+}
+
+#[test]
+fn dedup_is_idempotent_and_duplicate_free() {
+    check("dedup_is_idempotent_and_duplicate_free", arb_graph, |g| {
+        let d = g.dedup();
+        prop_assert_eq!(d.num_vertices(), g.num_vertices());
+        let mut seen = std::collections::HashSet::new();
+        for &e in d.edges() {
+            prop_assert!(seen.insert(e), "duplicate edge {:?}", e);
+            prop_assert!(g.edges().contains(&e), "invented edge {:?}", e);
+        }
+        let dd = d.dedup();
+        prop_assert_eq!(dd.edges(), d.edges());
+        Ok(())
+    });
+}
+
+#[test]
+fn undirected_view_is_symmetric() {
+    check("undirected_view_is_symmetric", arb_graph, |g| {
+        let und = g.undirected();
+        let set: std::collections::HashSet<(u64, u64)> = und.edges().iter().copied().collect();
+        for &(s, d) in und.edges() {
+            prop_assert!(set.contains(&(d, s)), "missing reverse of ({}, {})", s, d);
+        }
+        for &(s, d) in g.edges() {
+            if s != d {
+                prop_assert!(set.contains(&(s, d)), "dropped edge ({}, {})", s, d);
+            }
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn generators_stay_in_vertex_range() {
+    check(
+        "generators_stay_in_vertex_range",
+        |src: &mut Source| {
+            (src.u64_range(2, 512), src.usize_range(0, 2000), src.any_u64(), src.bool())
+        },
+        |&(n, m, seed, use_rmat)| {
+            let g = if use_rmat {
+                gen::rmat(n.next_power_of_two(), m, Default::default(), seed)
+            } else {
+                gen::erdos_renyi(n, m, seed)
+            };
+            prop_assert!(g.edges().len() <= m, "{} edges for request {}", g.edges().len(), m);
+            for &(s, d) in g.edges() {
+                prop_assert!(s < g.num_vertices() && d < g.num_vertices());
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn out_degrees_sum_to_edge_count() {
+    check("out_degrees_sum_to_edge_count", arb_graph, |g| {
+        let total: u64 = g.out_degrees().iter().sum();
+        prop_assert_eq!(total as usize, g.edges().len());
+        // Neighbor tables dedup within each list, so they hold one entry
+        // per *distinct* (src, dst) pair (self-loops included).
+        let distinct: std::collections::HashSet<(u64, u64)> =
+            g.edges().iter().copied().collect();
+        let tables = g.neighbor_tables();
+        let table_total: usize = tables.values().map(Vec::len).sum();
+        prop_assert_eq!(table_total, distinct.len());
+        Ok(())
+    });
+}

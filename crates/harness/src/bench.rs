@@ -1,0 +1,340 @@
+//! Criterion-style micro-benchmark harness with JSON reports.
+//!
+//! Each bench group performs per-function warmup plus N individually
+//! timed iterations, computes mean/p50/p95/min/max, prints a one-line
+//! summary, and appends a `BENCH_<group>.json` report under the workspace
+//! `results/` directory so perf trajectories accumulate across PRs.
+//!
+//! Environment knobs:
+//! * `PSGRAPH_BENCH_FAST=1` — 1 warmup + 3 samples regardless of the
+//!   configured sample size (CI smoke mode).
+//! * `PSGRAPH_BENCH_OUT=<dir>` — report directory override.
+
+use crate::json::Json;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
+
+pub use std::hint::black_box;
+
+/// A two-part benchmark id, rendered as `function/parameter` (criterion's
+/// convention, kept so existing result tooling reads the same labels).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.0
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Measured statistics for one benchmark, all in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    pub id: String,
+    pub samples: usize,
+    pub mean_ns: f64,
+    pub p50_ns: f64,
+    pub p95_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+}
+
+impl BenchStats {
+    fn from_samples(id: String, samples: &mut [Duration]) -> Self {
+        assert!(!samples.is_empty());
+        samples.sort_unstable();
+        let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+        let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+        // Nearest-rank percentile on the sorted samples.
+        let pct = |p: f64| ns[((ns.len() as f64 * p).ceil() as usize).clamp(1, ns.len()) - 1];
+        BenchStats {
+            id,
+            samples: ns.len(),
+            mean_ns: mean,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            min_ns: ns[0],
+            max_ns: ns[ns.len() - 1],
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("id".into(), Json::str(&self.id)),
+            ("samples".into(), Json::Int(self.samples as i64)),
+            ("mean_ns".into(), Json::Float(self.mean_ns)),
+            ("p50_ns".into(), Json::Float(self.p50_ns)),
+            ("p95_ns".into(), Json::Float(self.p95_ns)),
+            ("min_ns".into(), Json::Float(self.min_ns)),
+            ("max_ns".into(), Json::Float(self.max_ns)),
+        ])
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher {
+    warmup_iters: u32,
+    sample_size: u32,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `f` for warmup, then `sample_size` timed iterations. Each
+    /// iteration is timed individually (the workloads here are simulator
+    /// runs in the micro-to-milliseconds range, so per-iteration clock
+    /// resolution is ample).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.warmup_iters {
+            black_box(f());
+        }
+        self.samples.reserve(self.sample_size as usize);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// One named benchmark group (mirrors criterion's `BenchmarkGroup`).
+pub struct Group<'h> {
+    harness: &'h mut Harness,
+    name: String,
+    sample_size: u32,
+    warmup_iters: u32,
+    stats: Vec<BenchStats>,
+}
+
+impl Group<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u32;
+        self
+    }
+
+    pub fn warmup_iters(&mut self, n: u32) -> &mut Self {
+        self.warmup_iters = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let id: String = id.into().into();
+        let (warmup, size) = if self.harness.fast {
+            (1, self.sample_size.min(3))
+        } else {
+            (self.warmup_iters, self.sample_size)
+        };
+        let mut b = Bencher { warmup_iters: warmup, sample_size: size.max(1), samples: Vec::new() };
+        f(&mut b);
+        assert!(
+            !b.samples.is_empty(),
+            "bench '{}/{}' never called Bencher::iter",
+            self.name,
+            id
+        );
+        let stats = BenchStats::from_samples(id, &mut b.samples);
+        eprintln!(
+            "bench {}/{}: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms ({} samples)",
+            self.name,
+            stats.id,
+            stats.mean_ns / 1e6,
+            stats.p50_ns / 1e6,
+            stats.p95_ns / 1e6,
+            stats.samples,
+        );
+        self.stats.push(stats);
+        self
+    }
+
+    /// Record the group's report with the harness (written at
+    /// [`Harness::finish`]).
+    pub fn finish(self) {
+        let report = GroupReport { name: self.name, stats: self.stats };
+        self.harness.reports.push(report);
+    }
+}
+
+struct GroupReport {
+    name: String,
+    stats: Vec<BenchStats>,
+}
+
+impl GroupReport {
+    fn to_json(&self) -> Json {
+        let ts = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        Json::Obj(vec![
+            ("group".into(), Json::str(&self.name)),
+            ("unit".into(), Json::str("ns")),
+            ("timestamp_unix".into(), Json::Int(ts as i64)),
+            (
+                "benchmarks".into(),
+                Json::Arr(self.stats.iter().map(BenchStats::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Locate the workspace `results/` directory: explicit override, else the
+/// nearest ancestor holding a workspace-root `Cargo.toml`, else CWD.
+fn default_out_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("PSGRAPH_BENCH_OUT") {
+        return PathBuf::from(dir);
+    }
+    let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut cur: Option<&Path> = Some(&start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.join("results");
+            }
+        }
+        cur = dir.parent();
+    }
+    start.join("results")
+}
+
+/// The top-level bench driver (criterion's `Criterion` analogue).
+pub struct Harness {
+    reports: Vec<GroupReport>,
+    out_dir: PathBuf,
+    fast: bool,
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::from_env()
+    }
+}
+
+impl Harness {
+    pub fn from_env() -> Self {
+        Harness {
+            reports: Vec::new(),
+            out_dir: default_out_dir(),
+            fast: std::env::var("PSGRAPH_BENCH_FAST").is_ok_and(|v| v != "0"),
+        }
+    }
+
+    pub fn with_out_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.out_dir = dir.into();
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            harness: self,
+            name: name.into(),
+            sample_size: 20,
+            warmup_iters: 2,
+            stats: Vec::new(),
+        }
+    }
+
+    /// Write one `BENCH_<group>.json` per recorded group.
+    pub fn finish(self) {
+        if self.reports.is_empty() {
+            return;
+        }
+        if let Err(e) = std::fs::create_dir_all(&self.out_dir) {
+            eprintln!("bench: cannot create {}: {e}", self.out_dir.display());
+            return;
+        }
+        for report in &self.reports {
+            let path = self.out_dir.join(format!("BENCH_{}.json", report.name));
+            match std::fs::write(&path, report.to_json().pretty() + "\n") {
+                Ok(()) => eprintln!("bench: wrote {}", path.display()),
+                Err(e) => eprintln!("bench: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+/// Generate `main()` for a `harness = false` bench target from a list of
+/// `fn(&mut Harness)` functions — the `criterion_group!` +
+/// `criterion_main!` replacement.
+#[macro_export]
+macro_rules! bench_main {
+    ($($f:path),+ $(,)?) => {
+        fn main() {
+            let mut harness = $crate::bench::Harness::from_env();
+            $( $f(&mut harness); )+
+            harness.finish();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_percentiles_are_order_statistics() {
+        let mut samples: Vec<Duration> =
+            (1..=100).rev().map(Duration::from_nanos).collect();
+        let s = BenchStats::from_samples("x".into(), &mut samples);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.min_ns, 1.0);
+        assert_eq!(s.max_ns, 100.0);
+        assert_eq!(s.p50_ns, 50.0);
+        assert_eq!(s.p95_ns, 95.0);
+        assert!((s.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_measures_and_writes_report() {
+        let dir = std::env::temp_dir().join(format!(
+            "psgraph-harness-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut h = Harness::from_env().with_out_dir(&dir);
+        h.fast = true;
+        let mut g = h.benchmark_group("unit_test_group");
+        g.sample_size(5).bench_function(BenchmarkId::new("noop", "fast"), |b| {
+            b.iter(|| black_box(2 + 2))
+        });
+        g.bench_function("plain_name", |b| b.iter(|| ()));
+        g.finish();
+        h.finish();
+        let report =
+            std::fs::read_to_string(dir.join("BENCH_unit_test_group.json")).unwrap();
+        assert!(report.contains("\"group\": \"unit_test_group\""));
+        assert!(report.contains("\"id\": \"noop/fast\""));
+        assert!(report.contains("\"id\": \"plain_name\""));
+        assert!(report.contains("mean_ns"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fast_mode_caps_samples() {
+        let mut h = Harness::from_env();
+        h.fast = true;
+        let mut g = h.benchmark_group("fast_cap");
+        let mut calls = 0u32;
+        g.sample_size(50).bench_function("counted", |b| {
+            b.iter(|| calls += 1);
+        });
+        // 1 warmup + 3 samples.
+        assert_eq!(calls, 4);
+        g.finish();
+    }
+}

@@ -3,8 +3,10 @@
 //! mailboxes exist for components that poll, like the PS master's health
 //! checker.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use psgraph_sim::sync::Mutex;
 use psgraph_sim::SimTime;
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::rpc::NodeId;
 
@@ -16,11 +18,33 @@ pub struct Message<T> {
     pub payload: T,
 }
 
+/// A cloneable producer handle onto a [`Mailbox`].
+#[derive(Debug)]
+pub struct Sender<T> {
+    queue: Arc<Mutex<VecDeque<Message<T>>>>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Post a message. Infallible (the queue is unbounded and lives as
+    /// long as any sender), but returns `Result` to keep the familiar
+    /// channel `send()` shape.
+    #[allow(clippy::result_unit_err)]
+    pub fn send(&self, msg: Message<T>) -> Result<(), ()> {
+        self.queue.lock().push_back(msg);
+        Ok(())
+    }
+}
+
 /// Unbounded MPSC mailbox.
 #[derive(Debug)]
 pub struct Mailbox<T> {
-    tx: Sender<Message<T>>,
-    rx: Receiver<Message<T>>,
+    queue: Arc<Mutex<VecDeque<Message<T>>>>,
 }
 
 impl<T> Default for Mailbox<T> {
@@ -31,41 +55,35 @@ impl<T> Default for Mailbox<T> {
 
 impl<T> Mailbox<T> {
     pub fn new() -> Self {
-        let (tx, rx) = unbounded();
-        Mailbox { tx, rx }
+        Mailbox { queue: Arc::default() }
     }
 
     /// A sender handle that producers can keep.
-    pub fn sender(&self) -> Sender<Message<T>> {
-        self.tx.clone()
+    pub fn sender(&self) -> Sender<T> {
+        Sender { queue: Arc::clone(&self.queue) }
     }
 
     /// Post a message.
     pub fn post(&self, from: NodeId, sent_at: SimTime, payload: T) {
-        // Receiver half lives as long as `self`, so send cannot fail.
-        let _ = self.tx.send(Message { from, sent_at, payload });
+        self.queue.lock().push_back(Message { from, sent_at, payload });
     }
 
     /// Drain every pending message.
     pub fn drain(&self) -> Vec<Message<T>> {
-        let mut out = Vec::new();
-        while let Ok(m) = self.rx.try_recv() {
-            out.push(m);
-        }
-        out
+        self.queue.lock().drain(..).collect()
     }
 
     /// Non-blocking single receive.
     pub fn try_recv(&self) -> Option<Message<T>> {
-        self.rx.try_recv().ok()
+        self.queue.lock().pop_front()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rx.is_empty()
+        self.queue.lock().is_empty()
     }
 
     pub fn len(&self) -> usize {
-        self.rx.len()
+        self.queue.lock().len()
     }
 }
 

@@ -1,7 +1,7 @@
 //! RPC timing: charge request/response costs to simulated clocks and queue
 //! service time on the callee.
 
-use parking_lot::Mutex;
+use psgraph_sim::sync::Mutex;
 use psgraph_sim::{CostModel, NodeClock, SimTime};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};

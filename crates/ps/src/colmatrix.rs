@@ -12,7 +12,7 @@
 //! the communication optimization the LINE ablation bench measures against
 //! pull-whole-row training.
 
-use bytes::{Buf, BufMut};
+use psgraph_sim::bytes::{Buf, BufMut};
 use psgraph_sim::{FxHashMap, NodeClock, SplitMix64};
 use std::sync::Arc;
 

@@ -10,7 +10,7 @@
 //! (8 B per edge + 8 B per vertex, no per-entry map overhead), suited to
 //! algorithms that build the adjacency once and only read it.
 
-use bytes::{Buf, BufMut};
+use psgraph_sim::bytes::{Buf, BufMut};
 use psgraph_sim::NodeClock;
 use std::sync::Arc;
 

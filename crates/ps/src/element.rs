@@ -2,7 +2,7 @@
 //! little-endian encoding for checkpoints and additive merge semantics for
 //! `push_add`.
 
-use bytes::{Buf, BufMut};
+use psgraph_sim::bytes::{Buf, BufMut};
 
 /// A numeric element of a PS data structure.
 pub trait Element: Copy + Send + Sync + Default + PartialEq + std::fmt::Debug + 'static {

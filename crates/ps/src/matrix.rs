@@ -8,7 +8,7 @@
 //! AdaGrad, and Adam — the optimizer state (first/second moments) lives
 //! next to the weights on the server and never crosses the network.
 
-use bytes::{Buf, BufMut};
+use psgraph_sim::bytes::{Buf, BufMut};
 use psgraph_sim::{FxHashMap, NodeClock, SplitMix64};
 use std::marker::PhantomData;
 use std::sync::Arc;

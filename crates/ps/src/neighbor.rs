@@ -6,7 +6,7 @@
 //! them to the PS; afterwards any executor can pull the adjacency of any
 //! vertex without a shuffle.
 
-use bytes::{Buf, BufMut};
+use psgraph_sim::bytes::{Buf, BufMut};
 use psgraph_sim::{FxHashMap, NodeClock, SplitMix64};
 use std::sync::Arc;
 

@@ -1,7 +1,7 @@
 //! The PS cluster: servers + object registry + checkpoint/recovery (the
 //! master's failure-handling policy from paper §III-B).
 
-use parking_lot::RwLock;
+use psgraph_sim::sync::RwLock;
 use psgraph_net::Network;
 use psgraph_sim::failpoint::NodeKind;
 use psgraph_sim::{CostModel, FailureInjector, FxHashMap, NodeClock, SimTime};

@@ -1,7 +1,7 @@
 //! One parameter server: a memory-metered, typed partition store behind a
 //! network service port.
 
-use parking_lot::RwLock;
+use psgraph_sim::sync::RwLock;
 use psgraph_net::{NodeId, ServicePort};
 use psgraph_sim::{FxHashMap, MemoryMeter, SimTime};
 use std::any::Any;

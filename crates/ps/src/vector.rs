@@ -6,7 +6,7 @@
 //! partitions store dense slices, hash partitions store sparse maps whose
 //! missing keys read as `E::default()`.
 
-use bytes::{Buf, BufMut};
+use psgraph_sim::bytes::{Buf, BufMut};
 use psgraph_sim::{FxHashMap, NodeClock};
 use std::marker::PhantomData;
 use std::sync::Arc;

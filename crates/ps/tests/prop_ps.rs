@@ -1,0 +1,118 @@
+//! Property tests for the parameter server, using the in-tree harness.
+
+use psgraph_harness::prop::{check, Source};
+use psgraph_harness::{prop_assert, prop_assert_eq};
+use psgraph_ps::{PartitionLayout, Partitioner, Ps, PsConfig, RecoveryMode, VectorHandle};
+use psgraph_sim::NodeClock;
+
+/// Any partitioner valid for `parts` partitions: `HashRange` requires the
+/// partition count to be a multiple of its bucket count, so buckets are
+/// drawn from the divisors of `parts`.
+fn arb_partitioner(src: &mut Source, parts: usize) -> Partitioner {
+    match src.choice(3) {
+        0 => Partitioner::Hash,
+        1 => Partitioner::Range,
+        _ => {
+            let divisors: Vec<usize> = (1..=parts).filter(|d| parts % d == 0).collect();
+            let buckets = divisors[src.choice(divisors.len() as u64) as usize];
+            Partitioner::HashRange { buckets }
+        }
+    }
+}
+
+#[test]
+fn partition_layout_is_total_and_stable() {
+    check(
+        "partition_layout_is_total_and_stable",
+        |src: &mut Source| {
+            let size = src.u64_range(1, 10_000);
+            let parts = src.usize_range(1, 16);
+            let servers = src.usize_range(1, 8);
+            let partitioner = arb_partitioner(src, parts);
+            (size, parts, servers, partitioner)
+        },
+        |&(size, parts, servers, partitioner)| {
+            let layout = PartitionLayout::new(partitioner, size, parts, servers);
+            let layout2 = PartitionLayout::new(partitioner, size, parts, servers);
+            for k in (0..size).step_by(1 + size as usize / 101) {
+                let p = layout.partition_of(k);
+                prop_assert!(p < parts, "key {} → partition {} of {}", k, p, parts);
+                prop_assert_eq!(p, layout2.partition_of(k), "placement must be stable");
+                prop_assert!(layout.server_of_partition(p) < servers);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn vector_push_set_overwrites_push_add_accumulates() {
+    check(
+        "vector_push_set_overwrites_push_add_accumulates",
+        |src: &mut Source| {
+            let size = src.u64_range(1, 100);
+            let ops = src.vec_with(0, 40, |s| {
+                (s.u64_range(0, size), s.i64_range(-50, 50), s.bool())
+            });
+            (size, ops, arb_partitioner(src, 3)) // Ps below runs 3 servers → 3 partitions
+        },
+        |(size, ops, partitioner)| {
+            let ps = Ps::new(PsConfig { servers: 3, ..Default::default() });
+            let clock = NodeClock::new();
+            let v = VectorHandle::<i64>::create(
+                &ps,
+                "prop.pv",
+                *size,
+                *partitioner,
+                RecoveryMode::Inconsistent,
+            )
+            .unwrap();
+            let mut model = vec![0i64; *size as usize];
+            for &(idx, val, is_add) in ops {
+                if is_add {
+                    v.push_add(&clock, &[idx], &[val]).unwrap();
+                    model[idx as usize] = model[idx as usize].saturating_add(val);
+                } else {
+                    v.push_set(&clock, &[idx], &[val]).unwrap();
+                    model[idx as usize] = val;
+                }
+            }
+            prop_assert_eq!(v.pull_all(&clock).unwrap(), model);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sparse_pull_matches_dense_pull_under_any_partitioner() {
+    check(
+        "sparse_pull_matches_dense_pull_under_any_partitioner",
+        |src: &mut Source| {
+            let size = src.u64_range(1, 200);
+            let vals = src.vec_with(1, 50, |s| s.i64_range(-1000, 1000));
+            let queries = src.vec_with(0, 60, |s| s.u64_range(0, size));
+            (size, vals, queries, arb_partitioner(src, 2)) // Ps below runs 2 servers → 2 partitions
+        },
+        |(size, vals, queries, partitioner)| {
+            let ps = Ps::new(PsConfig { servers: 2, ..Default::default() });
+            let clock = NodeClock::new();
+            let v = VectorHandle::<i64>::create(
+                &ps,
+                "prop.sp",
+                *size,
+                *partitioner,
+                RecoveryMode::Inconsistent,
+            )
+            .unwrap();
+            let idx: Vec<u64> =
+                (0..vals.len()).map(|i| i as u64 % size).collect();
+            v.push_add(&clock, &idx, vals).unwrap();
+            let dense = v.pull_all(&clock).unwrap();
+            let sparse = v.pull_sparse(&clock, queries).unwrap();
+            for (q, got) in queries.iter().zip(&sparse) {
+                prop_assert_eq!(*got, dense[*q as usize], "query {}", q);
+            }
+            Ok(())
+        },
+    );
+}

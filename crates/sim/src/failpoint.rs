@@ -6,7 +6,7 @@
 //! each superstep. A kill fires exactly once; recovery is then exercised by
 //! the master / lineage machinery of the crates under test.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::Arc;
 
 /// Which kind of node a scripted failure targets.

@@ -10,13 +10,16 @@
 //! reproduces the synchronous-parallel timing of the paper's cluster without
 //! needing a thousand machines.
 
+pub mod bytes;
 pub mod clock;
 pub mod cost;
 pub mod failpoint;
 pub mod hash;
 pub mod memory;
 pub mod rng;
+pub mod sync;
 
+pub use bytes::{Buf, BufMut, Bytes};
 pub use clock::{ClusterClock, NodeClock, SimTime};
 pub use cost::CostModel;
 pub use failpoint::{FailPlan, FailureInjector};

@@ -3,10 +3,9 @@
 //!
 //! [`SplitMix64`] is tiny, passes BigCrush-adjacent smoke tests, and — more
 //! importantly here — makes every experiment reproducible from a single
-//! `u64` seed. The heavier distributions (zipf, normal) come from
-//! `rand`/`rand_distr`; this type plugs into them via [`rand::RngCore`].
-
-use rand::RngCore;
+//! `u64` seed. The heavier distributions (normal, exponential, Zipf,
+//! Pareto) are implemented as inherent samplers so the workspace needs no
+//! external `rand`/`rand_distr` crates (hermetic build policy).
 
 /// SplitMix64 PRNG (Steele, Lea & Flood 2014).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +29,13 @@ impl SplitMix64 {
         z ^ (z >> 31)
     }
 
+    /// Next 32-bit output (upper half of the 64-bit state, which mixes
+    /// better than the lower).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+
     /// Uniform in `[0, bound)`. Uses the widening-multiply trick; bias is
     /// negligible for bounds far below 2^64 (all our uses).
     #[inline]
@@ -38,28 +44,34 @@ impl SplitMix64 {
         ((self.next() as u128 * bound as u128) >> 64) as u64
     }
 
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi);
+        lo + self.next_below(hi - lo)
+    }
+
     /// Uniform `f64` in `[0, 1)`.
     #[inline]
     pub fn next_f64(&mut self) -> f64 {
         (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Derive an independent stream for a sub-task (executor id, epoch…).
-    pub fn fork(&mut self, stream: u64) -> SplitMix64 {
-        SplitMix64::new(self.next() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
-    }
-}
-
-impl RngCore for SplitMix64 {
-    fn next_u32(&mut self) -> u32 {
-        (self.next() >> 32) as u32
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn next_f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi);
+        lo + self.next_f64() * (hi - lo)
     }
 
-    fn next_u64(&mut self) -> u64 {
-        self.next()
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    pub fn next_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill `dest` with pseudo-random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for c in &mut chunks {
             c.copy_from_slice(&self.next().to_le_bytes());
@@ -71,9 +83,79 @@ impl RngCore for SplitMix64 {
         }
     }
 
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
+    /// Standard normal via Box–Muller (two fresh uniforms per draw; no
+    /// cached spare, keeping the generator `Copy` and replay-exact).
+    pub fn next_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // 1 - U ∈ (0, 1] keeps the log finite.
+        let u = 1.0 - self.next_f64();
+        let v = self.next_f64();
+        let r = (-2.0 * u.ln()).sqrt();
+        mean + std_dev * r * (std::f64::consts::TAU * v).cos()
+    }
+
+    /// Exponential with rate `lambda` (mean `1/lambda`), by inversion.
+    pub fn next_exp(&mut self, lambda: f64) -> f64 {
+        debug_assert!(lambda > 0.0);
+        -(1.0 - self.next_f64()).ln() / lambda
+    }
+
+    /// Pareto with minimum `scale` and tail index `shape`, by inversion.
+    /// Heavy-tailed service/degree model: P(X > x) = (scale/x)^shape.
+    pub fn next_pareto(&mut self, scale: f64, shape: f64) -> f64 {
+        debug_assert!(scale > 0.0 && shape > 0.0);
+        scale * (1.0 - self.next_f64()).powf(-1.0 / shape)
+    }
+
+    /// Zipf over `{1, …, n}` with exponent `s > 0`: P(k) ∝ k^-s.
+    ///
+    /// Rejection-inversion sampling (Hörmann & Derflinger 1996), O(1)
+    /// expected draws for any `n` — the skewed key-popularity model for
+    /// hot-vertex access patterns.
+    pub fn next_zipf(&mut self, n: u64, s: f64) -> u64 {
+        assert!(n >= 1, "zipf needs a non-empty support");
+        assert!(s > 0.0, "zipf exponent must be positive");
+        if n == 1 {
+            return 1;
+        }
+        // H is the integral of x^-s; h_inv its inverse.
+        let h = |x: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-12 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - s) - 1.0) / (1.0 - s)
+            }
+        };
+        let h_inv = |y: f64| -> f64 {
+            if (s - 1.0).abs() < 1e-12 {
+                y.exp()
+            } else {
+                (1.0 + y * (1.0 - s)).powf(1.0 / (1.0 - s))
+            }
+        };
+        let hx0 = h(0.5);
+        let hxm = h(n as f64 + 0.5);
+        let cut = 1.0 - h_inv(h(1.5) - 1.0);
+        loop {
+            let u = hx0 + self.next_f64() * (hxm - hx0);
+            let x = h_inv(u);
+            let k = (x + 0.5).floor().clamp(1.0, n as f64);
+            if k - x <= cut || u >= h(k + 0.5) - k.powf(-s) {
+                return k as u64;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            items.swap(i, j);
+        }
+    }
+
+    /// Derive an independent stream for a sub-task (executor id, epoch…).
+    pub fn fork(&mut self, stream: u64) -> SplitMix64 {
+        SplitMix64::new(self.next() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
     }
 }
 
@@ -131,7 +213,7 @@ mod tests {
     }
 
     #[test]
-    fn rngcore_fill_bytes_handles_remainder() {
+    fn fill_bytes_handles_remainder() {
         let mut r = SplitMix64::new(3);
         let mut buf = [0u8; 13];
         r.fill_bytes(&mut buf);
@@ -139,10 +221,83 @@ mod tests {
     }
 
     #[test]
-    fn works_with_rand_distributions() {
-        use rand::Rng;
+    fn uniform_range_helpers() {
         let mut r = SplitMix64::new(11);
-        let v: f64 = r.gen_range(0.0..10.0);
-        assert!((0.0..10.0).contains(&v));
+        for _ in 0..1000 {
+            let v = r.next_range(10, 20);
+            assert!((10..20).contains(&v));
+            let f = r.next_f64_range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = SplitMix64::new(21);
+        let n = 50_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let v = r.next_normal(3.0, 2.0);
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = SplitMix64::new(23);
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| r.next_exp(4.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert!((0..1000).all(|_| r.next_exp(4.0) >= 0.0));
+    }
+
+    #[test]
+    fn pareto_respects_scale_and_tail() {
+        let mut r = SplitMix64::new(25);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| r.next_pareto(1.0, 2.0)).collect();
+        assert!(draws.iter().all(|&x| x >= 1.0));
+        // P(X > 2) = (1/2)^2 = 0.25.
+        let over = draws.iter().filter(|&&x| x > 2.0).count() as f64 / n as f64;
+        assert!((over - 0.25).abs() < 0.01, "tail {over}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_bounded() {
+        let mut r = SplitMix64::new(27);
+        let n = 50_000;
+        let mut counts = vec![0u64; 101];
+        for _ in 0..n {
+            let k = r.next_zipf(100, 1.1);
+            assert!((1..=100).contains(&k));
+            counts[k as usize] += 1;
+        }
+        // Rank 1 dominates and frequencies decay.
+        assert!(counts[1] > counts[2] && counts[2] > counts[5]);
+        assert!(counts[1] as f64 / n as f64 > 0.15, "head mass {}", counts[1]);
+        // Degenerate support sizes still work.
+        assert_eq!(r.next_zipf(1, 1.5), 1);
+        for _ in 0..100 {
+            assert!((1..=5).contains(&r.next_zipf(5, 1.0)));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b = a.clone();
+        SplitMix64::new(31).shuffle(&mut a);
+        SplitMix64::new(31).shuffle(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, (0..50).collect::<Vec<u32>>());
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
     }
 }

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Hermetic CI: the workspace must build and test fully offline with an
+# empty registry cache (path dependencies only — see DESIGN.md "Hermetic
+# build policy"). Fails on any warning in the harness crate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# The harness is the substrate every test stands on — hold it to
+# warnings-as-errors.
+RUSTFLAGS="-D warnings" cargo build --offline -p psgraph-harness
+
+cargo build --release --offline --workspace
+# Release mode: the fig6/table emergence tests simulate whole cluster
+# runs and are debug-prohibitive (>10 min); in release the full suite
+# finishes in a few minutes.
+cargo test -q --offline --workspace --release
+
+echo "ci: OK"

@@ -1,0 +1,130 @@
+//! Golden-value tests: the distributed algorithms on a tiny fixture graph
+//! whose answers are computed by hand below, not by the in-repo reference
+//! implementations. If these fail, either the algorithm or the reference
+//! is wrong — the references are cross-checked against the same hand
+//! values here too.
+
+use psgraph::core::algos::{CommonNeighbor, KCore, PageRank, TriangleCount};
+use psgraph::core::runner::distribute_edges;
+use psgraph::core::PsGraphContext;
+use psgraph::graph::{metrics, EdgeList};
+
+/// The "bowtie + tail" fixture: two triangles sharing vertex 2, plus a
+/// pendant vertex 5.
+///
+/// ```text
+///   0 --- 1        3
+///    \   /        / \
+///     \ /        /   \
+///      2 ------ 4 --- 5
+///       \______/
+/// ```
+///
+/// Undirected degrees: 0:2, 1:2, 2:4, 3:2, 4:3, 5:1.
+fn bowtie() -> EdgeList {
+    EdgeList::new(6, vec![(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2), (4, 5)])
+}
+
+#[test]
+fn golden_kcore_on_bowtie() {
+    // Hand peel: vertex 5 (degree 1) goes first at k=1; the rest form two
+    // edge-joined triangles where every vertex keeps degree ≥ 2, so they
+    // all peel at k=2.
+    let expected = vec![2, 2, 2, 2, 2, 1];
+    let g = bowtie();
+    assert_eq!(metrics::kcore_exact(&g), expected, "reference disagrees with hand values");
+    let ctx = PsGraphContext::local();
+    let edges = distribute_edges(&ctx, &g, 4).unwrap();
+    let out = KCore::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+    assert_eq!(out.coreness, expected);
+}
+
+#[test]
+fn golden_triangles_on_bowtie() {
+    // Exactly the two triangles drawn above: {0,1,2} and {2,3,4}.
+    let g = bowtie();
+    assert_eq!(metrics::triangles_exact(&g), 2, "reference disagrees with hand values");
+    let ctx = PsGraphContext::local();
+    let edges = distribute_edges(&ctx, &g, 4).unwrap();
+    let out = TriangleCount::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+    assert_eq!(out.triangles, 2);
+}
+
+#[test]
+fn golden_common_neighbors_on_bowtie() {
+    // Per edge (the CN workload queries every edge), by hand:
+    //   (0,1): N(0)∩N(1) = {2}        → 1
+    //   (1,2): N(1)∩N(2) = {0}        → 1
+    //   (2,0): N(2)∩N(0) = {1}        → 1
+    //   (2,3): N(2)∩N(3) = {4}        → 1
+    //   (3,4): N(3)∩N(4) = {2}        → 1
+    //   (4,2): N(4)∩N(2) = {3}        → 1
+    //   (4,5): N(5) = {4}, disjoint   → 0
+    let g = bowtie();
+    let mut expected = vec![
+        (0, 1, 1),
+        (1, 2, 1),
+        (2, 0, 1),
+        (2, 3, 1),
+        (3, 4, 1),
+        (4, 2, 1),
+        (4, 5, 0),
+    ];
+    expected.sort_unstable();
+    let pairs: Vec<(u64, u64)> = g.edges().to_vec();
+    let ref_counts = metrics::common_neighbors_exact(&g, &pairs);
+    let mut ref_triples: Vec<(u64, u64, u64)> =
+        pairs.iter().zip(&ref_counts).map(|(&(a, b), &c)| (a, b, c)).collect();
+    ref_triples.sort_unstable();
+    assert_eq!(ref_triples, expected, "reference disagrees with hand values");
+
+    let ctx = PsGraphContext::local();
+    let edges = distribute_edges(&ctx, &g, 4).unwrap();
+    let out = CommonNeighbor::default().run(&ctx, &edges, g.num_vertices()).unwrap();
+    let mut got = out.counts.clone();
+    got.sort_unstable();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn golden_pagerank_on_directed_cycle() {
+    // Directed 6-cycle 0→1→…→5→0. Every vertex has in- and out-degree 1,
+    // so the unnormalized damped fixed point is exactly 1.0 per vertex:
+    // r = 0.15 + 0.85·r ⇒ r = 1.
+    let g = EdgeList::new(6, (0..6u64).map(|v| (v, (v + 1) % 6)).collect());
+    let ctx = PsGraphContext::local();
+    let edges = distribute_edges(&ctx, &g, 4).unwrap();
+    let out = PageRank { max_iterations: 300, ..Default::default() }
+        .run(&ctx, &edges, g.num_vertices())
+        .unwrap();
+    for (v, &r) in out.ranks.iter().enumerate() {
+        assert!((r - 1.0).abs() < 1e-6, "vertex {v}: {r}");
+    }
+    let total: f64 = out.ranks.iter().sum();
+    assert!((total - 6.0).abs() < 1e-6, "mass conserved, got {total}");
+}
+
+#[test]
+fn golden_pagerank_on_bidirectional_star() {
+    // Hub 0 ↔ each of 5 leaves. With h the hub rank and l a leaf rank:
+    //   h = 0.15 + 0.85·5·l      (each leaf has out-degree 1)
+    //   l = 0.15 + 0.85·(h/5)    (hub splits over 5 out-edges)
+    // Solving: h = 105/37 ≈ 2.837838, l = 117/185 ≈ 0.632432.
+    let mut edges = Vec::new();
+    for v in 1..=5u64 {
+        edges.push((v, 0));
+        edges.push((0, v));
+    }
+    let g = EdgeList::new(6, edges);
+    let ctx = PsGraphContext::local();
+    let dist = distribute_edges(&ctx, &g, 4).unwrap();
+    let out = PageRank { max_iterations: 300, ..Default::default() }
+        .run(&ctx, &dist, g.num_vertices())
+        .unwrap();
+    let h = 105.0 / 37.0;
+    let l = 117.0 / 185.0;
+    assert!((out.ranks[0] - h).abs() < 1e-6, "hub {} vs {h}", out.ranks[0]);
+    for v in 1..6 {
+        assert!((out.ranks[v] - l).abs() < 1e-6, "leaf {v}: {} vs {l}", out.ranks[v]);
+    }
+}
