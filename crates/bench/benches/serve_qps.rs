@@ -1,0 +1,66 @@
+//! Serving-tier QPS/latency bench: hot-key cache on vs off under Zipf(1.0)
+//! point-lookup traffic against a 2-shard × 2-replica demo cluster.
+//!
+//! The recorded samples are *simulated* per-query latencies (the quantity
+//! the SLO is about), not wall clock; `metrics` carries the hit-rate and
+//! throughput ablation. Output lands in `results/BENCH_serve.json`.
+
+use psgraph_harness::bench::{BenchmarkId, Harness};
+use psgraph_serve::loadgen;
+use psgraph_serve::{QueryMix, ServeCluster, ServeConfig, Workload};
+use psgraph_sim::failpoint::FailureInjector;
+use std::time::Duration;
+
+fn serve_cache_ablation(c: &mut Harness) {
+    let fast = std::env::var("PSGRAPH_BENCH_FAST").is_ok_and(|v| v != "0");
+    let queries = if fast { 5_000 } else { 50_000 };
+    let mut group = c.benchmark_group("serve");
+
+    for (name, budget) in [("cache_off", 0u64), ("cache_on", 256 * 1024)] {
+        let cfg = ServeConfig { cache_budget: budget, ..Default::default() };
+        let (mut cluster, _truth) = ServeCluster::demo(4_096, 16, &cfg).expect("demo cluster");
+        let wl = Workload { queries, zipf_s: 1.0, mix: QueryMix::point_only(), ..Default::default() };
+        let report = loadgen::run(&mut cluster, &wl, &FailureInjector::none(), false);
+
+        let samples: Vec<Duration> = report
+            .latencies
+            .iter()
+            .map(|(_, l)| Duration::from_nanos(l.as_nanos()))
+            .collect();
+        group.bench_recorded(BenchmarkId::new("latency", name), &samples);
+        group
+            .metric(format!("{name}_hit_rate"), report.hit_rate)
+            .metric(format!("{name}_qps"), report.qps())
+            .metric(format!("{name}_answered"), report.answered as f64)
+            .metric(format!("{name}_shed"), report.shed as f64)
+            .metric(
+                format!("{name}_p50_ms"),
+                report.percentile(0.50).as_secs_f64() * 1e3,
+            )
+            .metric(
+                format!("{name}_p99_ms"),
+                report.percentile(0.99).as_secs_f64() * 1e3,
+            );
+        eprintln!(
+            "[sim] serve/{name}: hit_rate {:.3}, qps {:.0}, p50 {}, p99 {}",
+            report.hit_rate,
+            report.qps(),
+            report.percentile(0.50),
+            report.percentile(0.99),
+        );
+
+        // The ablation claim: Zipf traffic must turn the budget into hits.
+        if budget == 0 {
+            assert_eq!(report.cache_hits, 0, "a zero-budget cache cannot hit");
+        } else {
+            assert!(
+                report.hit_rate > 0.2,
+                "Zipf(1.0) should hit a 256 KiB cache, got {:.3}",
+                report.hit_rate
+            );
+        }
+    }
+    group.finish();
+}
+
+psgraph_harness::bench_main!(serve_cache_ablation);

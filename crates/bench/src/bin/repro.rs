@@ -1,14 +1,14 @@
 //! Regenerate every table and figure of the paper's evaluation (§V).
 //!
 //! ```text
-//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|all] [--scale S]
+//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|all] [--scale S]
 //! ```
 //!
 //! Default scale is 0.05 (DS1′ = 10 k vertices / 137.5 k edges). Budgets
 //! scale with the datasets per `deploy::ScaleRule`; reported times are
 //! *simulated* cluster time (see DESIGN.md §2 "Simulated time").
 
-use psgraph_bench::{fig6, line_exp, table1, table2};
+use psgraph_bench::{fig6, line_exp, serve_exp, table1, table2};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,5 +55,12 @@ fn main() {
         let r = table2::run_table2(scale).expect("table2");
         println!("{}", table2::table(&r));
         println!("(table2 wall clock: {:?})\n", t0.elapsed());
+    }
+    if do_all || which == "serve" {
+        let t0 = std::time::Instant::now();
+        let r = serve_exp::run_serve(scale, 100_000).expect("serve");
+        println!("{}", serve_exp::table(&r));
+        assert_eq!(r.wrong, 0, "serving returned wrong answers");
+        println!("(serve wall clock: {:?})\n", t0.elapsed());
     }
 }

@@ -8,6 +8,7 @@ pub mod deploy;
 pub mod fig6;
 pub mod line_exp;
 pub mod report;
+pub mod serve_exp;
 pub mod table1;
 pub mod table2;
 

@@ -1,0 +1,259 @@
+//! `repro -- serve`: the online-serving reproduction over trained PS state.
+//!
+//! Pipeline: train PageRank + Label Propagation + LINE on DS3′, push the
+//! results into named PS objects, snapshot them to the DFS
+//! ([`psgraph_ps::SnapshotWriter`]), load the snapshot into a
+//! 2-shard × 2-replica serving tier, and replay a Zipf(1.0) open-loop
+//! stream against it. Halfway through, a scripted
+//! [`psgraph_sim::FailPlan::kill_replica`] takes one replica down; the
+//! run must degrade (tail latency, shed) but never answer wrongly — every
+//! recorded answer is checked bit-for-bit against the pre-snapshot truth.
+
+use psgraph_core::algos::{LabelPropagation, Line, LineConfig, PageRank};
+use psgraph_core::runner::distribute_edges;
+use psgraph_core::CoreError;
+use psgraph_graph::Dataset;
+use psgraph_ps::{
+    ColMatrixHandle, CsrHandle, Partitioner, RecoveryMode, SnapshotWriter, VectorHandle,
+};
+use psgraph_serve::frontend::reference;
+use psgraph_serve::{ObjectMap, Query, ServeCluster, ServeConfig, Value, Workload};
+use psgraph_sim::failpoint::{FailPlan, FailureInjector};
+use psgraph_sim::{NodeClock, SimTime};
+
+use crate::deploy::{psgraph_context, PaperAlloc, ScaleRule};
+use crate::report::{Cell, Row, Table};
+
+/// Embedding width for the served LINE model (the paper's online models
+/// are narrower than the dim-128 offline runs).
+const SERVE_DIM: usize = 16;
+
+/// Measured serving results.
+#[derive(Debug, Clone)]
+pub struct ServeRepro {
+    pub num_vertices: u64,
+    pub issued: usize,
+    pub answered: usize,
+    pub shed: usize,
+    pub failed: usize,
+    pub hit_rate: f64,
+    pub qps: f64,
+    pub p50: SimTime,
+    pub p95: SimTime,
+    pub p99: SimTime,
+    pub max: SimTime,
+    /// p99 over queries issued before / after the replica kill.
+    pub p99_pre_kill: SimTime,
+    pub p99_post_kill: SimTime,
+    /// Query index at which the kill fires.
+    pub kill_at: usize,
+    pub live_replicas: usize,
+    /// Answers that disagreed with the pre-snapshot PS state. Must be 0.
+    pub wrong: usize,
+    /// Simulated time spent training the served models.
+    pub train_time: SimTime,
+}
+
+/// Sorted, deduplicated out-adjacency — exactly what the CSR snapshot
+/// stores, so [`reference::khop`] over it is the serving-tier truth.
+fn out_adjacency(edges: &[(u64, u64)], n: u64) -> Vec<Vec<u64>> {
+    let mut adj = vec![Vec::new(); n as usize];
+    for &(s, d) in edges {
+        adj[s as usize].push(d);
+    }
+    for ns in &mut adj {
+        ns.sort_unstable();
+        ns.dedup();
+    }
+    adj
+}
+
+/// Train on DS3′ at `scale`, snapshot, and serve `queries` Zipf queries.
+pub fn run_serve(scale: f64, queries: usize) -> Result<ServeRepro, CoreError> {
+    let g = Dataset::Ds3.generate(scale);
+    let n = g.num_vertices();
+    let rule = ScaleRule::new(Dataset::Ds3, scale);
+    let ctx = psgraph_context(rule, PaperAlloc::PSGRAPH_DS3);
+    let edges = distribute_edges(&ctx, &g, ctx.cluster().default_partitions())?;
+
+    // Train the three served models on the deployment's PS.
+    let ranks = PageRank { max_iterations: 10, ..Default::default() }
+        .run(&ctx, &edges, n)?
+        .ranks;
+    let labels = LabelPropagation { max_iterations: 5 }.run(&ctx, &edges, n)?.labels;
+    let line = Line::new(LineConfig { dim: SERVE_DIM, epochs: 2, ..Default::default() })
+        .run(&ctx, &edges, n)?;
+    let train_time = ctx.now();
+
+    // The serving copy of the embeddings goes through `push_add` into a
+    // zero-initialized matrix; `0.0 + x` is what comes back out, so use
+    // that as the bit-level truth (it only differs from `x` for -0.0).
+    let embeddings: Vec<Vec<f32>> = line
+        .embeddings
+        .iter()
+        .map(|row| row.iter().map(|x| 0.0f32 + *x).collect())
+        .collect();
+    let adjacency = out_adjacency(g.edges(), n);
+
+    // Publish the trained state as named PS objects and snapshot them.
+    let client = NodeClock::new();
+    client.sync_to(train_time);
+    let ids: Vec<u64> = (0..n).collect();
+    let ps = ctx.ps();
+    let hr = VectorHandle::<f64>::create(
+        ps,
+        "serve.rank",
+        n,
+        Partitioner::Range,
+        RecoveryMode::Consistent,
+    )?;
+    hr.push_set(&client, &ids, &ranks)?;
+    let hc = VectorHandle::<u64>::create(
+        ps,
+        "serve.community",
+        n,
+        Partitioner::Range,
+        RecoveryMode::Consistent,
+    )?;
+    hc.push_set(&client, &ids, &labels)?;
+    let hm = ColMatrixHandle::create(ps, "serve.embed", n, SERVE_DIM, RecoveryMode::Inconsistent)?;
+    hm.push_add_rows(&client, &ids, &embeddings)?;
+    let tables: Vec<(u64, Vec<u64>)> = adjacency
+        .iter()
+        .enumerate()
+        .map(|(i, ns)| (i as u64, ns.clone()))
+        .collect();
+    let ha = CsrHandle::build(ps, "serve.adj", n, &tables, &client, RecoveryMode::Consistent)?;
+
+    let mut w = SnapshotWriter::new(ctx.dfs(), "/serve/snapshot", &client);
+    w.vector_f64(&hr)?;
+    w.vector_u64(&hc)?;
+    w.colmatrix(&hm)?;
+    w.adjacency(&ha)?;
+    w.finish()?;
+
+    // Bring up 2 shards × 2 replicas over the snapshot.
+    let cfg = ServeConfig::default();
+    let objects = ObjectMap {
+        ranks: Some("serve.rank".into()),
+        communities: Some("serve.community".into()),
+        embeddings: Some("serve.embed".into()),
+        adjacency: Some("serve.adj".into()),
+    };
+    let mut cluster = ServeCluster::load(ctx.dfs(), "/serve/snapshot", &objects, &cfg, &client)
+        .map_err(|e| CoreError::Invalid(format!("serve: {e}")))?;
+
+    // Replay the Zipf stream; one replica dies halfway through.
+    let kill_at = queries / 2;
+    let wl = Workload { queries, ..Default::default() };
+    let injector = FailureInjector::with_plans([FailPlan::kill_replica(1, kill_at as u64)]);
+    let report = psgraph_serve::loadgen::run(&mut cluster, &wl, &injector, true);
+
+    // Every answer must match the pre-snapshot PS state exactly.
+    let mut wrong = 0usize;
+    for (_, query, value) in &report.values {
+        let ok = match (query, value) {
+            (Query::Rank(v), Value::Rank(r)) => {
+                r.to_bits() == ranks[*v as usize].to_bits()
+            }
+            (Query::Community(v), Value::Community(c)) => *c == labels[*v as usize],
+            (Query::Embedding(v), Value::Embedding(e)) => {
+                e.len() == SERVE_DIM
+                    && e.iter()
+                        .zip(&embeddings[*v as usize])
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+            }
+            (Query::Neighbors(v), Value::Neighbors(ns)) => ns == &adjacency[*v as usize],
+            (Query::KHop { v, hops }, Value::Vertices(vs)) => {
+                vs == &reference::khop(&adjacency, *v, *hops)
+            }
+            (Query::TopK { v, k }, Value::Ranked(r)) => {
+                let want = reference::topk(&embeddings, &adjacency, *v, *k, cfg.shards);
+                r.len() == want.len()
+                    && r.iter().zip(&want).all(|((gv, gs), (wv, ws))| {
+                        gv == wv && gs.to_bits() == ws.to_bits()
+                    })
+            }
+            _ => false,
+        };
+        if !ok {
+            wrong += 1;
+        }
+    }
+
+    Ok(ServeRepro {
+        num_vertices: n,
+        issued: report.issued,
+        answered: report.answered,
+        shed: report.shed,
+        failed: report.failed,
+        hit_rate: report.hit_rate,
+        qps: report.qps(),
+        p50: report.percentile(0.50),
+        p95: report.percentile(0.95),
+        p99: report.percentile(0.99),
+        max: report.max_latency(),
+        p99_pre_kill: report.percentile_where(0.99, |i| i < kill_at),
+        p99_post_kill: report.percentile_where(0.99, |i| i >= kill_at),
+        kill_at,
+        live_replicas: cluster.live_replicas(),
+        wrong,
+        train_time,
+    })
+}
+
+/// Render the SLO table.
+pub fn table(r: &ServeRepro) -> Table {
+    let mut t = Table::new(
+        "Serving — DS3′ snapshot, 2 shards × 2 replicas, Zipf(1.0)",
+        &["measured"],
+    );
+    let text = |s: String| vec![Cell::Text(s)];
+    t.push(Row::new("vertices served", text(r.num_vertices.to_string())));
+    t.push(Row::new("training (simulated)", text(r.train_time.to_string())));
+    t.push(Row::new(
+        "queries issued / answered",
+        text(format!("{} / {}", r.issued, r.answered)),
+    ));
+    t.push(Row::new(
+        "shed / failed",
+        text(format!("{} / {}", r.shed, r.failed)),
+    ));
+    t.push(Row::new("served QPS (simulated)", text(format!("{:.0}", r.qps))));
+    t.push(Row::new("cache hit rate", vec![Cell::Percent(r.hit_rate)]));
+    t.push(Row::new("p50 latency", text(r.p50.to_string())));
+    t.push(Row::new("p95 latency", text(r.p95.to_string())));
+    t.push(Row::new("p99 latency", text(r.p99.to_string())));
+    t.push(Row::new("max latency", text(r.max.to_string())));
+    t.push(Row::new(
+        format!("p99 before kill (q < {})", r.kill_at),
+        text(r.p99_pre_kill.to_string()),
+    ));
+    t.push(Row::new(
+        "p99 after kill",
+        text(r.p99_post_kill.to_string()),
+    ));
+    t.push(Row::new(
+        "replicas live at end",
+        text(format!("{}/4", r.live_replicas)),
+    ));
+    t.push(Row::new("wrong answers", text(r.wrong.to_string())));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_repro_survives_kill_with_zero_wrong_answers() {
+        let r = run_serve(0.02, 3_000).expect("serve repro must run");
+        assert_eq!(r.wrong, 0, "served answers must match pre-snapshot PS state");
+        assert_eq!(r.live_replicas, 3, "the scripted kill must have fired");
+        assert!(r.answered > 0 && r.answered + r.shed + r.failed == r.issued);
+        assert!(r.hit_rate > 0.0, "Zipf traffic must hit the cache");
+        assert!(r.p50 <= r.p99 && r.p99 <= r.max);
+        assert!(r.qps > 0.0);
+        assert!(table(&r).to_string().contains("wrong answers"));
+    }
+}

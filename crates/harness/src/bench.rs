@@ -1,9 +1,14 @@
 //! Criterion-style micro-benchmark harness with JSON reports.
 //!
 //! Each bench group performs per-function warmup plus N individually
-//! timed iterations, computes mean/p50/p95/min/max, prints a one-line
+//! timed iterations, computes mean/p50/p95/p99/min/max, prints a one-line
 //! summary, and appends a `BENCH_<group>.json` report under the workspace
 //! `results/` directory so perf trajectories accumulate across PRs.
+//!
+//! Besides wall-clock iteration timing, a group can record *pre-measured*
+//! sample sets ([`Group::bench_recorded`]) — e.g. per-query simulated
+//! latencies from a load generator — and attach scalar metrics
+//! ([`Group::metric`]) such as QPS or a cache hit rate to the report.
 //!
 //! Environment knobs:
 //! * `PSGRAPH_BENCH_FAST=1` — 1 warmup + 3 samples regardless of the
@@ -47,6 +52,7 @@ pub struct BenchStats {
     pub mean_ns: f64,
     pub p50_ns: f64,
     pub p95_ns: f64,
+    pub p99_ns: f64,
     pub min_ns: f64,
     pub max_ns: f64,
 }
@@ -65,6 +71,7 @@ impl BenchStats {
             mean_ns: mean,
             p50_ns: pct(0.50),
             p95_ns: pct(0.95),
+            p99_ns: pct(0.99),
             min_ns: ns[0],
             max_ns: ns[ns.len() - 1],
         }
@@ -77,6 +84,7 @@ impl BenchStats {
             ("mean_ns".into(), Json::Float(self.mean_ns)),
             ("p50_ns".into(), Json::Float(self.p50_ns)),
             ("p95_ns".into(), Json::Float(self.p95_ns)),
+            ("p99_ns".into(), Json::Float(self.p99_ns)),
             ("min_ns".into(), Json::Float(self.min_ns)),
             ("max_ns".into(), Json::Float(self.max_ns)),
         ])
@@ -116,6 +124,7 @@ pub struct Group<'h> {
     sample_size: u32,
     warmup_iters: u32,
     stats: Vec<BenchStats>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl Group<'_> {
@@ -149,23 +158,52 @@ impl Group<'_> {
             id
         );
         let stats = BenchStats::from_samples(id, &mut b.samples);
+        self.print_and_push(stats);
+        self
+    }
+
+    /// Record a pre-measured sample set (e.g. per-query *simulated*
+    /// latencies from a load generator) under `id`. The samples are
+    /// reduced to the same stats as a timed benchmark and land in the
+    /// same JSON report.
+    pub fn bench_recorded(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        samples: &[Duration],
+    ) -> &mut Self {
+        let id: String = id.into().into();
+        assert!(!samples.is_empty(), "bench '{}/{}' recorded no samples", self.name, id);
+        let mut samples = samples.to_vec();
+        let stats = BenchStats::from_samples(id, &mut samples);
+        self.print_and_push(stats);
+        self
+    }
+
+    /// Attach a scalar metric (hit rate, QPS, …) to the group report.
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((key.into(), value));
+        self
+    }
+
+    fn print_and_push(&mut self, stats: BenchStats) {
         eprintln!(
-            "bench {}/{}: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms ({} samples)",
+            "bench {}/{}: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms ({} samples)",
             self.name,
             stats.id,
             stats.mean_ns / 1e6,
             stats.p50_ns / 1e6,
             stats.p95_ns / 1e6,
+            stats.p99_ns / 1e6,
             stats.samples,
         );
         self.stats.push(stats);
-        self
     }
 
     /// Record the group's report with the harness (written at
     /// [`Harness::finish`]).
     pub fn finish(self) {
-        let report = GroupReport { name: self.name, stats: self.stats };
+        let report =
+            GroupReport { name: self.name, stats: self.stats, metrics: self.metrics };
         self.harness.reports.push(report);
     }
 }
@@ -173,6 +211,7 @@ impl Group<'_> {
 struct GroupReport {
     name: String,
     stats: Vec<BenchStats>,
+    metrics: Vec<(String, f64)>,
 }
 
 impl GroupReport {
@@ -180,7 +219,7 @@ impl GroupReport {
         let ts = SystemTime::now()
             .duration_since(SystemTime::UNIX_EPOCH)
             .map_or(0, |d| d.as_secs());
-        Json::Obj(vec![
+        let mut fields = vec![
             ("group".into(), Json::str(&self.name)),
             ("unit".into(), Json::str("ns")),
             ("timestamp_unix".into(), Json::Int(ts as i64)),
@@ -188,7 +227,19 @@ impl GroupReport {
                 "benchmarks".into(),
                 Json::Arr(self.stats.iter().map(BenchStats::to_json).collect()),
             ),
-        ])
+        ];
+        if !self.metrics.is_empty() {
+            fields.push((
+                "metrics".into(),
+                Json::Obj(
+                    self.metrics
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Float(*v)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -246,6 +297,7 @@ impl Harness {
             sample_size: 20,
             warmup_iters: 2,
             stats: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -296,7 +348,32 @@ mod tests {
         assert_eq!(s.max_ns, 100.0);
         assert_eq!(s.p50_ns, 50.0);
         assert_eq!(s.p95_ns, 95.0);
+        assert_eq!(s.p99_ns, 99.0);
         assert!((s.mean_ns - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recorded_samples_and_metrics_reach_the_report() {
+        let dir = std::env::temp_dir().join(format!(
+            "psgraph-harness-recorded-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut h = Harness::from_env().with_out_dir(&dir);
+        h.fast = true;
+        let mut g = h.benchmark_group("recorded_group");
+        let latencies: Vec<Duration> = (1..=50).map(Duration::from_micros).collect();
+        g.bench_recorded("query_latency/zipf", &latencies);
+        g.metric("hit_rate", 0.75).metric("qps", 12_500.0);
+        g.finish();
+        h.finish();
+        let report =
+            std::fs::read_to_string(dir.join("BENCH_recorded_group.json")).unwrap();
+        assert!(report.contains("\"id\": \"query_latency/zipf\""));
+        assert!(report.contains("p99_ns"));
+        assert!(report.contains("\"hit_rate\": 0.75"));
+        assert!(report.contains("\"qps\": 12500"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -18,33 +18,45 @@ pub struct Message<T> {
     pub payload: T,
 }
 
+/// Shared queue state: the deque plus a capacity (`usize::MAX` =
+/// unbounded).
+#[derive(Debug)]
+struct Shared<T> {
+    queue: Mutex<VecDeque<Message<T>>>,
+    capacity: usize,
+}
+
 /// A cloneable producer handle onto a [`Mailbox`].
 #[derive(Debug)]
 pub struct Sender<T> {
-    queue: Arc<Mutex<VecDeque<Message<T>>>>,
+    shared: Arc<Shared<T>>,
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        Sender { queue: Arc::clone(&self.queue) }
+        Sender { shared: Arc::clone(&self.shared) }
     }
 }
 
 impl<T> Sender<T> {
-    /// Post a message. Infallible (the queue is unbounded and lives as
-    /// long as any sender), but returns `Result` to keep the familiar
-    /// channel `send()` shape.
-    #[allow(clippy::result_unit_err)]
-    pub fn send(&self, msg: Message<T>) -> Result<(), ()> {
-        self.queue.lock().push_back(msg);
+    /// Post a message. On a bounded mailbox that is full this reports
+    /// backpressure by handing the message back; on an unbounded mailbox
+    /// it always succeeds.
+    pub fn send(&self, msg: Message<T>) -> Result<(), Message<T>> {
+        let mut queue = self.shared.queue.lock();
+        if queue.len() >= self.shared.capacity {
+            return Err(msg);
+        }
+        queue.push_back(msg);
         Ok(())
     }
 }
 
-/// Unbounded MPSC mailbox.
+/// MPSC mailbox — unbounded by default ([`Mailbox::new`]), or with a hard
+/// capacity ([`Mailbox::bounded`]) whose producers see backpressure.
 #[derive(Debug)]
 pub struct Mailbox<T> {
-    queue: Arc<Mutex<VecDeque<Message<T>>>>,
+    shared: Arc<Shared<T>>,
 }
 
 impl<T> Default for Mailbox<T> {
@@ -55,35 +67,68 @@ impl<T> Default for Mailbox<T> {
 
 impl<T> Mailbox<T> {
     pub fn new() -> Self {
-        Mailbox { queue: Arc::default() }
+        Mailbox {
+            shared: Arc::new(Shared { queue: Mutex::default(), capacity: usize::MAX }),
+        }
+    }
+
+    /// A mailbox holding at most `capacity` pending messages. Posting to
+    /// a full one fails ([`Mailbox::try_post`] / [`Sender::send`]) — the
+    /// admission-control building block for bounded request queues.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity mailbox would reject everything");
+        Mailbox { shared: Arc::new(Shared { queue: Mutex::default(), capacity }) }
+    }
+
+    /// The capacity (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
     }
 
     /// A sender handle that producers can keep.
     pub fn sender(&self) -> Sender<T> {
-        Sender { queue: Arc::clone(&self.queue) }
+        Sender { shared: Arc::clone(&self.shared) }
     }
 
-    /// Post a message.
+    /// Post a message. Panics if the mailbox is bounded and full — callers
+    /// of bounded mailboxes must use [`Mailbox::try_post`] (or
+    /// [`Sender::send`]) and handle the backpressure.
     pub fn post(&self, from: NodeId, sent_at: SimTime, payload: T) {
-        self.queue.lock().push_back(Message { from, sent_at, payload });
+        assert!(
+            self.try_post(from, sent_at, payload),
+            "post to a full bounded mailbox (capacity {}); use try_post",
+            self.shared.capacity
+        );
+    }
+
+    /// Post a message unless the mailbox is full; reports whether it was
+    /// accepted.
+    #[must_use]
+    pub fn try_post(&self, from: NodeId, sent_at: SimTime, payload: T) -> bool {
+        let mut queue = self.shared.queue.lock();
+        if queue.len() >= self.shared.capacity {
+            return false;
+        }
+        queue.push_back(Message { from, sent_at, payload });
+        true
     }
 
     /// Drain every pending message.
     pub fn drain(&self) -> Vec<Message<T>> {
-        self.queue.lock().drain(..).collect()
+        self.shared.queue.lock().drain(..).collect()
     }
 
     /// Non-blocking single receive.
     pub fn try_recv(&self) -> Option<Message<T>> {
-        self.queue.lock().pop_front()
+        self.shared.queue.lock().pop_front()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.queue.lock().is_empty()
+        self.shared.queue.lock().is_empty()
     }
 
     pub fn len(&self) -> usize {
-        self.queue.lock().len()
+        self.shared.queue.lock().len()
     }
 }
 
@@ -108,6 +153,35 @@ mod tests {
     fn try_recv_returns_none_when_empty() {
         let mb: Mailbox<()> = Mailbox::new();
         assert!(mb.try_recv().is_none());
+        assert_eq!(mb.capacity(), usize::MAX);
+    }
+
+    #[test]
+    fn bounded_mailbox_reports_backpressure() {
+        let mb: Mailbox<u32> = Mailbox::bounded(2);
+        assert_eq!(mb.capacity(), 2);
+        assert!(mb.try_post(NodeId::Driver, SimTime::ZERO, 1));
+        assert!(mb.try_post(NodeId::Driver, SimTime::ZERO, 2));
+        // Full: try_post refuses, Sender::send hands the message back.
+        assert!(!mb.try_post(NodeId::Driver, SimTime::ZERO, 3));
+        let tx = mb.sender();
+        let rejected = tx
+            .send(Message { from: NodeId::Driver, sent_at: SimTime::ZERO, payload: 4 })
+            .unwrap_err();
+        assert_eq!(rejected.payload, 4);
+        // Draining frees capacity again.
+        assert_eq!(mb.try_recv().unwrap().payload, 1);
+        assert!(mb.try_post(NodeId::Driver, SimTime::ZERO, 5));
+        let got: Vec<u32> = mb.drain().into_iter().map(|m| m.payload).collect();
+        assert_eq!(got, vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "full bounded mailbox")]
+    fn post_to_full_bounded_mailbox_panics() {
+        let mb: Mailbox<()> = Mailbox::bounded(1);
+        mb.post(NodeId::Driver, SimTime::ZERO, ());
+        mb.post(NodeId::Driver, SimTime::ZERO, ());
     }
 
     #[test]

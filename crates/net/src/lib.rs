@@ -11,5 +11,5 @@
 pub mod bus;
 pub mod rpc;
 
-pub use bus::{Mailbox, Message};
+pub use bus::{Mailbox, Message, Sender};
 pub use rpc::{Network, NetworkStats, NodeId, ServicePort};

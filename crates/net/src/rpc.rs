@@ -15,6 +15,8 @@ pub enum NodeId {
     Executor(usize),
     Server(usize),
     Datanode(usize),
+    /// A read replica in the serving tier (see `psgraph-serve`).
+    Replica(usize),
 }
 
 impl fmt::Display for NodeId {
@@ -25,6 +27,7 @@ impl fmt::Display for NodeId {
             NodeId::Executor(i) => write!(f, "executor-{i}"),
             NodeId::Server(i) => write!(f, "server-{i}"),
             NodeId::Datanode(i) => write!(f, "datanode-{i}"),
+            NodeId::Replica(i) => write!(f, "replica-{i}"),
         }
     }
 }
@@ -194,6 +197,7 @@ mod tests {
         assert_eq!(NodeId::Driver.to_string(), "driver");
         assert_eq!(NodeId::Master.to_string(), "master");
         assert_eq!(NodeId::Datanode(7).to_string(), "datanode-7");
+        assert_eq!(NodeId::Replica(2).to_string(), "replica-2");
     }
 
     #[test]

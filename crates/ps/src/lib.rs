@@ -36,6 +36,7 @@ pub mod partition;
 pub mod ps;
 pub mod psfunc;
 pub mod server;
+pub mod snapshot;
 pub mod sync;
 pub mod vector;
 
@@ -50,5 +51,6 @@ pub use partition::{PartitionLayout, Partitioner};
 pub use ps::{Ps, PsConfig, RecoveryMode};
 pub use psfunc::PartitionViewMut;
 pub use server::PsServer;
+pub use snapshot::{SnapshotData, SnapshotEntry, SnapshotKind, SnapshotManifest, SnapshotWriter};
 pub use sync::SyncMode;
 pub use vector::VectorHandle;

@@ -1,0 +1,517 @@
+//! Read-optimized snapshots of trained PS state.
+//!
+//! Training leaves ranks/communities/embeddings/adjacency live on the
+//! parameter servers; the serving tier (`psgraph-serve`) wants an
+//! immutable, flat copy it can shard for read traffic. A
+//! [`SnapshotWriter`] pulls each object through the normal client RPC
+//! path (charging the exporting client's clock) and writes one flat file
+//! per object plus a `MANIFEST` to the DFS:
+//!
+//! ```text
+//! <dir>/MANIFEST            magic, entry count, per-entry (name, kind, rows, cols)
+//! <dir>/<name>.snap         kind tag + shape + little-endian payload
+//! ```
+//!
+//! Values are encoded bit-exactly (`to_bits`/`from_bits` for floats), so
+//! export → load round-trips f32/f64 with no re-quantization — the serve
+//! tier answers with exactly the numbers training produced.
+
+use psgraph_dfs::Dfs;
+use psgraph_sim::bytes::{Buf, BufMut};
+use psgraph_sim::NodeClock;
+
+use crate::colmatrix::ColMatrixHandle;
+use crate::csr::CsrHandle;
+use crate::error::{PsError, Result};
+use crate::matrix::MatrixHandle;
+use crate::vector::VectorHandle;
+
+/// Manifest magic ("PSGSNAP1" as big-endian bytes).
+const MAGIC: u64 = 0x5053_4753_4E41_5031;
+
+/// Rows pulled per RPC when exporting matrices/adjacency (bounds the
+/// transient client-side buffer, and matches how a real exporter would
+/// stream).
+const EXPORT_CHUNK: usize = 4096;
+
+/// What one snapshot object holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotKind {
+    VecF64,
+    VecU64,
+    /// Row-major `rows × cols` f32 (from either a row- or
+    /// column-partitioned matrix — the flat form is the same).
+    MatF32,
+    /// CSR adjacency: `rows + 1` offsets plus packed targets.
+    Adjacency,
+}
+
+impl SnapshotKind {
+    fn tag(self) -> u8 {
+        match self {
+            SnapshotKind::VecF64 => 0,
+            SnapshotKind::VecU64 => 1,
+            SnapshotKind::MatF32 => 2,
+            SnapshotKind::Adjacency => 3,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            0 => SnapshotKind::VecF64,
+            1 => SnapshotKind::VecU64,
+            2 => SnapshotKind::MatF32,
+            3 => SnapshotKind::Adjacency,
+            t => return Err(PsError::Dfs(format!("unknown snapshot kind tag {t}"))),
+        })
+    }
+}
+
+/// One object in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotEntry {
+    pub name: String,
+    pub kind: SnapshotKind,
+    pub rows: u64,
+    /// 1 for vectors; the row width for matrices; unused for adjacency.
+    pub cols: u32,
+}
+
+/// The snapshot directory listing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl SnapshotManifest {
+    pub fn entry(&self, name: &str) -> Option<&SnapshotEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_u64_le(MAGIC);
+        buf.put_u32_le(self.entries.len() as u32);
+        for e in &self.entries {
+            buf.put_u32_le(e.name.len() as u32);
+            buf.extend_from_slice(e.name.as_bytes());
+            buf.put_u8(e.kind.tag());
+            buf.put_u64_le(e.rows);
+            buf.put_u32_le(e.cols);
+        }
+        buf
+    }
+
+    fn decode(mut bytes: &[u8]) -> Result<Self> {
+        let buf = &mut bytes;
+        if buf.remaining() < 12 || buf.get_u64_le() != MAGIC {
+            return Err(PsError::Dfs("bad snapshot manifest magic".into()));
+        }
+        let count = buf.get_u32_le() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if buf.remaining() < 4 {
+                return Err(PsError::Dfs("truncated snapshot manifest".into()));
+            }
+            let name_len = buf.get_u32_le() as usize;
+            if buf.remaining() < name_len + 13 {
+                return Err(PsError::Dfs("truncated snapshot manifest".into()));
+            }
+            let name = String::from_utf8(buf[..name_len].to_vec())
+                .map_err(|_| PsError::Dfs("non-UTF-8 snapshot object name".into()))?;
+            buf.advance(name_len);
+            let kind = SnapshotKind::from_tag(buf.get_u8())?;
+            let rows = buf.get_u64_le();
+            let cols = buf.get_u32_le();
+            entries.push(SnapshotEntry { name, kind, rows, cols });
+        }
+        Ok(SnapshotManifest { entries })
+    }
+
+    /// Read the manifest of a snapshot directory.
+    pub fn load(dfs: &Dfs, dir: &str, client: &NodeClock) -> Result<Self> {
+        let bytes = dfs
+            .read(&manifest_path(dir), client)
+            .map_err(|e| PsError::Dfs(e.to_string()))?;
+        Self::decode(&bytes)
+    }
+}
+
+/// A decoded snapshot object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotData {
+    VecF64(Vec<f64>),
+    VecU64(Vec<u64>),
+    MatF32 { cols: usize, data: Vec<f32> },
+    Adjacency { offsets: Vec<u64>, targets: Vec<u64> },
+}
+
+fn manifest_path(dir: &str) -> String {
+    format!("{}/MANIFEST", dir.trim_end_matches('/'))
+}
+
+fn object_path(dir: &str, name: &str) -> String {
+    format!("{}/{name}.snap", dir.trim_end_matches('/'))
+}
+
+/// Load one object of a snapshot, charging the read to `client`.
+pub fn load_object(
+    dfs: &Dfs,
+    dir: &str,
+    entry: &SnapshotEntry,
+    client: &NodeClock,
+) -> Result<SnapshotData> {
+    let bytes = dfs
+        .read(&object_path(dir, &entry.name), client)
+        .map_err(|e| PsError::Dfs(e.to_string()))?;
+    let mut slice: &[u8] = &bytes;
+    let buf = &mut slice;
+    if buf.remaining() < 13 {
+        return Err(PsError::Dfs(format!("truncated snapshot object {}", entry.name)));
+    }
+    let kind = SnapshotKind::from_tag(buf.get_u8())?;
+    let rows = buf.get_u64_le();
+    let cols = buf.get_u32_le() as usize;
+    if kind != entry.kind || rows != entry.rows || cols != entry.cols as usize {
+        return Err(PsError::Dfs(format!(
+            "snapshot object {} does not match its manifest entry",
+            entry.name
+        )));
+    }
+    let need = |buf: &&[u8], n: usize| -> Result<()> {
+        if buf.remaining() < n {
+            Err(PsError::Dfs(format!("truncated snapshot object {}", entry.name)))
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match kind {
+        SnapshotKind::VecF64 => {
+            need(buf, rows as usize * 8)?;
+            SnapshotData::VecF64((0..rows).map(|_| buf.get_f64_le()).collect())
+        }
+        SnapshotKind::VecU64 => {
+            need(buf, rows as usize * 8)?;
+            SnapshotData::VecU64((0..rows).map(|_| buf.get_u64_le()).collect())
+        }
+        SnapshotKind::MatF32 => {
+            let n = rows as usize * cols;
+            need(buf, n * 4)?;
+            SnapshotData::MatF32 { cols, data: (0..n).map(|_| buf.get_f32_le()).collect() }
+        }
+        SnapshotKind::Adjacency => {
+            need(buf, (rows as usize + 1) * 8 + 8)?;
+            let offsets: Vec<u64> = (0..=rows).map(|_| buf.get_u64_le()).collect();
+            let n_tgt = buf.get_u64_le() as usize;
+            need(buf, n_tgt * 8)?;
+            let targets = (0..n_tgt).map(|_| buf.get_u64_le()).collect();
+            SnapshotData::Adjacency { offsets, targets }
+        }
+    })
+}
+
+/// Exports live PS objects into a snapshot directory on the DFS.
+pub struct SnapshotWriter<'a> {
+    dfs: &'a Dfs,
+    dir: String,
+    client: &'a NodeClock,
+    manifest: SnapshotManifest,
+}
+
+impl<'a> SnapshotWriter<'a> {
+    pub fn new(dfs: &'a Dfs, dir: impl Into<String>, client: &'a NodeClock) -> Self {
+        SnapshotWriter {
+            dfs,
+            dir: dir.into(),
+            client,
+            manifest: SnapshotManifest::default(),
+        }
+    }
+
+    fn write_object(&mut self, entry: SnapshotEntry, payload: Vec<u8>) -> Result<()> {
+        if self.manifest.entry(&entry.name).is_some() {
+            return Err(PsError::Dfs(format!(
+                "snapshot already contains an object named {}",
+                entry.name
+            )));
+        }
+        let mut bytes = Vec::with_capacity(13 + payload.len());
+        bytes.put_u8(entry.kind.tag());
+        bytes.put_u64_le(entry.rows);
+        bytes.put_u32_le(entry.cols);
+        bytes.extend_from_slice(&payload);
+        self.dfs
+            .write(&object_path(&self.dir, &entry.name), &bytes, self.client)
+            .map_err(|e| PsError::Dfs(e.to_string()))?;
+        self.manifest.entries.push(entry);
+        Ok(())
+    }
+
+    /// Export a dense f64 vector (ranks, scores).
+    pub fn vector_f64(&mut self, h: &VectorHandle<f64>) -> Result<()> {
+        let values = h.pull_all(self.client)?;
+        let mut payload = Vec::with_capacity(values.len() * 8);
+        for v in &values {
+            payload.put_f64_le(*v);
+        }
+        self.write_object(
+            SnapshotEntry {
+                name: h.name().to_string(),
+                kind: SnapshotKind::VecF64,
+                rows: values.len() as u64,
+                cols: 1,
+            },
+            payload,
+        )
+    }
+
+    /// Export a dense u64 vector (community / label assignments).
+    pub fn vector_u64(&mut self, h: &VectorHandle<u64>) -> Result<()> {
+        let values = h.pull_all(self.client)?;
+        let mut payload = Vec::with_capacity(values.len() * 8);
+        for v in &values {
+            payload.put_u64_le(*v);
+        }
+        self.write_object(
+            SnapshotEntry {
+                name: h.name().to_string(),
+                kind: SnapshotKind::VecU64,
+                rows: values.len() as u64,
+                cols: 1,
+            },
+            payload,
+        )
+    }
+
+    /// Export a row-partitioned f32 matrix.
+    pub fn matrix_f32(&mut self, h: &MatrixHandle<f32>) -> Result<()> {
+        let rows = h.pull_all(self.client)?;
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut payload = Vec::with_capacity(rows.len() * cols * 4);
+        for row in &rows {
+            for v in row {
+                payload.put_f32_le(*v);
+            }
+        }
+        self.write_object(
+            SnapshotEntry {
+                name: h.name().to_string(),
+                kind: SnapshotKind::MatF32,
+                rows: rows.len() as u64,
+                cols: cols as u32,
+            },
+            payload,
+        )
+    }
+
+    /// Export a column-partitioned f32 matrix (LINE/GraphSage embeddings),
+    /// gathering full rows in chunks through the normal pull path.
+    pub fn colmatrix(&mut self, h: &ColMatrixHandle) -> Result<()> {
+        let rows = h.rows();
+        let cols = h.cols();
+        let mut payload = Vec::with_capacity(rows as usize * cols * 4);
+        let mut start = 0u64;
+        while start < rows {
+            let end = (start + EXPORT_CHUNK as u64).min(rows);
+            let ids: Vec<u64> = (start..end).collect();
+            for row in h.pull_rows(self.client, &ids)? {
+                for v in &row {
+                    payload.put_f32_le(*v);
+                }
+            }
+            start = end;
+        }
+        self.write_object(
+            SnapshotEntry {
+                name: h.name().to_string(),
+                kind: SnapshotKind::MatF32,
+                rows,
+                cols: cols as u32,
+            },
+            payload,
+        )
+    }
+
+    /// Export a CSR adjacency snapshot.
+    pub fn adjacency(&mut self, h: &CsrHandle) -> Result<()> {
+        let n = h.num_vertices();
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut targets: Vec<u64> = Vec::new();
+        offsets.push(0u64);
+        let mut start = 0u64;
+        while start < n {
+            let end = (start + EXPORT_CHUNK as u64).min(n);
+            let ids: Vec<u64> = (start..end).collect();
+            for ns in h.pull(self.client, &ids)? {
+                targets.extend_from_slice(&ns);
+                offsets.push(targets.len() as u64);
+            }
+            start = end;
+        }
+        let mut payload = Vec::with_capacity((offsets.len() + 1 + targets.len()) * 8);
+        for &o in &offsets {
+            payload.put_u64_le(o);
+        }
+        payload.put_u64_le(targets.len() as u64);
+        for &t in &targets {
+            payload.put_u64_le(t);
+        }
+        self.write_object(
+            SnapshotEntry {
+                name: h.name().to_string(),
+                kind: SnapshotKind::Adjacency,
+                rows: n,
+                cols: 0,
+            },
+            payload,
+        )
+    }
+
+    /// Write the manifest and return it. Must be called last — objects
+    /// written after `finish` would not be listed.
+    pub fn finish(self) -> Result<SnapshotManifest> {
+        self.dfs
+            .write(&manifest_path(&self.dir), &self.manifest.encode(), self.client)
+            .map_err(|e| PsError::Dfs(e.to_string()))?;
+        Ok(self.manifest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioner;
+    use crate::ps::{Ps, PsConfig, RecoveryMode};
+    use std::sync::Arc;
+
+    fn ps() -> Arc<Ps> {
+        Ps::new(PsConfig { servers: 3, ..Default::default() })
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = SnapshotManifest {
+            entries: vec![
+                SnapshotEntry {
+                    name: "rank".into(),
+                    kind: SnapshotKind::VecF64,
+                    rows: 10,
+                    cols: 1,
+                },
+                SnapshotEntry {
+                    name: "embed".into(),
+                    kind: SnapshotKind::MatF32,
+                    rows: 10,
+                    cols: 16,
+                },
+            ],
+        };
+        assert_eq!(SnapshotManifest::decode(&m.encode()).unwrap(), m);
+        assert!(SnapshotManifest::decode(&[0u8; 8]).is_err());
+    }
+
+    #[test]
+    fn export_load_all_kinds() {
+        let ps = ps();
+        let dfs = psgraph_dfs::Dfs::in_memory();
+        let c = psgraph_sim::NodeClock::new();
+
+        let ranks =
+            VectorHandle::<f64>::create(&ps, "rank", 7, Partitioner::Range, RecoveryMode::Consistent)
+                .unwrap();
+        let ids: Vec<u64> = (0..7).collect();
+        let rank_vals: Vec<f64> = (0..7).map(|i| 0.1 * i as f64 + 0.013).collect();
+        ranks.push_set(&c, &ids, &rank_vals).unwrap();
+
+        let labels =
+            VectorHandle::<u64>::create(&ps, "label", 7, Partitioner::Hash, RecoveryMode::Consistent)
+                .unwrap();
+        let label_vals: Vec<u64> = (0..7).map(|i| i * 3 % 5).collect();
+        labels.push_set(&c, &ids, &label_vals).unwrap();
+
+        let embed = ColMatrixHandle::create(&ps, "embed", 7, 6, RecoveryMode::Inconsistent)
+            .unwrap();
+        embed.init_uniform(&c, 9, 1.0).unwrap();
+        let embed_rows = embed.pull_rows(&c, &ids).unwrap();
+
+        let tables = vec![(0u64, vec![1, 2]), (3, vec![0]), (6, vec![5, 4, 3])];
+        let adj =
+            CsrHandle::build(&ps, "adj", 7, &tables, &c, RecoveryMode::Inconsistent).unwrap();
+
+        let t0 = c.now();
+        let mut w = SnapshotWriter::new(&dfs, "/snapshot/test", &c);
+        w.vector_f64(&ranks).unwrap();
+        w.vector_u64(&labels).unwrap();
+        w.colmatrix(&embed).unwrap();
+        w.adjacency(&adj).unwrap();
+        let manifest = w.finish().unwrap();
+        assert_eq!(manifest.entries.len(), 4);
+        assert!(c.now() > t0, "export must charge simulated time");
+
+        let loaded = SnapshotManifest::load(&dfs, "/snapshot/test", &c).unwrap();
+        assert_eq!(loaded, manifest);
+
+        match load_object(&dfs, "/snapshot/test", loaded.entry("rank").unwrap(), &c).unwrap() {
+            SnapshotData::VecF64(v) => {
+                let got: Vec<u64> = v.iter().map(|x| x.to_bits()).collect();
+                let want: Vec<u64> = rank_vals.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match load_object(&dfs, "/snapshot/test", loaded.entry("label").unwrap(), &c).unwrap() {
+            SnapshotData::VecU64(v) => assert_eq!(v, label_vals),
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match load_object(&dfs, "/snapshot/test", loaded.entry("embed").unwrap(), &c).unwrap() {
+            SnapshotData::MatF32 { cols, data } => {
+                assert_eq!(cols, 6);
+                let want: Vec<u32> =
+                    embed_rows.iter().flatten().map(|x| x.to_bits()).collect();
+                let got: Vec<u32> = data.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        match load_object(&dfs, "/snapshot/test", loaded.entry("adj").unwrap(), &c).unwrap() {
+            SnapshotData::Adjacency { offsets, targets } => {
+                assert_eq!(offsets.len(), 8);
+                assert_eq!(targets.len(), 6);
+                assert_eq!(&targets[offsets[6] as usize..offsets[7] as usize], &[5, 4, 3]);
+                assert_eq!(&targets[offsets[1] as usize..offsets[2] as usize], &[] as &[u64]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_object_name_rejected() {
+        let ps = ps();
+        let dfs = psgraph_dfs::Dfs::in_memory();
+        let c = psgraph_sim::NodeClock::new();
+        let v = VectorHandle::<f64>::create(
+            &ps, "dup", 3, Partitioner::Range, RecoveryMode::Consistent,
+        )
+        .unwrap();
+        let mut w = SnapshotWriter::new(&dfs, "/snapshot/dup", &c);
+        w.vector_f64(&v).unwrap();
+        assert!(matches!(w.vector_f64(&v), Err(PsError::Dfs(_))));
+    }
+
+    #[test]
+    fn mismatched_entry_rejected_on_load() {
+        let ps = ps();
+        let dfs = psgraph_dfs::Dfs::in_memory();
+        let c = psgraph_sim::NodeClock::new();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 3, Partitioner::Range, RecoveryMode::Consistent,
+        )
+        .unwrap();
+        let mut w = SnapshotWriter::new(&dfs, "/s", &c);
+        w.vector_f64(&v).unwrap();
+        let m = w.finish().unwrap();
+        let mut entry = m.entry("v").unwrap().clone();
+        entry.rows = 99;
+        assert!(load_object(&dfs, "/s", &entry, &c).is_err());
+    }
+}

@@ -1,0 +1,436 @@
+//! Assemble a serving tier from a PS snapshot on the DFS.
+
+use psgraph_dfs::Dfs;
+use psgraph_net::Network;
+use psgraph_ps::snapshot::{load_object, SnapshotData, SnapshotManifest};
+use psgraph_sim::{CostModel, NodeClock};
+use std::sync::Arc;
+
+use crate::error::{Result, ServeError};
+use crate::frontend::{Frontend, SloPolicy};
+use crate::router::Router;
+use crate::shard::{
+    col_range, vertex_range, Adjacency, EmbedSlice, Replica, ShardData, ShardSpec,
+};
+
+/// Sizing and policy for a serving tier.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub shards: usize,
+    pub replicas_per_shard: usize,
+    /// Byte budget for the frontend hot-key cache (0 disables caching).
+    pub cache_budget: u64,
+    pub policy: SloPolicy,
+    pub cost: CostModel,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 2,
+            replicas_per_shard: 2,
+            cache_budget: 1 << 20,
+            policy: SloPolicy::default(),
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Which snapshot objects play which serving role.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectMap {
+    pub ranks: Option<String>,
+    pub communities: Option<String>,
+    pub embeddings: Option<String>,
+    pub adjacency: Option<String>,
+}
+
+/// The serving tier: replicated shards plus the frontend driving them.
+pub struct ServeCluster {
+    replicas: Vec<Arc<Replica>>,
+    frontend: Frontend,
+    num_vertices: u64,
+}
+
+impl ServeCluster {
+    /// Load a snapshot directory into `cfg.shards × cfg.replicas_per_shard`
+    /// read replicas, charging the DFS reads to `client`.
+    pub fn load(
+        dfs: &Dfs,
+        dir: &str,
+        objects: &ObjectMap,
+        cfg: &ServeConfig,
+        client: &NodeClock,
+    ) -> Result<Self> {
+        assert!(cfg.shards > 0, "need at least one shard");
+        assert!(cfg.replicas_per_shard > 0, "need at least one replica per shard");
+        let manifest = SnapshotManifest::load(dfs, dir, client)?;
+        let fetch = |name: &Option<String>| -> Result<Option<SnapshotData>> {
+            match name {
+                None => Ok(None),
+                Some(name) => {
+                    let entry = manifest
+                        .entry(name)
+                        .ok_or_else(|| ServeError::MissingObject(name.clone()))?;
+                    Ok(Some(load_object(dfs, dir, entry, client)?))
+                }
+            }
+        };
+
+        let ranks = match fetch(&objects.ranks)? {
+            Some(SnapshotData::VecF64(v)) => Some(v),
+            Some(_) => return Err(ServeError::Dfs("ranks object is not a f64 vector".into())),
+            None => None,
+        };
+        let communities = match fetch(&objects.communities)? {
+            Some(SnapshotData::VecU64(v)) => Some(v),
+            Some(_) => {
+                return Err(ServeError::Dfs("communities object is not a u64 vector".into()))
+            }
+            None => None,
+        };
+        let embeddings = match fetch(&objects.embeddings)? {
+            Some(SnapshotData::MatF32 { cols, data }) => Some((cols, data)),
+            Some(_) => {
+                return Err(ServeError::Dfs("embeddings object is not a f32 matrix".into()))
+            }
+            None => None,
+        };
+        let adjacency = match fetch(&objects.adjacency)? {
+            Some(SnapshotData::Adjacency { offsets, targets }) => Some((offsets, targets)),
+            Some(_) => return Err(ServeError::Dfs("adjacency object is not a CSR".into())),
+            None => None,
+        };
+
+        let mut num_vertices = None;
+        let mut check = |n: u64, what: &str| -> Result<()> {
+            match num_vertices {
+                None => {
+                    num_vertices = Some(n);
+                    Ok(())
+                }
+                Some(m) if m == n => Ok(()),
+                Some(m) => Err(ServeError::Dfs(format!(
+                    "{what} has {n} vertices but another object has {m}"
+                ))),
+            }
+        };
+        if let Some(r) = &ranks {
+            check(r.len() as u64, "ranks")?;
+        }
+        if let Some(c) = &communities {
+            check(c.len() as u64, "communities")?;
+        }
+        if let Some((offsets, _)) = &adjacency {
+            check(offsets.len() as u64 - 1, "adjacency")?;
+        }
+        if let Some((cols, data)) = &embeddings {
+            check((data.len() / cols.max(&1)) as u64, "embeddings")?;
+        }
+        let n = num_vertices
+            .ok_or_else(|| ServeError::Dfs("snapshot maps no objects to serve".into()))?;
+        let dim = embeddings.as_ref().map_or(0, |(cols, _)| *cols);
+
+        let mut replicas = Vec::new();
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let queue_depth = cfg.policy.queue_cap + cfg.policy.batch_max;
+        for s in 0..cfg.shards {
+            let (vlo, vhi) = vertex_range(s, n, cfg.shards);
+            let (clo, chi) = col_range(s, dim, cfg.shards);
+            let spec = ShardSpec {
+                num_shards: cfg.shards,
+                shard: s,
+                vertex_lo: vlo,
+                vertex_hi: vhi,
+                col_lo: clo,
+                col_hi: chi,
+            };
+            let data = Arc::new(ShardData {
+                spec,
+                ranks: ranks.as_ref().map(|r| r[vlo as usize..vhi as usize].to_vec()),
+                communities: communities
+                    .as_ref()
+                    .map(|c| c[vlo as usize..vhi as usize].to_vec()),
+                adjacency: adjacency.as_ref().map(|(offsets, targets)| {
+                    let base = offsets[vlo as usize];
+                    let local: Vec<u64> = offsets[vlo as usize..=vhi as usize]
+                        .iter()
+                        .map(|o| o - base)
+                        .collect();
+                    let t =
+                        targets[base as usize..offsets[vhi as usize] as usize].to_vec();
+                    Adjacency { offsets: local, targets: t }
+                }),
+                embed: embeddings.as_ref().map(|(cols, data)| {
+                    let width = chi - clo;
+                    let mut slice = Vec::with_capacity(n as usize * width);
+                    for r in 0..n as usize {
+                        slice.extend_from_slice(&data[r * cols + clo..r * cols + chi]);
+                    }
+                    EmbedSlice { rows: n, width, data: slice }
+                }),
+            });
+            let mut shard_reps = Vec::with_capacity(cfg.replicas_per_shard);
+            for i in 0..cfg.replicas_per_shard {
+                let global = s * cfg.replicas_per_shard + i;
+                let rep = Replica::new(s, i, global, Arc::clone(&data), queue_depth);
+                replicas.push(Arc::clone(&rep));
+                shard_reps.push(rep);
+            }
+            shards.push(shard_reps);
+        }
+
+        let frontend = Frontend::new(
+            Router::new(shards),
+            Network::new(cfg.cost.clone()),
+            cfg.cache_budget,
+            cfg.policy.clone(),
+            n,
+        );
+        Ok(ServeCluster { replicas, frontend, num_vertices: n })
+    }
+
+    pub fn num_vertices(&self) -> u64 {
+        self.num_vertices
+    }
+
+    pub fn replicas(&self) -> &[Arc<Replica>] {
+        &self.replicas
+    }
+
+    pub fn frontend(&self) -> &Frontend {
+        &self.frontend
+    }
+
+    pub fn frontend_mut(&mut self) -> &mut Frontend {
+        &mut self.frontend
+    }
+
+    /// Kill replica `global_id` (as scripted by a
+    /// [`psgraph_sim::FailPlan::kill_replica`]). Returns whether it was
+    /// alive. The router stops sending it traffic from the next query on;
+    /// already-completed answers are unaffected because shard data is
+    /// immutable.
+    pub fn kill_replica(&self, global_id: usize) -> bool {
+        self.replicas
+            .get(global_id)
+            .map(|r| r.kill())
+            .unwrap_or(false)
+    }
+
+    /// Count of live replicas (for degraded-service assertions).
+    pub fn live_replicas(&self) -> usize {
+        self.replicas.iter().filter(|r| r.is_alive()).count()
+    }
+
+    /// Simulated bytes moved and RPCs made by the serving tier so far.
+    pub fn network(&self) -> &Network {
+        self.frontend.network()
+    }
+
+    /// A tiny in-memory snapshot + cluster for tests: `n` vertices with
+    /// rank `i/n`, community `i % 7`, a ring adjacency, and a `dim`-wide
+    /// deterministic embedding.
+    pub fn demo(n: u64, dim: usize, cfg: &ServeConfig) -> Result<(Self, DemoTruth)> {
+        use psgraph_ps::{
+            CsrHandle, Partitioner, Ps, PsConfig, RecoveryMode, SnapshotWriter, VectorHandle,
+        };
+
+        let ps = Ps::new(PsConfig::default());
+        let dfs = Dfs::in_memory();
+        let client = NodeClock::new();
+        let ids: Vec<u64> = (0..n).collect();
+
+        let ranks: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let hv = VectorHandle::<f64>::create(
+            &ps,
+            "demo.rank",
+            n,
+            Partitioner::Range,
+            RecoveryMode::Consistent,
+        )?;
+        hv.push_set(&client, &ids, &ranks)?;
+
+        let coms: Vec<u64> = (0..n).map(|i| i % 7).collect();
+        let hc = VectorHandle::<u64>::create(
+            &ps,
+            "demo.community",
+            n,
+            Partitioner::Range,
+            RecoveryMode::Consistent,
+        )?;
+        hc.push_set(&client, &ids, &coms)?;
+
+        let adj: Vec<Vec<u64>> = (0..n).map(|i| vec![(i + 1) % n, (i + 2) % n]).collect();
+        let tables: Vec<(u64, Vec<u64>)> =
+            adj.iter().enumerate().map(|(i, ns)| (i as u64, ns.clone())).collect();
+        let ha = CsrHandle::build(&ps, "demo.adj", n, &tables, &client, RecoveryMode::Consistent)?;
+
+        let embed: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..dim).map(|j| ((i * 31 + j as u64 * 7) % 13) as f32 * 0.1 - 0.6).collect())
+            .collect();
+        let hm = psgraph_ps::ColMatrixHandle::create(
+            &ps,
+            "demo.embed",
+            n,
+            dim,
+            RecoveryMode::Inconsistent,
+        )?;
+        hm.push_add_rows(&client, &ids, &embed)?;
+
+        let mut w = SnapshotWriter::new(&dfs, "/snapshot/demo", &client);
+        w.vector_f64(&hv)?;
+        w.vector_u64(&hc)?;
+        w.adjacency(&ha)?;
+        w.colmatrix(&hm)?;
+        w.finish()?;
+
+        let objects = ObjectMap {
+            ranks: Some("demo.rank".into()),
+            communities: Some("demo.community".into()),
+            embeddings: Some("demo.embed".into()),
+            adjacency: Some("demo.adj".into()),
+        };
+        let cluster = ServeCluster::load(&dfs, "/snapshot/demo", &objects, cfg, &client)?;
+        Ok((cluster, DemoTruth { ranks, communities: coms, adjacency: adj, embeddings: embed }))
+    }
+}
+
+/// Ground truth backing [`ServeCluster::demo`].
+#[derive(Debug, Clone)]
+pub struct DemoTruth {
+    pub ranks: Vec<f64>,
+    pub communities: Vec<u64>,
+    pub adjacency: Vec<Vec<u64>>,
+    pub embeddings: Vec<Vec<f32>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::Outcome;
+    use crate::shard::{Query, Value};
+    use psgraph_sim::SimTime;
+
+    fn small() -> (ServeCluster, DemoTruth) {
+        ServeCluster::demo(24, 4, &ServeConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn demo_cluster_serves_exact_point_lookups() {
+        let (mut cluster, truth) = small();
+        let mut t = SimTime::ZERO;
+        for v in 0..24u64 {
+            for (i, q) in [Query::Rank(v), Query::Community(v), Query::Neighbors(v)]
+                .into_iter()
+                .enumerate()
+            {
+                let outs = cluster.frontend_mut().execute_now(v as usize * 3 + i, t, q);
+                let (_, o) = outs.last().expect("outcome");
+                match (q, o) {
+                    (Query::Rank(_), Outcome::Answered { value: Value::Rank(r), .. }) => {
+                        assert_eq!(r.to_bits(), truth.ranks[v as usize].to_bits());
+                    }
+                    (Query::Community(_), Outcome::Answered { value: Value::Community(c), .. }) => {
+                        assert_eq!(*c, truth.communities[v as usize]);
+                    }
+                    (Query::Neighbors(_), Outcome::Answered { value: Value::Neighbors(n), .. }) => {
+                        assert_eq!(n, &truth.adjacency[v as usize]);
+                    }
+                    other => panic!("unexpected outcome {other:?}"),
+                }
+                t += SimTime::from_micros(50);
+            }
+        }
+        assert_eq!(cluster.frontend().failed(), 0);
+    }
+
+    #[test]
+    fn embedding_gather_reassembles_full_rows() {
+        let (mut cluster, truth) = small();
+        let outs = cluster.frontend_mut().execute_now(0, SimTime::ZERO, Query::Embedding(5));
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Embedding(e), cached, .. } => {
+                assert!(!cached);
+                let got: Vec<u32> = e.iter().map(|x| x.to_bits()).collect();
+                let want: Vec<u32> = truth.embeddings[5].iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // Second fetch is a cache hit with the identical value.
+        let outs = cluster
+            .frontend_mut()
+            .execute_now(1, SimTime::from_millis(10), Query::Embedding(5));
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Embedding(e), cached, .. } => {
+                assert!(cached);
+                assert_eq!(e.len(), 4);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(cluster.frontend().cache().hits(), 1);
+    }
+
+    #[test]
+    fn khop_and_topk_match_reference() {
+        use crate::frontend::reference;
+        let (mut cluster, truth) = small();
+        let outs = cluster
+            .frontend_mut()
+            .execute_now(0, SimTime::ZERO, Query::KHop { v: 3, hops: 2 });
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Vertices(vs), .. } => {
+                assert_eq!(vs, &reference::khop(&truth.adjacency, 3, 2));
+                assert_eq!(vs, &[4, 5, 6, 7]); // ring: +1/+2 twice
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let outs = cluster
+            .frontend_mut()
+            .execute_now(1, SimTime::from_millis(1), Query::TopK { v: 3, k: 3 });
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Ranked(r), .. } => {
+                let want = reference::topk(&truth.embeddings, &truth.adjacency, 3, 3, 2);
+                assert_eq!(r.len(), want.len());
+                for ((gv, gs), (wv, ws)) in r.iter().zip(&want) {
+                    assert_eq!(gv, wv);
+                    assert_eq!(gs.to_bits(), ws.to_bits());
+                }
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn killing_a_replica_degrades_but_stays_correct() {
+        let (mut cluster, truth) = small();
+        assert_eq!(cluster.live_replicas(), 4);
+        assert!(cluster.kill_replica(1));
+        assert!(!cluster.kill_replica(1), "already dead");
+        assert_eq!(cluster.live_replicas(), 3);
+        let mut t = SimTime::ZERO;
+        for v in 0..24u64 {
+            let outs = cluster.frontend_mut().execute_now(v as usize, t, Query::Rank(v));
+            match &outs.last().unwrap().1 {
+                Outcome::Answered { value: Value::Rank(r), .. } => {
+                    assert_eq!(r.to_bits(), truth.ranks[v as usize].to_bits());
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+            t += SimTime::from_micros(20);
+        }
+        // Kill the whole shard: its uncached queries fail, cached answers
+        // and other shards keep working.
+        assert!(cluster.kill_replica(0));
+        let outs = cluster.frontend_mut().execute_now(100, t, Query::Community(0));
+        assert!(matches!(outs[0].1, Outcome::Failed(_)));
+        let outs = cluster.frontend_mut().execute_now(101, t, Query::Rank(0));
+        assert!(
+            matches!(outs[0].1, Outcome::Answered { cached: true, .. }),
+            "cached rank survives a dead shard"
+        );
+        let outs = cluster.frontend_mut().execute_now(102, t, Query::Community(23));
+        assert!(matches!(outs[0].1, Outcome::Answered { .. }));
+    }
+}

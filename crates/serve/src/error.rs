@@ -1,0 +1,45 @@
+//! Error type for the serving tier.
+
+use psgraph_ps::PsError;
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// An error surfaced from the parameter-server layer.
+    Ps(PsError),
+    /// A DFS read failed while loading a snapshot.
+    Dfs(String),
+    /// The query references a vertex outside the served graph, asks for
+    /// data the snapshot does not contain, or is otherwise malformed.
+    BadQuery(String),
+    /// Every replica of the shard is dead.
+    NoReplica { shard: usize },
+    /// The snapshot is missing an object the cluster was told to serve.
+    MissingObject(String),
+}
+
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Ps(e) => write!(f, "ps: {e}"),
+            ServeError::Dfs(m) => write!(f, "dfs: {m}"),
+            ServeError::BadQuery(m) => write!(f, "bad query: {m}"),
+            ServeError::NoReplica { shard } => {
+                write!(f, "no live replica for shard {shard}")
+            }
+            ServeError::MissingObject(name) => {
+                write!(f, "snapshot has no object named {name}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PsError> for ServeError {
+    fn from(e: PsError) -> Self {
+        ServeError::Ps(e)
+    }
+}

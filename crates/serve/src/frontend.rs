@@ -1,0 +1,698 @@
+//! The serving frontend: hot-key cache, admission control, batching, and
+//! query execution against the replicated shards.
+//!
+//! One frontend drives the whole tier in simulated time. Point lookups
+//! (rank / community / neighbors) are cached, admission-controlled, and
+//! batched per shard — a batch is one RPC whose response carries every
+//! item, so batching trades a little queueing delay for fewer
+//! per-message latencies. Multi-shard queries (embedding gather, top-k,
+//! k-hop) fan out to one live replica of each shard and complete at the
+//! slowest leg.
+//!
+//! Admission control sheds load in two regimes: a hard bound on the
+//! routed replica's in-flight queue, and an SLO guard that starts
+//! shedding once the sliding-window p99 exceeds the target while the
+//! queue is half full — bounded queues plus backpressure instead of
+//! unbounded tail growth.
+
+use psgraph_net::Network;
+use psgraph_sim::{FxHashSet, NodeClock, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::cache::LruCache;
+use crate::error::{Result, ServeError};
+use crate::router::Router;
+use crate::shard::{owner_of, Query, Replica, ShardSpec, Value};
+
+/// Max candidate set for top-k scoring (2-hop neighborhood, truncated).
+pub const TOPK_CANDIDATES: usize = 128;
+/// Max frontier per hop for k-hop expansion.
+pub const KHOP_FRONTIER_CAP: usize = 4096;
+/// Minimum sample count before the SLO guard trusts the window p99.
+const SLO_MIN_SAMPLES: usize = 32;
+
+/// Knobs for admission control, batching, and the latency SLO.
+#[derive(Debug, Clone)]
+pub struct SloPolicy {
+    /// Tail-latency target the shedder defends.
+    pub slo_p99: SimTime,
+    /// Sliding window length (completed queries) for the p99 estimate.
+    pub window: usize,
+    /// Per-replica in-flight bound; at this depth new queries are shed.
+    pub queue_cap: usize,
+    /// Flush a shard batch at this many items.
+    pub batch_max: usize,
+    /// ... or this long after its first item arrived.
+    pub batch_window: SimTime,
+    /// Server CPU ops charged per served item.
+    pub ops_per_item: u64,
+    /// Frontend CPU ops charged for a cache hit.
+    pub cache_hit_ops: u64,
+}
+
+impl Default for SloPolicy {
+    fn default() -> Self {
+        SloPolicy {
+            slo_p99: SimTime::from_millis(5),
+            window: 512,
+            queue_cap: 64,
+            batch_max: 8,
+            batch_window: SimTime::from_micros(200),
+            ops_per_item: 4,
+            cache_hit_ops: 64,
+        }
+    }
+}
+
+/// Cache key: query-kind tag + vertex.
+pub type CacheKey = (u8, u64);
+
+fn cache_key(q: &Query) -> Option<CacheKey> {
+    match *q {
+        Query::Rank(v) => Some((0, v)),
+        Query::Community(v) => Some((1, v)),
+        Query::Embedding(v) => Some((2, v)),
+        Query::Neighbors(v) => Some((3, v)),
+        Query::KHop { .. } | Query::TopK { .. } => None,
+    }
+}
+
+/// What happened to one submitted query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    Answered {
+        value: Value,
+        latency: SimTime,
+        /// Absolute completion time (arrival + latency).
+        completed: SimTime,
+        /// Served from the frontend cache, no replica touched.
+        cached: bool,
+    },
+    /// Rejected by admission control.
+    Shed { reason: &'static str },
+    Failed(String),
+}
+
+struct BatchItem {
+    idx: usize,
+    arrival: SimTime,
+    query: Query,
+}
+
+struct Batch {
+    first_arrival: SimTime,
+    items: Vec<BatchItem>,
+}
+
+/// The serving frontend. Single-threaded driver over simulated time:
+/// callers must submit queries in arrival order.
+pub struct Frontend {
+    router: Router,
+    net: Network,
+    cache: LruCache<CacheKey, Value>,
+    policy: SloPolicy,
+    specs: Vec<ShardSpec>,
+    num_vertices: u64,
+    batches: Vec<Option<Batch>>,
+    /// Latencies (ns) of the most recent completions, for the SLO guard.
+    recent: VecDeque<u64>,
+    answered: u64,
+    shed: u64,
+    failed: u64,
+}
+
+impl Frontend {
+    /// Build a frontend over `router`. Every shard must have at least one
+    /// replica (dead or alive) so its layout is known.
+    pub fn new(
+        router: Router,
+        net: Network,
+        cache_budget: u64,
+        policy: SloPolicy,
+        num_vertices: u64,
+    ) -> Self {
+        assert!(policy.batch_max >= 1, "batch_max must be at least 1");
+        let specs: Vec<ShardSpec> = (0..router.num_shards())
+            .map(|s| {
+                router.replicas(s).first().expect("shard with no replicas").data().spec
+            })
+            .collect();
+        let batches = (0..router.num_shards()).map(|_| None).collect();
+        Frontend {
+            router,
+            net,
+            cache: LruCache::new(cache_budget),
+            policy,
+            specs,
+            num_vertices,
+            batches,
+            recent: VecDeque::new(),
+            answered: 0,
+            shed: 0,
+            failed: 0,
+        }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.router.num_shards()
+    }
+
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    pub fn cache(&self) -> &LruCache<CacheKey, Value> {
+        &self.cache
+    }
+
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    pub fn answered(&self) -> u64 {
+        self.answered
+    }
+
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+
+    pub fn failed(&self) -> u64 {
+        self.failed
+    }
+
+    /// Submit a query arriving at `arrival`. Returns outcomes that became
+    /// known during this step — the submitted query's own outcome when it
+    /// completed immediately (cache hit, shed, multi-shard), plus any
+    /// batched queries whose batch flushed. Batched point lookups resolve
+    /// on a later submit or at [`Frontend::drain`].
+    pub fn submit(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        query: Query,
+    ) -> Vec<(usize, Outcome)> {
+        let mut out = Vec::new();
+        self.flush_due(arrival, &mut out);
+        self.handle(idx, arrival, query, false, &mut out);
+        out
+    }
+
+    /// Like [`Frontend::submit`] but never leaves the query pending in a
+    /// batch — used by closed-loop load generators that need the outcome
+    /// before issuing the worker's next query.
+    pub fn execute_now(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        query: Query,
+    ) -> Vec<(usize, Outcome)> {
+        let mut out = Vec::new();
+        self.flush_due(arrival, &mut out);
+        self.handle(idx, arrival, query, true, &mut out);
+        out
+    }
+
+    /// Flush every pending batch (end of workload).
+    pub fn drain(&mut self) -> Vec<(usize, Outcome)> {
+        let mut out = Vec::new();
+        for shard in 0..self.batches.len() {
+            if let Some(b) = &self.batches[shard] {
+                let t = b.first_arrival + self.policy.batch_window;
+                self.flush_batch(shard, t, &mut out);
+            }
+        }
+        out
+    }
+
+    /// The sliding-window p99 latency, once enough samples exist.
+    pub fn window_p99(&self) -> Option<SimTime> {
+        if self.recent.len() < SLO_MIN_SAMPLES {
+            return None;
+        }
+        let mut v: Vec<u64> = self.recent.iter().copied().collect();
+        v.sort_unstable();
+        let rank = ((v.len() as f64) * 0.99).ceil() as usize;
+        Some(SimTime::from_nanos(v[rank.clamp(1, v.len()) - 1]))
+    }
+
+    fn record_latency(&mut self, latency: SimTime) {
+        if self.recent.len() == self.policy.window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(latency.as_nanos());
+    }
+
+    fn flush_due(&mut self, now: SimTime, out: &mut Vec<(usize, Outcome)>) {
+        for shard in 0..self.batches.len() {
+            let due = match &self.batches[shard] {
+                Some(b) => b.first_arrival + self.policy.batch_window <= now,
+                None => false,
+            };
+            if due {
+                let t = self.batches[shard].as_ref().unwrap().first_arrival
+                    + self.policy.batch_window;
+                self.flush_batch(shard, t, out);
+            }
+        }
+    }
+
+    fn answer(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        completed: SimTime,
+        value: Value,
+        cached: bool,
+        out: &mut Vec<(usize, Outcome)>,
+    ) {
+        let latency = completed.saturating_sub(arrival);
+        self.record_latency(latency);
+        self.answered += 1;
+        out.push((idx, Outcome::Answered { value, latency, completed, cached }));
+    }
+
+    fn fail(&mut self, idx: usize, err: ServeError, out: &mut Vec<(usize, Outcome)>) {
+        self.failed += 1;
+        out.push((idx, Outcome::Failed(err.to_string())));
+    }
+
+    fn handle(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        query: Query,
+        immediate: bool,
+        out: &mut Vec<(usize, Outcome)>,
+    ) {
+        let v = query.vertex();
+        if v >= self.num_vertices {
+            self.fail(
+                idx,
+                ServeError::BadQuery(format!(
+                    "vertex {v} out of range (graph has {})",
+                    self.num_vertices
+                )),
+                out,
+            );
+            return;
+        }
+
+        if let Some(key) = cache_key(&query) {
+            if let Some(value) = self.cache.get(&key).cloned() {
+                let done = arrival + self.net.cost_model().cpu_cost(self.policy.cache_hit_ops);
+                self.answer(idx, arrival, done, value, true, out);
+                return;
+            }
+        }
+
+        // Admission control against the replica the query would land on.
+        let primary = owner_of(v, self.num_vertices, self.specs.len());
+        let rep = match self.router.route(primary, arrival) {
+            Some(r) => r,
+            None => {
+                self.fail(idx, ServeError::NoReplica { shard: primary }, out);
+                return;
+            }
+        };
+        let load = rep.load_at(arrival);
+        if load >= self.policy.queue_cap {
+            self.shed += 1;
+            out.push((idx, Outcome::Shed { reason: "queue full" }));
+            return;
+        }
+        if load > self.policy.queue_cap / 2 {
+            if let Some(p99) = self.window_p99() {
+                if p99 > self.policy.slo_p99 {
+                    self.shed += 1;
+                    out.push((idx, Outcome::Shed { reason: "p99 over SLO" }));
+                    return;
+                }
+            }
+        }
+
+        match query {
+            Query::Rank(_) | Query::Community(_) | Query::Neighbors(_) => {
+                let batch = self.batches[primary].get_or_insert_with(|| Batch {
+                    first_arrival: arrival,
+                    items: Vec::new(),
+                });
+                batch.items.push(BatchItem { idx, arrival, query });
+                if immediate || self.batches[primary].as_ref().unwrap().items.len()
+                    >= self.policy.batch_max
+                {
+                    self.flush_batch(primary, arrival, out);
+                }
+            }
+            Query::Embedding(_) => self.execute_embedding(idx, arrival, v, out),
+            Query::KHop { hops, .. } => self.execute_khop(idx, arrival, v, hops, out),
+            Query::TopK { k, .. } => self.execute_topk(idx, arrival, v, k, out),
+        }
+    }
+
+    fn compute_point(data: &crate::shard::ShardData, query: Query) -> Result<Value> {
+        match query {
+            Query::Rank(v) => data.rank(v).map(Value::Rank),
+            Query::Community(v) => data.community(v).map(Value::Community),
+            Query::Neighbors(v) => data.neighbors(v).map(|n| Value::Neighbors(n.to_vec())),
+            _ => unreachable!("only point lookups are batched"),
+        }
+    }
+
+    fn flush_batch(&mut self, shard: usize, t_flush: SimTime, out: &mut Vec<(usize, Outcome)>) {
+        let Some(batch) = self.batches[shard].take() else { return };
+        let rep = match self.router.route(shard, t_flush) {
+            Some(r) => r,
+            None => {
+                for item in batch.items {
+                    self.fail(item.idx, ServeError::NoReplica { shard }, out);
+                }
+                return;
+            }
+        };
+
+        let mut ops = 0u64;
+        let mut resp_bytes = 16u64;
+        let mut results = Vec::with_capacity(batch.items.len());
+        for item in &batch.items {
+            let res = Self::compute_point(rep.data(), item.query);
+            if let Ok(value) = &res {
+                ops += self.policy.ops_per_item;
+                if let Value::Neighbors(n) = value {
+                    ops += n.len() as u64;
+                }
+                resp_bytes += value.approx_bytes();
+            }
+            results.push(res);
+        }
+        let req_bytes = 16 + 16 * batch.items.len() as u64;
+
+        let clock = NodeClock::new();
+        clock.advance(t_flush);
+        self.net.rpc(&clock, rep.port(), req_bytes, ops, resp_bytes);
+        let done = clock.now();
+
+        for (item, res) in batch.items.into_iter().zip(results) {
+            rep.record_completion(item.arrival, done);
+            match res {
+                Ok(value) => {
+                    if let Some(key) = cache_key(&item.query) {
+                        self.cache.insert(key, value.clone(), value.approx_bytes());
+                    }
+                    self.answer(item.idx, item.arrival, done, value, false, out);
+                }
+                Err(e) => self.fail(item.idx, e, out),
+            }
+        }
+    }
+
+    /// One RPC to a live replica of `shard` at time `at`; returns the
+    /// replica and completion time.
+    fn shard_rpc(
+        &self,
+        shard: usize,
+        at: SimTime,
+        req_bytes: u64,
+        ops: u64,
+        resp_bytes: u64,
+    ) -> Result<(Arc<Replica>, SimTime)> {
+        let rep = self
+            .router
+            .route(shard, at)
+            .ok_or(ServeError::NoReplica { shard })?;
+        let clock = NodeClock::new();
+        clock.advance(at);
+        self.net.rpc(&clock, rep.port(), req_bytes, ops, resp_bytes);
+        let done = clock.now();
+        rep.record_completion(at, done);
+        Ok((rep, done))
+    }
+
+    fn execute_embedding(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        v: u64,
+        out: &mut Vec<(usize, Outcome)>,
+    ) {
+        let mut parts: Vec<(usize, Vec<f32>)> = Vec::new();
+        let mut done_max = arrival;
+        for shard in 0..self.specs.len() {
+            if self.specs[shard].col_width() == 0 {
+                continue;
+            }
+            let width = self.specs[shard].col_width() as u64;
+            let (rep, done) = match self.shard_rpc(
+                shard,
+                arrival,
+                24,
+                self.policy.ops_per_item + width,
+                16 + 4 * width,
+            ) {
+                Ok(x) => x,
+                Err(e) => return self.fail(idx, e, out),
+            };
+            let slice = match rep.data().embed_cols(v) {
+                Ok(s) => s.to_vec(),
+                Err(e) => return self.fail(idx, e, out),
+            };
+            parts.push((rep.data().spec.col_lo, slice));
+            done_max = done_max.max(done);
+        }
+        if parts.is_empty() {
+            return self.fail(idx, ServeError::BadQuery("no embeddings served".into()), out);
+        }
+        parts.sort_by_key(|(lo, _)| *lo);
+        let full: Vec<f32> = parts.into_iter().flat_map(|(_, s)| s).collect();
+        let value = Value::Embedding(full);
+        self.cache.insert((2, v), value.clone(), value.approx_bytes());
+        self.answer(idx, arrival, done_max, value, false, out);
+    }
+
+    /// Fetch neighbor lists of `vertices` (grouped by owner shard) at
+    /// time `at`. Returns the lists in input order plus the slowest
+    /// completion.
+    fn fetch_neighbors(
+        &self,
+        vertices: &[u64],
+        at: SimTime,
+    ) -> Result<(Vec<Vec<u64>>, SimTime)> {
+        let num_shards = self.specs.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (i, &u) in vertices.iter().enumerate() {
+            by_shard[owner_of(u, self.num_vertices, num_shards)].push(i);
+        }
+        let mut lists: Vec<Vec<u64>> = vec![Vec::new(); vertices.len()];
+        let mut done_max = at;
+        for (shard, idxs) in by_shard.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            // Compute first so the response size is the real payload.
+            let rep = self
+                .router
+                .route(shard, at)
+                .ok_or(ServeError::NoReplica { shard })?;
+            let mut ops = 0u64;
+            let mut resp = 16u64;
+            for &i in idxs {
+                let ns = rep.data().neighbors(vertices[i])?;
+                ops += self.policy.ops_per_item + ns.len() as u64;
+                resp += 8 * ns.len() as u64;
+                lists[i] = ns.to_vec();
+            }
+            let clock = NodeClock::new();
+            clock.advance(at);
+            self.net
+                .rpc(&clock, rep.port(), 16 + 8 * idxs.len() as u64, ops, resp);
+            let done = clock.now();
+            rep.record_completion(at, done);
+            done_max = done_max.max(done);
+        }
+        Ok((lists, done_max))
+    }
+
+    fn execute_khop(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        v: u64,
+        hops: u32,
+        out: &mut Vec<(usize, Outcome)>,
+    ) {
+        let mut visited: FxHashSet<u64> = FxHashSet::default();
+        visited.insert(v);
+        let mut frontier = vec![v];
+        let mut t = arrival;
+        for _ in 0..hops {
+            if frontier.is_empty() {
+                break;
+            }
+            let (lists, done) = match self.fetch_neighbors(&frontier, t) {
+                Ok(x) => x,
+                Err(e) => return self.fail(idx, e, out),
+            };
+            let mut next: Vec<u64> =
+                lists.into_iter().flatten().filter(|u| !visited.contains(u)).collect();
+            next.sort_unstable();
+            next.dedup();
+            next.truncate(KHOP_FRONTIER_CAP);
+            visited.extend(next.iter().copied());
+            frontier = next;
+            t = done;
+        }
+        let mut result: Vec<u64> = visited.into_iter().filter(|&u| u != v).collect();
+        result.sort_unstable();
+        self.answer(idx, arrival, t, Value::Vertices(result), false, out);
+    }
+
+    fn execute_topk(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        v: u64,
+        k: usize,
+        out: &mut Vec<(usize, Outcome)>,
+    ) {
+        // Hop 1: v's own neighbors.
+        let (hop1, t1) = match self.fetch_neighbors(&[v], arrival) {
+            Ok(x) => x,
+            Err(e) => return self.fail(idx, e, out),
+        };
+        let hop1 = hop1.into_iter().next().unwrap_or_default();
+        // Hop 2: their neighbors.
+        let (hop2, t2) = if hop1.is_empty() {
+            (Vec::new(), t1)
+        } else {
+            match self.fetch_neighbors(&hop1, t1) {
+                Ok(x) => x,
+                Err(e) => return self.fail(idx, e, out),
+            }
+        };
+        let mut cands: Vec<u64> = hop1;
+        cands.extend(hop2.into_iter().flatten());
+        cands.sort_unstable();
+        cands.dedup();
+        cands.retain(|&u| u != v);
+        cands.truncate(TOPK_CANDIDATES);
+        if cands.is_empty() {
+            return self.answer(idx, arrival, t2, Value::Ranked(Vec::new()), false, out);
+        }
+
+        // Score: partial dot products on every column shard, merged here —
+        // summed in shard order so the reference implementation can match
+        // the float association exactly.
+        let mut scores = vec![0.0f64; cands.len()];
+        let mut done_max = t2;
+        for shard in 0..self.specs.len() {
+            let width = self.specs[shard].col_width() as u64;
+            if width == 0 {
+                continue;
+            }
+            let rep = match self.router.route(shard, t2) {
+                Some(r) => r,
+                None => return self.fail(idx, ServeError::NoReplica { shard }, out),
+            };
+            let partials = match rep.data().partial_dots(v, &cands) {
+                Ok(p) => p,
+                Err(e) => return self.fail(idx, e, out),
+            };
+            let ops = cands.len() as u64 * (2 * width + self.policy.ops_per_item);
+            let clock = NodeClock::new();
+            clock.advance(t2);
+            self.net.rpc(
+                &clock,
+                rep.port(),
+                24 + 8 * cands.len() as u64,
+                ops,
+                16 + 8 * cands.len() as u64,
+            );
+            let done = clock.now();
+            rep.record_completion(t2, done);
+            done_max = done_max.max(done);
+            for (s, p) in scores.iter_mut().zip(partials) {
+                *s += p;
+            }
+        }
+
+        let mut ranked: Vec<(u64, f64)> = cands.into_iter().zip(scores).collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        self.answer(idx, arrival, done_max, Value::Ranked(ranked), false, out);
+    }
+}
+
+/// Driver-side reference answers, mirroring the frontend's algorithms
+/// (candidate caps, tie-breaks, and float association included) but
+/// reading full truth arrays instead of snapshot shards. The `repro --
+/// serve` experiment checks every served answer against these.
+pub mod reference {
+    use super::{KHOP_FRONTIER_CAP, TOPK_CANDIDATES};
+    use crate::shard::col_range;
+    use psgraph_sim::FxHashSet;
+
+    /// Vertices within `hops` hops of `v`, excluding `v`, sorted.
+    pub fn khop(adj: &[Vec<u64>], v: u64, hops: u32) -> Vec<u64> {
+        let mut visited: FxHashSet<u64> = FxHashSet::default();
+        visited.insert(v);
+        let mut frontier = vec![v];
+        for _ in 0..hops {
+            if frontier.is_empty() {
+                break;
+            }
+            let mut next: Vec<u64> = frontier
+                .iter()
+                .flat_map(|&u| adj[u as usize].iter().copied())
+                .filter(|u| !visited.contains(u))
+                .collect();
+            next.sort_unstable();
+            next.dedup();
+            next.truncate(KHOP_FRONTIER_CAP);
+            visited.extend(next.iter().copied());
+            frontier = next;
+        }
+        let mut result: Vec<u64> = visited.into_iter().filter(|&u| u != v).collect();
+        result.sort_unstable();
+        result
+    }
+
+    /// Top-`k` 2-hop neighbors of `v` by embedding dot product, with the
+    /// same per-column-shard partial-sum association the serving tier
+    /// uses.
+    pub fn topk(
+        embed: &[Vec<f32>],
+        adj: &[Vec<u64>],
+        v: u64,
+        k: usize,
+        num_shards: usize,
+    ) -> Vec<(u64, f64)> {
+        let hop1 = &adj[v as usize];
+        let mut cands: Vec<u64> = hop1.clone();
+        cands.extend(hop1.iter().flat_map(|&u| adj[u as usize].iter().copied()));
+        cands.sort_unstable();
+        cands.dedup();
+        cands.retain(|&u| u != v);
+        cands.truncate(TOPK_CANDIDATES);
+        let dim = embed.first().map_or(0, Vec::len);
+        let mut ranked: Vec<(u64, f64)> = cands
+            .into_iter()
+            .map(|c| {
+                let mut total = 0.0f64;
+                for shard in 0..num_shards {
+                    let (lo, hi) = col_range(shard, dim, num_shards);
+                    let mut partial = 0.0f64;
+                    for j in lo..hi {
+                        partial +=
+                            embed[v as usize][j] as f64 * embed[c as usize][j] as f64;
+                    }
+                    total += partial;
+                }
+                (c, total)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+}

@@ -1,0 +1,291 @@
+//! Zipf-skewed load generation and the report the benchmarks consume.
+//!
+//! Two driving modes:
+//!
+//! * **Open loop** — arrivals are a Poisson process at a target QPS,
+//!   independent of completions. This is the honest way to measure tail
+//!   latency (no coordinated omission) and is what `repro -- serve` and
+//!   the `serve_qps` bench use.
+//! * **Closed loop** — `workers` clients each issue, wait for the answer,
+//!   think, repeat. Throughput self-limits; batching is bypassed because
+//!   a worker needs its answer before its next send.
+//!
+//! Vertices are drawn Zipf(s) and then scrambled by a coprime multiplier
+//! so the hot head of the distribution spreads across range-partitioned
+//! shards instead of all landing on shard 0.
+
+use psgraph_sim::failpoint::{FailureInjector, NodeKind};
+use psgraph_sim::{SimTime, SplitMix64};
+use std::collections::BinaryHeap;
+
+use crate::cluster::ServeCluster;
+use crate::frontend::Outcome;
+use crate::shard::{Query, Value};
+
+/// Relative weights of each query kind in the generated stream.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMix {
+    pub rank: u32,
+    pub community: u32,
+    pub embedding: u32,
+    pub neighbors: u32,
+    pub khop: u32,
+    pub topk: u32,
+}
+
+impl Default for QueryMix {
+    fn default() -> Self {
+        QueryMix { rank: 30, community: 20, embedding: 25, neighbors: 15, khop: 5, topk: 5 }
+    }
+}
+
+impl QueryMix {
+    /// Point lookups only (rank / community / neighbors / embedding).
+    pub fn point_only() -> Self {
+        QueryMix { rank: 35, community: 20, embedding: 25, neighbors: 20, khop: 0, topk: 0 }
+    }
+
+    fn total(&self) -> u64 {
+        (self.rank + self.community + self.embedding + self.neighbors + self.khop + self.topk)
+            as u64
+    }
+}
+
+/// How arrivals are produced.
+#[derive(Debug, Clone, Copy)]
+pub enum Mode {
+    /// Poisson arrivals at `qps` queries per simulated second.
+    Open { qps: f64 },
+    /// `workers` clients, each waiting `think` between answer and next
+    /// query.
+    Closed { workers: usize, think: SimTime },
+}
+
+/// A load-generation recipe.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub queries: usize,
+    pub zipf_s: f64,
+    pub seed: u64,
+    pub mix: QueryMix,
+    pub mode: Mode,
+    /// Hop count for generated `KHop` queries.
+    pub khop_hops: u32,
+    /// `k` for generated `TopK` queries.
+    pub topk_k: usize,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            queries: 10_000,
+            zipf_s: 1.0,
+            seed: 7,
+            mix: QueryMix::default(),
+            mode: Mode::Open { qps: 20_000.0 },
+            khop_hops: 2,
+            topk_k: 8,
+        }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// A multiplier coprime with `n`, used to permute Zipf ranks across the
+/// vertex id space.
+fn coprime_multiplier(n: u64) -> u64 {
+    if n <= 2 {
+        return 1;
+    }
+    let mut p = n / 2 + 1;
+    while gcd(p, n) != 1 {
+        p += 1;
+    }
+    p
+}
+
+/// Draw one query: Zipf-ranked vertex, scrambled, kind by mix weight.
+fn next_query(rng: &mut SplitMix64, n: u64, scramble: u64, wl: &Workload) -> Query {
+    let rank = rng.next_zipf(n, wl.zipf_s) - 1; // 0-based popularity rank
+    let v = ((rank as u128 * scramble as u128) % n as u128) as u64;
+    let mut w = rng.next_below(wl.mix.total());
+    let mix = &wl.mix;
+    for (weight, make) in [
+        (mix.rank, Query::Rank(v)),
+        (mix.community, Query::Community(v)),
+        (mix.embedding, Query::Embedding(v)),
+        (mix.neighbors, Query::Neighbors(v)),
+        (mix.khop, Query::KHop { v, hops: wl.khop_hops }),
+        (mix.topk, Query::TopK { v, k: wl.topk_k }),
+    ] {
+        if w < weight as u64 {
+            return make;
+        }
+        w -= weight as u64;
+    }
+    Query::Rank(v)
+}
+
+/// What the run produced, with enough detail to split percentiles around
+/// a replica kill and to verify every answer.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    pub issued: usize,
+    pub answered: usize,
+    pub shed: usize,
+    pub failed: usize,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub hit_rate: f64,
+    /// First arrival to last completion.
+    pub makespan: SimTime,
+    /// `(query index, latency)` for every answered query.
+    pub latencies: Vec<(usize, SimTime)>,
+    /// `(query index, query, value)` when recording was requested.
+    pub values: Vec<(usize, Query, Value)>,
+}
+
+impl LoadReport {
+    /// Served throughput in simulated queries/second.
+    pub fn qps(&self) -> f64 {
+        if self.makespan == SimTime::ZERO {
+            0.0
+        } else {
+            self.answered as f64 / self.makespan.as_secs_f64()
+        }
+    }
+
+    /// Latency percentile (0 < p <= 1) over answered queries matching
+    /// `keep` by query index.
+    pub fn percentile_where(&self, p: f64, keep: impl Fn(usize) -> bool) -> SimTime {
+        let mut v: Vec<u64> = self
+            .latencies
+            .iter()
+            .filter(|(i, _)| keep(*i))
+            .map(|(_, l)| l.as_nanos())
+            .collect();
+        if v.is_empty() {
+            return SimTime::ZERO;
+        }
+        v.sort_unstable();
+        let rank = ((v.len() as f64) * p).ceil() as usize;
+        SimTime::from_nanos(v[rank.clamp(1, v.len()) - 1])
+    }
+
+    pub fn percentile(&self, p: f64) -> SimTime {
+        self.percentile_where(p, |_| true)
+    }
+
+    pub fn max_latency(&self) -> SimTime {
+        self.latencies
+            .iter()
+            .map(|(_, l)| *l)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+}
+
+/// Drive `wl` against the cluster. Between queries the injector is
+/// consulted with the *query index* as the superstep, so a scripted
+/// [`psgraph_sim::FailPlan::kill_replica`] fires mid-run. Answers are
+/// recorded when `record_values` is set (for verification).
+pub fn run(
+    cluster: &mut ServeCluster,
+    wl: &Workload,
+    injector: &FailureInjector,
+    record_values: bool,
+) -> LoadReport {
+    let n = cluster.num_vertices();
+    assert!(n > 0, "cannot load an empty graph");
+    let scramble = coprime_multiplier(n);
+    let mut rng = SplitMix64::new(wl.seed);
+    let mut queries: Vec<Query> = Vec::with_capacity(wl.queries);
+    let mut outcomes: Vec<(usize, Outcome)> = Vec::with_capacity(wl.queries);
+
+    match wl.mode {
+        Mode::Open { qps } => {
+            assert!(qps > 0.0, "open-loop workload needs a positive rate");
+            let mut t = SimTime::ZERO;
+            for i in 0..wl.queries {
+                for plan in injector.take_due(NodeKind::Replica, i as u64) {
+                    cluster.kill_replica(plan.node_id);
+                }
+                let q = next_query(&mut rng, n, scramble, wl);
+                queries.push(q);
+                outcomes.extend(cluster.frontend_mut().submit(i, t, q));
+                t += SimTime::from_secs_f64(rng.next_exp(qps));
+            }
+            outcomes.extend(cluster.frontend_mut().drain());
+        }
+        Mode::Closed { workers, think } => {
+            assert!(workers > 0, "closed-loop workload needs workers");
+            // Min-heap of (next issue time, worker id).
+            let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
+                (0..workers).map(|w| std::cmp::Reverse((0, w))).collect();
+            for i in 0..wl.queries {
+                for plan in injector.take_due(NodeKind::Replica, i as u64) {
+                    cluster.kill_replica(plan.node_id);
+                }
+                let std::cmp::Reverse((at_ns, w)) = heap.pop().expect("worker heap");
+                let at = SimTime::from_nanos(at_ns);
+                let q = next_query(&mut rng, n, scramble, wl);
+                queries.push(q);
+                let outs = cluster.frontend_mut().execute_now(i, at, q);
+                let mut next = at + think;
+                for (idx, o) in &outs {
+                    if *idx == i {
+                        if let Outcome::Answered { completed, .. } = o {
+                            next = *completed + think;
+                        }
+                    }
+                }
+                outcomes.extend(outs);
+                heap.push(std::cmp::Reverse((next.as_nanos(), w)));
+            }
+            outcomes.extend(cluster.frontend_mut().drain());
+        }
+    }
+
+    let mut answered = 0;
+    let mut shed = 0;
+    let mut failed = 0;
+    let mut makespan = SimTime::ZERO;
+    let mut latencies = Vec::new();
+    let mut values = Vec::new();
+    for (idx, o) in outcomes {
+        match o {
+            Outcome::Answered { value, latency, completed, .. } => {
+                answered += 1;
+                makespan = makespan.max(completed);
+                latencies.push((idx, latency));
+                if record_values {
+                    values.push((idx, queries[idx], value));
+                }
+            }
+            Outcome::Shed { .. } => shed += 1,
+            Outcome::Failed(_) => failed += 1,
+        }
+    }
+    latencies.sort_by_key(|(i, _)| *i);
+    values.sort_by_key(|(i, _, _)| *i);
+
+    let cache = cluster.frontend().cache();
+    LoadReport {
+        issued: wl.queries,
+        answered,
+        shed,
+        failed,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+        hit_rate: cache.hit_rate(),
+        makespan,
+        latencies,
+        values,
+    }
+}

@@ -1,0 +1,113 @@
+//! Replica selection: least-loaded with round-robin tie-breaking, never a
+//! dead replica.
+
+use psgraph_sim::SimTime;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::shard::Replica;
+
+/// Routes each shard's queries across its live replicas.
+#[derive(Debug)]
+pub struct Router {
+    shards: Vec<Vec<Arc<Replica>>>,
+    rr: Vec<AtomicUsize>,
+}
+
+impl Router {
+    pub fn new(shards: Vec<Vec<Arc<Replica>>>) -> Self {
+        let rr = shards.iter().map(|_| AtomicUsize::new(0)).collect();
+        Router { shards, rr }
+    }
+
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub fn replicas(&self, shard: usize) -> &[Arc<Replica>] {
+        &self.shards[shard]
+    }
+
+    /// Pick a live replica of `shard` for a query arriving at `now`:
+    /// lowest in-flight load wins, ties broken round-robin so equal-load
+    /// replicas share traffic. `None` only when every replica is dead.
+    pub fn route(&self, shard: usize, now: SimTime) -> Option<Arc<Replica>> {
+        let reps = &self.shards[shard];
+        if reps.is_empty() {
+            return None;
+        }
+        let start = self.rr[shard].fetch_add(1, Ordering::Relaxed) % reps.len();
+        let mut best: Option<(usize, usize)> = None; // (load, index)
+        for off in 0..reps.len() {
+            let i = (start + off) % reps.len();
+            if !reps[i].is_alive() {
+                continue;
+            }
+            let load = reps[i].load_at(now);
+            if best.map_or(true, |(bl, _)| load < bl) {
+                best = Some((load, i));
+            }
+        }
+        best.map(|(_, i)| Arc::clone(&reps[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{ShardData, ShardSpec};
+
+    fn router(replicas_per_shard: usize) -> Router {
+        let spec = ShardSpec {
+            num_shards: 1,
+            shard: 0,
+            vertex_lo: 0,
+            vertex_hi: 10,
+            col_lo: 0,
+            col_hi: 4,
+        };
+        let data = Arc::new(ShardData::empty(spec));
+        let reps = (0..replicas_per_shard)
+            .map(|i| Replica::new(0, i, i, Arc::clone(&data), 8))
+            .collect();
+        Router::new(vec![reps])
+    }
+
+    #[test]
+    fn round_robin_spreads_equal_load()  {
+        let r = router(3);
+        let mut seen = [0usize; 3];
+        for _ in 0..9 {
+            let rep = r.route(0, SimTime::ZERO).unwrap();
+            seen[rep.index()] += 1;
+        }
+        assert_eq!(seen, [3, 3, 3]);
+    }
+
+    #[test]
+    fn loaded_replica_is_skipped() {
+        let r = router(2);
+        // Replica 0 has two queries in flight until t=10s.
+        let rep0 = Arc::clone(&r.replicas(0)[0]);
+        assert!(rep0.record_completion(SimTime::ZERO, SimTime::from_secs(10)));
+        assert!(rep0.record_completion(SimTime::ZERO, SimTime::from_secs(10)));
+        for _ in 0..4 {
+            assert_eq!(r.route(0, SimTime::from_secs(1)).unwrap().index(), 1);
+        }
+        // Once the work drains, traffic spreads again.
+        assert_eq!(r.route(0, SimTime::from_secs(11)).unwrap().index() <= 1, true);
+    }
+
+    #[test]
+    fn dead_replicas_are_never_routed_to() {
+        let r = router(3);
+        r.replicas(0)[1].kill();
+        for _ in 0..12 {
+            let rep = r.route(0, SimTime::ZERO).unwrap();
+            assert_ne!(rep.index(), 1);
+        }
+        r.replicas(0)[0].kill();
+        r.replicas(0)[2].kill();
+        assert!(r.route(0, SimTime::ZERO).is_none());
+    }
+}

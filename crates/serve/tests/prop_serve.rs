@@ -1,0 +1,228 @@
+//! Property tests for the serving tier: exact-LRU byte-budget semantics,
+//! router liveness, and bit-identical snapshot round-trips.
+
+use psgraph_harness::prop::{check, Source};
+use psgraph_harness::{prop_assert, prop_assert_eq};
+use psgraph_serve::cache::LruCache;
+use psgraph_serve::router::Router;
+use psgraph_serve::shard::{Replica, ShardData, ShardSpec};
+use psgraph_sim::{NodeClock, SimTime};
+use std::sync::Arc;
+
+/// Reference model: exact LRU with a byte budget, kept as a recency list
+/// (front = least recently used).
+struct ModelLru {
+    budget: u64,
+    entries: Vec<(u64, u64)>, // (key, bytes), LRU → MRU
+}
+
+impl ModelLru {
+    fn bytes(&self) -> u64 {
+        self.entries.iter().map(|(_, b)| *b).sum()
+    }
+
+    fn get(&mut self, key: u64) -> bool {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, key: u64, bytes: u64) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        }
+        if bytes > self.budget {
+            return;
+        }
+        while self.bytes() + bytes > self.budget {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, bytes));
+    }
+}
+
+#[derive(Debug)]
+enum Op {
+    Get(u64),
+    Insert(u64, u64),
+}
+
+#[test]
+fn lru_matches_exact_model_and_never_exceeds_budget() {
+    check(
+        "lru_matches_exact_model_and_never_exceeds_budget",
+        |src: &mut Source| {
+            let budget = src.u64_range(1, 400);
+            let ops = src.vec_with(1, 120, |s| {
+                let key = s.u64_range(0, 12);
+                if s.bool() {
+                    Op::Get(key)
+                } else {
+                    Op::Insert(key, s.u64_range(1, 120))
+                }
+            });
+            (budget, ops)
+        },
+        |(budget, ops)| {
+            let mut real: LruCache<u64, u64> = LruCache::new(*budget);
+            let mut model = ModelLru { budget: *budget, entries: Vec::new() };
+            for op in ops {
+                match *op {
+                    Op::Get(k) => {
+                        let hit = real.get(&k).is_some();
+                        prop_assert_eq!(hit, model.get(k), "get({}) hit mismatch", k);
+                    }
+                    Op::Insert(k, bytes) => {
+                        real.insert(k, k * 10, bytes);
+                        model.insert(k, bytes);
+                    }
+                }
+                prop_assert!(
+                    real.bytes_used() <= *budget,
+                    "cache holds {} bytes with budget {}",
+                    real.bytes_used(),
+                    budget
+                );
+                prop_assert_eq!(real.bytes_used(), model.bytes());
+                // Same keys in the same least→most recent order, i.e. the
+                // eviction order is exactly LRU.
+                let model_keys: Vec<u64> = model.entries.iter().map(|(k, _)| *k).collect();
+                prop_assert_eq!(real.keys_lru_order(), model_keys);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn router_never_routes_to_a_dead_replica() {
+    check(
+        "router_never_routes_to_a_dead_replica",
+        |src: &mut Source| {
+            let replicas = src.usize_range(1, 6);
+            // Aliveness mask + some synthetic in-flight load per replica.
+            let alive = (0..replicas).map(|_| src.bool()).collect::<Vec<_>>();
+            let load = (0..replicas).map(|_| src.usize_range(0, 5)).collect::<Vec<_>>();
+            let probes = src.usize_range(1, 30);
+            (alive, load, probes)
+        },
+        |(alive, load, probes)| {
+            let spec = ShardSpec {
+                num_shards: 1,
+                shard: 0,
+                vertex_lo: 0,
+                vertex_hi: 100,
+                col_lo: 0,
+                col_hi: 4,
+            };
+            let data = Arc::new(ShardData::empty(spec));
+            let reps: Vec<Arc<Replica>> = (0..alive.len())
+                .map(|i| Replica::new(0, i, i, Arc::clone(&data), 16))
+                .collect();
+            for (i, rep) in reps.iter().enumerate() {
+                for _ in 0..load[i] {
+                    let _ = rep.record_completion(SimTime::ZERO, SimTime::from_secs(100));
+                }
+                if !alive[i] {
+                    rep.kill();
+                }
+            }
+            let router = Router::new(vec![reps]);
+            let any_alive = alive.iter().any(|a| *a);
+            for _ in 0..*probes {
+                match router.route(0, SimTime::from_secs(1)) {
+                    Some(rep) => {
+                        prop_assert!(any_alive);
+                        prop_assert!(
+                            alive[rep.index()],
+                            "routed to dead replica {}",
+                            rep.index()
+                        );
+                        prop_assert!(rep.is_alive());
+                    }
+                    None => prop_assert!(!any_alive, "no route despite a live replica"),
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn snapshot_export_load_roundtrips_bit_identically() {
+    use psgraph_dfs::Dfs;
+    use psgraph_ps::snapshot::{load_object, SnapshotData, SnapshotWriter};
+    use psgraph_ps::{
+        ColMatrixHandle, Partitioner, Ps, PsConfig, RecoveryMode, VectorHandle,
+    };
+
+    check(
+        "snapshot_export_load_roundtrips_bit_identically",
+        |src: &mut Source| {
+            let n = src.usize_range(1, 60) as u64;
+            let dim = src.usize_range(1, 9);
+            let servers = src.usize_range(1, 4);
+            let values = (0..n).map(|_| src.f64_range(-1e6, 1e6)).collect::<Vec<_>>();
+            let rows = (0..n)
+                .map(|_| (0..dim).map(|_| src.f64_range(-100.0, 100.0) as f32).collect())
+                .collect::<Vec<Vec<f32>>>();
+            (n, servers, values, rows)
+        },
+        |(n, servers, values, rows)| {
+            let ps = Ps::new(PsConfig { servers: *servers, ..Default::default() });
+            let dfs = Dfs::in_memory();
+            let client = NodeClock::new();
+            let ids: Vec<u64> = (0..*n).collect();
+
+            let hv = VectorHandle::<f64>::create(
+                &ps,
+                "p.vec",
+                *n,
+                Partitioner::Range,
+                RecoveryMode::Consistent,
+            )
+            .unwrap();
+            hv.push_set(&client, &ids, values).unwrap();
+
+            let dim = rows[0].len();
+            let hm =
+                ColMatrixHandle::create(&ps, "p.mat", *n, dim, RecoveryMode::Inconsistent)
+                    .unwrap();
+            hm.push_add_rows(&client, &ids, rows).unwrap();
+
+            let mut w = SnapshotWriter::new(&dfs, "/prop/snap", &client);
+            w.vector_f64(&hv).unwrap();
+            w.colmatrix(&hm).unwrap();
+            let manifest = w.finish().unwrap();
+
+            match load_object(&dfs, "/prop/snap", manifest.entry("p.vec").unwrap(), &client)
+                .unwrap()
+            {
+                SnapshotData::VecF64(got) => {
+                    prop_assert_eq!(got.len(), values.len());
+                    for (g, w) in got.iter().zip(values) {
+                        prop_assert_eq!(g.to_bits(), w.to_bits());
+                    }
+                }
+                other => return Err(format!("wrong kind {other:?}")),
+            }
+            match load_object(&dfs, "/prop/snap", manifest.entry("p.mat").unwrap(), &client)
+                .unwrap()
+            {
+                SnapshotData::MatF32 { cols, data } => {
+                    prop_assert_eq!(cols, dim);
+                    let want: Vec<u32> =
+                        rows.iter().flatten().map(|x| x.to_bits()).collect();
+                    let got: Vec<u32> = data.iter().map(|x| x.to_bits()).collect();
+                    prop_assert_eq!(got, want);
+                }
+                other => return Err(format!("wrong kind {other:?}")),
+            }
+            Ok(())
+        },
+    );
+}

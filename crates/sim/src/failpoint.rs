@@ -15,6 +15,8 @@ pub enum NodeKind {
     Executor,
     Server,
     Datanode,
+    /// A serving-tier read replica (`psgraph-serve`).
+    Replica,
 }
 
 /// One scripted kill.
@@ -38,6 +40,13 @@ impl FailPlan {
 
     pub fn kill_datanode(node_id: usize, at_superstep: u64) -> Self {
         FailPlan { kind: NodeKind::Datanode, node_id, at_superstep }
+    }
+
+    /// For the serving tier, `at_superstep` is a query index rather than
+    /// a BSP superstep — the load generator consults the injector between
+    /// queries.
+    pub fn kill_replica(node_id: usize, at_superstep: u64) -> Self {
+        FailPlan { kind: NodeKind::Replica, node_id, at_superstep }
     }
 }
 

@@ -5,9 +5,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Hermetic guard: the lockfile must contain path dependencies only — a
+# `source = ...` line means something resolved from a registry or git.
+if grep -q '^source = ' Cargo.lock; then
+    echo "ci: non-path dependency resolved in Cargo.lock" >&2
+    exit 1
+fi
+
 # The harness is the substrate every test stands on — hold it to
-# warnings-as-errors.
+# warnings-as-errors. Same bar for the serving tier (newest subsystem).
 RUSTFLAGS="-D warnings" cargo build --offline -p psgraph-harness
+RUSTFLAGS="-D warnings" cargo build --offline -p psgraph-serve --all-targets
 
 cargo build --release --offline --workspace
 # Release mode: the fig6/table emergence tests simulate whole cluster

@@ -18,6 +18,8 @@
 //!   Components, LINE, GraphSage).
 //! * [`graphx`] — the join/shuffle-based GraphX baseline.
 //! * [`euler`] — the Euler baseline for the GraphSage comparison.
+//! * [`serve`] — online query serving over snapshotted PS state
+//!   (replicated read shards, hot-key cache, batching, tail-latency SLOs).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 //!
@@ -44,5 +46,6 @@ pub use psgraph_graph as graph;
 pub use psgraph_graphx as graphx;
 pub use psgraph_net as net;
 pub use psgraph_ps as ps;
+pub use psgraph_serve as serve;
 pub use psgraph_sim as sim;
 pub use psgraph_tensor as tensor;
