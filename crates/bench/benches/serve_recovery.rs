@@ -1,0 +1,150 @@
+//! Serve-tier self-healing bench: a replica kill detected and restarted
+//! by the heartbeat [`Monitor`], plus a snapshot-delta hot-swap, on a
+//! live 2-shard × 2-replica demo cluster.
+//!
+//! Two back-to-back runs on the SAME cluster: a clean warm-up, then the
+//! measured run with the kill and the swap. Reusing the cluster is the
+//! point — the per-run cache counters in [`psgraph_serve::LoadReport`]
+//! must not inherit the warm-up's hits (`cache lookups ≤ queries` would
+//! fail with cumulative counters). Recorded samples are *simulated*
+//! per-query latencies; `metrics` carries detection/restart delays and
+//! the recovery p99s. Output lands in `results/BENCH_serve_recovery.json`.
+
+use psgraph_harness::bench::{BenchmarkId, Harness};
+use psgraph_ps::snapshot::DeltaWriter;
+use psgraph_serve::loadgen;
+use psgraph_serve::{
+    Monitor, Query, ScriptedAction, ServeCluster, ServeConfig, SwapStats, Value, Workload,
+};
+use psgraph_sim::failpoint::{FailPlan, FailureInjector};
+use psgraph_sim::{CostModel, SimTime};
+use std::time::Duration;
+
+fn serve_recovery(c: &mut Harness) {
+    let fast = std::env::var("PSGRAPH_BENCH_FAST").is_ok_and(|v| v != "0");
+    let queries = if fast { 5_000 } else { 40_000 };
+    let n = 4_096u64;
+    let mut group = c.benchmark_group("serve_recovery");
+
+    // Detection and restart scaled to the run (≈ 2 % / 8 % of its
+    // expected duration), like `repro -- serve`.
+    let expected = queries as f64 / 20_000.0;
+    let cost = CostModel {
+        failure_detect: SimTime::from_secs_f64(expected / 50.0),
+        container_restart: SimTime::from_secs_f64(expected / 12.0),
+        ..CostModel::default()
+    };
+    let cfg = ServeConfig { cost: cost.clone(), ..ServeConfig::default() };
+    let (mut cluster, truth, backend) =
+        ServeCluster::demo_with_ps(n, 16, &cfg).expect("demo cluster");
+    let wl = Workload { queries, zipf_s: 1.0, ..Default::default() };
+
+    // Warm-up: no failures, cache fills.
+    let warm = loadgen::run(&mut cluster, &wl, &FailureInjector::none(), false);
+    group.metric("warmup_hit_rate", warm.hit_rate);
+
+    // Measured run: kill replica 1 halfway (the monitor restarts it),
+    // hot-swap a rank delta at three quarters.
+    let kill_at = queries / 2;
+    let swap_at = queries * 3 / 4;
+    let injector = FailureInjector::with_plans([FailPlan::kill_replica(1, kill_at as u64)]);
+    let monitor = Monitor::new(cost);
+    let patch_ids: Vec<u64> = (0..n / 10).collect();
+    let new_ranks: Vec<f64> = patch_ids.iter().map(|&v| truth.ranks[v as usize] + 1.0).collect();
+    let mut swap_stats: Option<SwapStats> = None;
+    let report;
+    {
+        let mut actions = [ScriptedAction::new(swap_at, |cluster: &mut ServeCluster| {
+            backend
+                .ranks
+                .push_set(&backend.client, &patch_ids, &new_ranks)
+                .expect("rank retrain");
+            let mut dw =
+                DeltaWriter::new(&backend.dfs, &backend.dir, &backend.manifest, &backend.client);
+            dw.vector_f64(&backend.ranks).expect("delta ranks");
+            let delta = dw.finish().expect("delta export");
+            swap_stats = Some(cluster.swap_in(&delta).expect("hot swap"));
+        })];
+        report =
+            loadgen::run_with(&mut cluster, &wl, &injector, true, Some(&monitor), &mut actions);
+    }
+    let swap = swap_stats.expect("scripted swap must fire");
+
+    // Per-run counters: at most one cache lookup per query, even though
+    // the frontend's cumulative counters already carry the warm-up.
+    assert!(
+        report.cache_hits + report.cache_misses <= queries as u64,
+        "per-run cache counters leaked from the warm-up: {} lookups over {} queries",
+        report.cache_hits + report.cache_misses,
+        queries
+    );
+    assert!(report.hit_rate > 0.0 && report.hit_rate <= 1.0);
+
+    // The kill was detected, restarted, and rejoined.
+    let events = monitor.events();
+    assert_eq!(events.len(), 1, "exactly one recovery");
+    assert_eq!(events[0].replica, 1);
+    assert_eq!(cluster.live_replicas(), 4, "the replica must be back");
+    let kill_t = report.issued_at[kill_at];
+    let detect = events[0].detected_at.saturating_sub(kill_t);
+    let restart = events[0].rejoined_at.saturating_sub(events[0].detected_at);
+
+    // No stale answers: every post-swap rank of a patched vertex reads
+    // the new value bit-for-bit, every pre-swap one the old value.
+    let mut stale = 0usize;
+    let mut wrong = 0usize;
+    for (idx, query, value) in &report.values {
+        if let (Query::Rank(v), Value::Rank(r)) = (query, value) {
+            if *v < patch_ids.len() as u64 {
+                let want =
+                    if *idx >= swap_at { new_ranks[*v as usize] } else { truth.ranks[*v as usize] };
+                if r.to_bits() != want.to_bits() {
+                    if *idx >= swap_at && r.to_bits() == truth.ranks[*v as usize].to_bits() {
+                        stale += 1;
+                    } else {
+                        wrong += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert_eq!(stale, 0, "hot-swap left stale cached ranks");
+    assert_eq!(wrong, 0, "served ranks diverged from PS state");
+
+    let p99_pre_kill = report.percentile_where(0.99, |i| i < kill_at);
+    let p99_post_rejoin =
+        report.percentile_where(0.99, |i| report.issued_at[i] >= events[0].rejoined_at);
+    let samples: Vec<Duration> = report
+        .latencies
+        .iter()
+        .map(|(_, l)| Duration::from_nanos(l.as_nanos()))
+        .collect();
+    group.bench_recorded(BenchmarkId::new("latency", "kill_and_swap"), &samples);
+    group
+        .metric("run_hit_rate", report.hit_rate)
+        .metric("qps", report.qps())
+        .metric("answered", report.answered as f64)
+        .metric("detect_ms", detect.as_secs_f64() * 1e3)
+        .metric("restart_ms", restart.as_secs_f64() * 1e3)
+        .metric("p99_pre_kill_ms", p99_pre_kill.as_secs_f64() * 1e3)
+        .metric("p99_post_rejoin_ms", p99_post_rejoin.as_secs_f64() * 1e3)
+        .metric("swap_regions", swap.regions_applied as f64)
+        .metric("swap_shards_rebuilt", swap.shards_rebuilt as f64)
+        .metric("swap_keys_invalidated", swap.keys_invalidated as f64)
+        .metric("stale_answers", stale as f64);
+    eprintln!(
+        "[sim] serve_recovery: detect {}, restart {}, p99 pre-kill {} → post-rejoin {}, \
+         swap {{regions {}, shards {}, keys {}}}, stale {}",
+        detect,
+        restart,
+        p99_pre_kill,
+        p99_post_rejoin,
+        swap.regions_applied,
+        swap.shards_rebuilt,
+        swap.keys_invalidated,
+        stale
+    );
+    group.finish();
+}
+
+psgraph_harness::bench_main!(serve_recovery);

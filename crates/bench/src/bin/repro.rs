@@ -1,12 +1,13 @@
 //! Regenerate every table and figure of the paper's evaluation (§V).
 //!
 //! ```text
-//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|all] [--scale S]
+//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|all] [--scale S] [--queries N]
 //! ```
 //!
 //! Default scale is 0.05 (DS1′ = 10 k vertices / 137.5 k edges). Budgets
 //! scale with the datasets per `deploy::ScaleRule`; reported times are
 //! *simulated* cluster time (see DESIGN.md §2 "Simulated time").
+//! `--queries` sizes the `serve` stream (default 100 000).
 
 use psgraph_bench::{fig6, line_exp, serve_exp, table1, table2};
 
@@ -14,6 +15,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut scale = 0.05f64;
+    let mut queries = 100_000usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -23,10 +25,17 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--scale needs a number");
             }
+            "--queries" => {
+                queries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--queries needs a count");
+            }
             other => which = other.to_string(),
         }
     }
     assert!(scale > 0.0, "scale must be positive");
+    assert!(queries > 0, "queries must be positive");
     println!("psgraph repro — scale {scale} (DS1′ = {} vertices / {} edges)\n",
         psgraph_graph::Dataset::Ds1.spec(scale).vertices,
         psgraph_graph::Dataset::Ds1.spec(scale).edges);
@@ -58,9 +67,21 @@ fn main() {
     }
     if do_all || which == "serve" {
         let t0 = std::time::Instant::now();
-        let r = serve_exp::run_serve(scale, 100_000).expect("serve");
+        let r = serve_exp::run_serve(scale, queries).expect("serve");
         println!("{}", serve_exp::table(&r));
         assert_eq!(r.wrong, 0, "serving returned wrong answers");
+        assert_eq!(r.stale, 0, "stale cached answers survived the hot-swap");
+        assert!(
+            r.rejoined_at > psgraph_sim::SimTime::ZERO,
+            "the killed replica never rejoined"
+        );
+        assert_eq!(r.live_replicas, 4, "a replica was still down at the end");
+        assert!(
+            r.p99_post_rejoin <= r.p99_pre_kill.scale(2.0),
+            "p99 after rejoin ({}) did not recover to within 2x of pre-kill ({})",
+            r.p99_post_rejoin,
+            r.p99_pre_kill
+        );
         println!("(serve wall clock: {:?})\n", t0.elapsed());
     }
 }

@@ -173,6 +173,34 @@ impl ColMatrixHandle {
         self.rows
     }
 
+    /// Per-partition write versions (see [`PsServer::version`]).
+    pub fn partition_versions(&self) -> Result<Vec<u64>> {
+        (0..self.layout.num_partitions)
+            .map(|p| {
+                self.ps
+                    .server(self.layout.server_of_partition(p))
+                    .version(&self.name, p)
+            })
+            .collect()
+    }
+
+    /// Pull one server's full column slice (snapshot delta export: a
+    /// changed partition is a column stripe of every row). Charged as one
+    /// bulk RPC to `client`.
+    pub(crate) fn pull_col_slice(&self, client: &NodeClock, partition: usize) -> Result<ColPart> {
+        let server = self.ps.server(self.layout.server_of_partition(partition));
+        server.ensure_alive()?;
+        let part = server.get(&self.name, partition, |p: &ColPart| p.clone())?;
+        self.ps.network().rpc(
+            client,
+            server.port(),
+            16,
+            part.data.len() as u64 * self.ps.config().ops_per_item,
+            part.data.len() as u64 * 4 + 16,
+        );
+        Ok(part)
+    }
+
     pub fn cols(&self) -> usize {
         self.cols
     }

@@ -176,6 +176,23 @@ impl CsrHandle {
         Ok(CsrHandle { ps: Arc::clone(ps), name, layout })
     }
 
+    pub(crate) fn layout(&self) -> &PartitionLayout {
+        &self.layout
+    }
+
+    /// Per-partition write versions (see [`PsServer::version`]). The CSR
+    /// store is immutable in normal operation, so these only move when the
+    /// object is rebuilt under the same name.
+    pub fn partition_versions(&self) -> Result<Vec<u64>> {
+        (0..self.layout.num_partitions)
+            .map(|p| {
+                self.ps
+                    .server(self.layout.server_of_partition(p))
+                    .version(&self.name, p)
+            })
+            .collect()
+    }
+
     pub fn name(&self) -> &str {
         &self.name
     }

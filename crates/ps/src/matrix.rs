@@ -246,6 +246,17 @@ impl<E: Element> MatrixHandle<E> {
         &self.layout
     }
 
+    /// Per-partition write versions (see [`crate::PsServer::version`]).
+    pub fn partition_versions(&self) -> Result<Vec<u64>> {
+        (0..self.layout.num_partitions)
+            .map(|p| {
+                self.ps
+                    .server(self.layout.server_of_partition(p))
+                    .version(&self.name, p)
+            })
+            .collect()
+    }
+
     fn check_rows(&self, rows: &[u64]) -> Result<()> {
         for &r in rows {
             if r >= self.rows {

@@ -12,6 +12,10 @@ use crate::error::{PsError, Result};
 struct StoredPartition {
     data: Box<dyn Any + Send + Sync>,
     bytes: u64,
+    /// Bumped on every write (insert or mutable access). Snapshot delta
+    /// export compares these against a base manifest to find the
+    /// partitions that changed.
+    version: u64,
 }
 
 /// A PS server node.
@@ -94,11 +98,13 @@ impl PsServer {
         self.ensure_alive()?;
         let mut store = self.store.write();
         let key = (name.to_string(), partition);
+        let mut version = 0;
         if let Some(old) = store.remove(&key) {
             self.memory.free(old.bytes);
+            version = old.version;
         }
         self.memory.alloc(bytes)?;
-        store.insert(key, StoredPartition { data: Box::new(value), bytes });
+        store.insert(key, StoredPartition { data: Box::new(value), bytes, version: version + 1 });
         Ok(())
     }
 
@@ -157,7 +163,18 @@ impl PsServer {
             self.memory.free(old_bytes - new_bytes);
         }
         part.bytes = new_bytes;
+        part.version += 1;
         Ok(r)
+    }
+
+    /// Write version of a partition (see [`StoredPartition::version`]).
+    pub fn version(&self, name: &str, partition: usize) -> Result<u64> {
+        self.ensure_alive()?;
+        self.store
+            .read()
+            .get(&(name.to_string(), partition))
+            .map(|p| p.version)
+            .ok_or_else(|| PsError::NotFound(format!("{name}[{partition}]")))
     }
 
     /// Whether a partition exists.
@@ -281,6 +298,20 @@ mod tests {
         assert!(s.is_alive());
         // Store is empty after restart.
         assert!(matches!(s.get("v", 0, |_: &u64| ()), Err(PsError::NotFound(_))));
+    }
+
+    #[test]
+    fn versions_count_writes_not_reads() {
+        let s = PsServer::new(0, 1 << 20);
+        s.insert("v", 0, vec![0.0f64; 4], 32).unwrap();
+        assert_eq!(s.version("v", 0).unwrap(), 1);
+        let _ = s.get("v", 0, |v: &Vec<f64>| v.len()).unwrap();
+        assert_eq!(s.version("v", 0).unwrap(), 1, "reads do not bump");
+        s.update("v", 0, |v: &mut Vec<f64>| v[0] = 1.0).unwrap();
+        assert_eq!(s.version("v", 0).unwrap(), 2);
+        s.insert("v", 0, vec![0.0f64; 2], 16).unwrap();
+        assert_eq!(s.version("v", 0).unwrap(), 3, "replace continues the count");
+        assert!(matches!(s.version("v", 1), Err(PsError::NotFound(_))));
     }
 
     #[test]

@@ -26,8 +26,12 @@ use crate::error::{PsError, Result};
 use crate::matrix::MatrixHandle;
 use crate::vector::VectorHandle;
 
-/// Manifest magic ("PSGSNAP1" as big-endian bytes).
-const MAGIC: u64 = 0x5053_4753_4E41_5031;
+/// Manifest magic ("PSGSNAP2" as big-endian bytes — v2 added the
+/// per-partition write versions that delta export diffs against).
+const MAGIC: u64 = 0x5053_4753_4E41_5032;
+
+/// Delta file magic ("PSGDLTA1" as big-endian bytes).
+const DELTA_MAGIC: u64 = 0x5053_4744_4C54_4131;
 
 /// Rows pulled per RPC when exporting matrices/adjacency (bounds the
 /// transient client-side buffer, and matches how a real exporter would
@@ -75,6 +79,10 @@ pub struct SnapshotEntry {
     pub rows: u64,
     /// 1 for vectors; the row width for matrices; unused for adjacency.
     pub cols: u32,
+    /// The PS object's per-partition write versions at export time —
+    /// [`DeltaWriter`] re-exports only the partitions whose version moved
+    /// since this manifest.
+    pub part_versions: Vec<u64>,
 }
 
 /// The snapshot directory listing.
@@ -98,6 +106,10 @@ impl SnapshotManifest {
             buf.put_u8(e.kind.tag());
             buf.put_u64_le(e.rows);
             buf.put_u32_le(e.cols);
+            buf.put_u32_le(e.part_versions.len() as u32);
+            for &v in &e.part_versions {
+                buf.put_u64_le(v);
+            }
         }
         buf
     }
@@ -114,7 +126,7 @@ impl SnapshotManifest {
                 return Err(PsError::Dfs("truncated snapshot manifest".into()));
             }
             let name_len = buf.get_u32_le() as usize;
-            if buf.remaining() < name_len + 13 {
+            if buf.remaining() < name_len + 17 {
                 return Err(PsError::Dfs("truncated snapshot manifest".into()));
             }
             let name = String::from_utf8(buf[..name_len].to_vec())
@@ -123,7 +135,12 @@ impl SnapshotManifest {
             let kind = SnapshotKind::from_tag(buf.get_u8())?;
             let rows = buf.get_u64_le();
             let cols = buf.get_u32_le();
-            entries.push(SnapshotEntry { name, kind, rows, cols });
+            let n_parts = buf.get_u32_le() as usize;
+            if buf.remaining() < n_parts * 8 {
+                return Err(PsError::Dfs("truncated snapshot manifest".into()));
+            }
+            let part_versions = (0..n_parts).map(|_| buf.get_u64_le()).collect();
+            entries.push(SnapshotEntry { name, kind, rows, cols, part_versions });
         }
         Ok(SnapshotManifest { entries })
     }
@@ -249,6 +266,7 @@ impl<'a> SnapshotWriter<'a> {
 
     /// Export a dense f64 vector (ranks, scores).
     pub fn vector_f64(&mut self, h: &VectorHandle<f64>) -> Result<()> {
+        let part_versions = h.partition_versions()?;
         let values = h.pull_all(self.client)?;
         let mut payload = Vec::with_capacity(values.len() * 8);
         for v in &values {
@@ -260,6 +278,7 @@ impl<'a> SnapshotWriter<'a> {
                 kind: SnapshotKind::VecF64,
                 rows: values.len() as u64,
                 cols: 1,
+                part_versions,
             },
             payload,
         )
@@ -267,6 +286,7 @@ impl<'a> SnapshotWriter<'a> {
 
     /// Export a dense u64 vector (community / label assignments).
     pub fn vector_u64(&mut self, h: &VectorHandle<u64>) -> Result<()> {
+        let part_versions = h.partition_versions()?;
         let values = h.pull_all(self.client)?;
         let mut payload = Vec::with_capacity(values.len() * 8);
         for v in &values {
@@ -278,6 +298,7 @@ impl<'a> SnapshotWriter<'a> {
                 kind: SnapshotKind::VecU64,
                 rows: values.len() as u64,
                 cols: 1,
+                part_versions,
             },
             payload,
         )
@@ -285,6 +306,7 @@ impl<'a> SnapshotWriter<'a> {
 
     /// Export a row-partitioned f32 matrix.
     pub fn matrix_f32(&mut self, h: &MatrixHandle<f32>) -> Result<()> {
+        let part_versions = h.partition_versions()?;
         let rows = h.pull_all(self.client)?;
         let cols = rows.first().map_or(0, Vec::len);
         let mut payload = Vec::with_capacity(rows.len() * cols * 4);
@@ -299,6 +321,7 @@ impl<'a> SnapshotWriter<'a> {
                 kind: SnapshotKind::MatF32,
                 rows: rows.len() as u64,
                 cols: cols as u32,
+                part_versions,
             },
             payload,
         )
@@ -307,6 +330,7 @@ impl<'a> SnapshotWriter<'a> {
     /// Export a column-partitioned f32 matrix (LINE/GraphSage embeddings),
     /// gathering full rows in chunks through the normal pull path.
     pub fn colmatrix(&mut self, h: &ColMatrixHandle) -> Result<()> {
+        let part_versions = h.partition_versions()?;
         let rows = h.rows();
         let cols = h.cols();
         let mut payload = Vec::with_capacity(rows as usize * cols * 4);
@@ -327,6 +351,7 @@ impl<'a> SnapshotWriter<'a> {
                 kind: SnapshotKind::MatF32,
                 rows,
                 cols: cols as u32,
+                part_versions,
             },
             payload,
         )
@@ -334,6 +359,7 @@ impl<'a> SnapshotWriter<'a> {
 
     /// Export a CSR adjacency snapshot.
     pub fn adjacency(&mut self, h: &CsrHandle) -> Result<()> {
+        let part_versions = h.partition_versions()?;
         let n = h.num_vertices();
         let mut offsets = Vec::with_capacity(n as usize + 1);
         let mut targets: Vec<u64> = Vec::new();
@@ -362,6 +388,7 @@ impl<'a> SnapshotWriter<'a> {
                 kind: SnapshotKind::Adjacency,
                 rows: n,
                 cols: 0,
+                part_versions,
             },
             payload,
         )
@@ -374,6 +401,389 @@ impl<'a> SnapshotWriter<'a> {
             .write(&manifest_path(&self.dir), &self.manifest.encode(), self.client)
             .map_err(|e| PsError::Dfs(e.to_string()))?;
         Ok(self.manifest)
+    }
+}
+
+/// One contiguous region of changed data within a [`DeltaEntry`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PatchRegion {
+    /// Replacement rows `[row_lo, row_lo + values.len())` of a f64 vector.
+    RowsF64 { row_lo: u64, values: Vec<f64> },
+    /// Replacement rows of a u64 vector.
+    RowsU64 { row_lo: u64, values: Vec<u64> },
+    /// Replacement column stripe `[col_lo, col_hi)` of *every* row
+    /// (column partitioning means one dirty row dirties the whole
+    /// stripe), row-major `rows × (col_hi - col_lo)`.
+    Cols { col_lo: u32, col_hi: u32, data: Vec<f32> },
+    /// Replacement CSR adjacency for rows
+    /// `[row_lo, row_lo + offsets.len() - 1)`, offsets rebased to 0.
+    Adj { row_lo: u64, offsets: Vec<u64>, targets: Vec<u64> },
+}
+
+impl PatchRegion {
+    fn tag(&self) -> u8 {
+        match self {
+            PatchRegion::RowsF64 { .. } => 0,
+            PatchRegion::RowsU64 { .. } => 1,
+            PatchRegion::Cols { .. } => 2,
+            PatchRegion::Adj { .. } => 3,
+        }
+    }
+}
+
+/// One object's changed partitions within a [`SnapshotDelta`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaEntry {
+    pub name: String,
+    pub kind: SnapshotKind,
+    pub rows: u64,
+    pub cols: u32,
+    /// The object's per-partition versions *after* this delta — what the
+    /// base manifest entry advances to once the delta is applied.
+    pub part_versions: Vec<u64>,
+    pub regions: Vec<PatchRegion>,
+}
+
+/// The partitions that changed since a base [`SnapshotManifest`]. Objects
+/// with no changed partitions are omitted entirely — that is the point.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SnapshotDelta {
+    pub entries: Vec<DeltaEntry>,
+}
+
+impl SnapshotDelta {
+    pub fn entry(&self, name: &str) -> Option<&DeltaEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// The base manifest advanced past this delta: same objects, changed
+    /// entries carrying the delta's versions. Feed the result to the next
+    /// [`DeltaWriter`] so deltas chain.
+    pub fn rebase(&self, base: &SnapshotManifest) -> SnapshotManifest {
+        let mut next = base.clone();
+        for e in &mut next.entries {
+            if let Some(d) = self.entry(&e.name) {
+                e.part_versions = d.part_versions.clone();
+            }
+        }
+        next
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_u64_le(DELTA_MAGIC);
+        buf.put_u32_le(self.entries.len() as u32);
+        for e in &self.entries {
+            buf.put_u32_le(e.name.len() as u32);
+            buf.extend_from_slice(e.name.as_bytes());
+            buf.put_u8(e.kind.tag());
+            buf.put_u64_le(e.rows);
+            buf.put_u32_le(e.cols);
+            buf.put_u32_le(e.part_versions.len() as u32);
+            for &v in &e.part_versions {
+                buf.put_u64_le(v);
+            }
+            buf.put_u32_le(e.regions.len() as u32);
+            for r in &e.regions {
+                buf.put_u8(r.tag());
+                match r {
+                    PatchRegion::RowsF64 { row_lo, values } => {
+                        buf.put_u64_le(*row_lo);
+                        buf.put_u64_le(values.len() as u64);
+                        for &x in values {
+                            buf.put_f64_le(x);
+                        }
+                    }
+                    PatchRegion::RowsU64 { row_lo, values } => {
+                        buf.put_u64_le(*row_lo);
+                        buf.put_u64_le(values.len() as u64);
+                        for &x in values {
+                            buf.put_u64_le(x);
+                        }
+                    }
+                    PatchRegion::Cols { col_lo, col_hi, data } => {
+                        buf.put_u32_le(*col_lo);
+                        buf.put_u32_le(*col_hi);
+                        buf.put_u64_le(data.len() as u64);
+                        for &x in data {
+                            buf.put_f32_le(x);
+                        }
+                    }
+                    PatchRegion::Adj { row_lo, offsets, targets } => {
+                        buf.put_u64_le(*row_lo);
+                        buf.put_u64_le(offsets.len() as u64);
+                        for &o in offsets {
+                            buf.put_u64_le(o);
+                        }
+                        buf.put_u64_le(targets.len() as u64);
+                        for &t in targets {
+                            buf.put_u64_le(t);
+                        }
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    fn decode(mut bytes: &[u8]) -> Result<Self> {
+        let buf = &mut bytes;
+        let bad = || PsError::Dfs("truncated snapshot delta".into());
+        if buf.remaining() < 12 || buf.get_u64_le() != DELTA_MAGIC {
+            return Err(PsError::Dfs("bad snapshot delta magic".into()));
+        }
+        let need = |buf: &&[u8], n: usize| -> Result<()> {
+            if buf.remaining() < n {
+                Err(bad())
+            } else {
+                Ok(())
+            }
+        };
+        let count = buf.get_u32_le() as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            need(buf, 4)?;
+            let name_len = buf.get_u32_le() as usize;
+            need(buf, name_len + 21)?;
+            let name = String::from_utf8(buf[..name_len].to_vec())
+                .map_err(|_| PsError::Dfs("non-UTF-8 delta object name".into()))?;
+            buf.advance(name_len);
+            let kind = SnapshotKind::from_tag(buf.get_u8())?;
+            let rows = buf.get_u64_le();
+            let cols = buf.get_u32_le();
+            let n_parts = buf.get_u32_le() as usize;
+            need(buf, n_parts * 8 + 4)?;
+            let part_versions = (0..n_parts).map(|_| buf.get_u64_le()).collect();
+            let n_regions = buf.get_u32_le() as usize;
+            let mut regions = Vec::with_capacity(n_regions);
+            for _ in 0..n_regions {
+                need(buf, 1)?;
+                regions.push(match buf.get_u8() {
+                    0 => {
+                        need(buf, 16)?;
+                        let row_lo = buf.get_u64_le();
+                        let len = buf.get_u64_le() as usize;
+                        need(buf, len * 8)?;
+                        let values = (0..len).map(|_| buf.get_f64_le()).collect();
+                        PatchRegion::RowsF64 { row_lo, values }
+                    }
+                    1 => {
+                        need(buf, 16)?;
+                        let row_lo = buf.get_u64_le();
+                        let len = buf.get_u64_le() as usize;
+                        need(buf, len * 8)?;
+                        let values = (0..len).map(|_| buf.get_u64_le()).collect();
+                        PatchRegion::RowsU64 { row_lo, values }
+                    }
+                    2 => {
+                        need(buf, 16)?;
+                        let col_lo = buf.get_u32_le();
+                        let col_hi = buf.get_u32_le();
+                        let len = buf.get_u64_le() as usize;
+                        need(buf, len * 4)?;
+                        let data = (0..len).map(|_| buf.get_f32_le()).collect();
+                        PatchRegion::Cols { col_lo, col_hi, data }
+                    }
+                    3 => {
+                        need(buf, 16)?;
+                        let row_lo = buf.get_u64_le();
+                        let n_off = buf.get_u64_le() as usize;
+                        need(buf, n_off * 8 + 8)?;
+                        let offsets = (0..n_off).map(|_| buf.get_u64_le()).collect();
+                        let n_tgt = buf.get_u64_le() as usize;
+                        need(buf, n_tgt * 8)?;
+                        let targets = (0..n_tgt).map(|_| buf.get_u64_le()).collect();
+                        PatchRegion::Adj { row_lo, offsets, targets }
+                    }
+                    t => return Err(PsError::Dfs(format!("unknown patch region tag {t}"))),
+                });
+            }
+            entries.push(DeltaEntry { name, kind, rows, cols, part_versions, regions });
+        }
+        Ok(SnapshotDelta { entries })
+    }
+
+    /// Read the delta file of a snapshot directory.
+    pub fn load(dfs: &Dfs, dir: &str, client: &NodeClock) -> Result<Self> {
+        let bytes = dfs
+            .read(&delta_path(dir), client)
+            .map_err(|e| PsError::Dfs(e.to_string()))?;
+        Self::decode(&bytes)
+    }
+}
+
+fn delta_path(dir: &str) -> String {
+    format!("{}/DELTA", dir.trim_end_matches('/'))
+}
+
+/// Exports only the partitions whose write version moved since a base
+/// manifest — the incremental counterpart of [`SnapshotWriter`]. Each
+/// export method pulls the dirty partitions through the normal client RPC
+/// path and records them as [`PatchRegion`]s; unchanged objects cost
+/// nothing but a version check.
+pub struct DeltaWriter<'a> {
+    dfs: &'a Dfs,
+    dir: String,
+    client: &'a NodeClock,
+    base: &'a SnapshotManifest,
+    delta: SnapshotDelta,
+}
+
+impl<'a> DeltaWriter<'a> {
+    pub fn new(
+        dfs: &'a Dfs,
+        dir: impl Into<String>,
+        base: &'a SnapshotManifest,
+        client: &'a NodeClock,
+    ) -> Self {
+        DeltaWriter { dfs, dir: dir.into(), client, base, delta: SnapshotDelta::default() }
+    }
+
+    /// The base entry for `name`, validated against the live object's
+    /// shape; returns the indices of partitions whose version moved.
+    fn dirty_partitions(
+        &self,
+        name: &str,
+        kind: SnapshotKind,
+        rows: u64,
+        current: &[u64],
+    ) -> Result<Vec<usize>> {
+        let base = self
+            .base
+            .entry(name)
+            .ok_or_else(|| PsError::Dfs(format!("delta: {name} not in the base manifest")))?;
+        if base.kind != kind || base.rows != rows {
+            return Err(PsError::Dfs(format!(
+                "delta: {name} changed shape or kind since the base snapshot"
+            )));
+        }
+        if base.part_versions.len() != current.len() {
+            return Err(PsError::Dfs(format!(
+                "delta: {name} changed partition count since the base snapshot"
+            )));
+        }
+        Ok((0..current.len())
+            .filter(|&p| current[p] != base.part_versions[p])
+            .collect())
+    }
+
+    fn push_entry(
+        &mut self,
+        name: &str,
+        kind: SnapshotKind,
+        rows: u64,
+        cols: u32,
+        part_versions: Vec<u64>,
+        regions: Vec<PatchRegion>,
+    ) {
+        if !regions.is_empty() {
+            self.delta.entries.push(DeltaEntry {
+                name: name.to_string(),
+                kind,
+                rows,
+                cols,
+                part_versions,
+                regions,
+            });
+        }
+    }
+
+    /// Diff a f64 vector; returns how many partitions were re-exported.
+    pub fn vector_f64(&mut self, h: &VectorHandle<f64>) -> Result<usize> {
+        let current = h.partition_versions()?;
+        let dirty =
+            self.dirty_partitions(h.name(), SnapshotKind::VecF64, h.size(), &current)?;
+        let mut regions = Vec::with_capacity(dirty.len());
+        for &p in &dirty {
+            let (start, end) = h.layout().range_of(p).ok_or_else(|| {
+                PsError::Dfs(format!("delta: {} is not range-partitioned", h.name()))
+            })?;
+            let ids: Vec<u64> = (start..end).collect();
+            regions.push(PatchRegion::RowsF64 { row_lo: start, values: h.pull(self.client, &ids)? });
+        }
+        self.push_entry(h.name(), SnapshotKind::VecF64, h.size(), 1, current, regions);
+        Ok(dirty.len())
+    }
+
+    /// Diff a u64 vector; returns how many partitions were re-exported.
+    pub fn vector_u64(&mut self, h: &VectorHandle<u64>) -> Result<usize> {
+        let current = h.partition_versions()?;
+        let dirty =
+            self.dirty_partitions(h.name(), SnapshotKind::VecU64, h.size(), &current)?;
+        let mut regions = Vec::with_capacity(dirty.len());
+        for &p in &dirty {
+            let (start, end) = h.layout().range_of(p).ok_or_else(|| {
+                PsError::Dfs(format!("delta: {} is not range-partitioned", h.name()))
+            })?;
+            let ids: Vec<u64> = (start..end).collect();
+            regions.push(PatchRegion::RowsU64 { row_lo: start, values: h.pull(self.client, &ids)? });
+        }
+        self.push_entry(h.name(), SnapshotKind::VecU64, h.size(), 1, current, regions);
+        Ok(dirty.len())
+    }
+
+    /// Diff a column-partitioned matrix: each dirty partition is one
+    /// column stripe of every row. Returns the re-exported count.
+    pub fn colmatrix(&mut self, h: &ColMatrixHandle) -> Result<usize> {
+        let current = h.partition_versions()?;
+        let dirty =
+            self.dirty_partitions(h.name(), SnapshotKind::MatF32, h.rows(), &current)?;
+        let mut regions = Vec::with_capacity(dirty.len());
+        for &p in &dirty {
+            let part = h.pull_col_slice(self.client, p)?;
+            regions.push(PatchRegion::Cols {
+                col_lo: part.col_start as u32,
+                col_hi: part.col_end as u32,
+                data: part.data,
+            });
+        }
+        self.push_entry(
+            h.name(),
+            SnapshotKind::MatF32,
+            h.rows(),
+            h.cols() as u32,
+            current,
+            regions,
+        );
+        Ok(dirty.len())
+    }
+
+    /// Diff a CSR adjacency (dirty only when rebuilt under the same
+    /// name). Returns the re-exported count.
+    pub fn adjacency(&mut self, h: &CsrHandle) -> Result<usize> {
+        let current = h.partition_versions()?;
+        let dirty = self.dirty_partitions(
+            h.name(),
+            SnapshotKind::Adjacency,
+            h.num_vertices(),
+            &current,
+        )?;
+        let mut regions = Vec::with_capacity(dirty.len());
+        for &p in &dirty {
+            let (start, end) = h.layout().range_of(p).ok_or_else(|| {
+                PsError::Dfs(format!("delta: {} is not range-partitioned", h.name()))
+            })?;
+            let ids: Vec<u64> = (start..end).collect();
+            let mut offsets = Vec::with_capacity(ids.len() + 1);
+            let mut targets: Vec<u64> = Vec::new();
+            offsets.push(0u64);
+            for ns in h.pull(self.client, &ids)? {
+                targets.extend_from_slice(&ns);
+                offsets.push(targets.len() as u64);
+            }
+            regions.push(PatchRegion::Adj { row_lo: start, offsets, targets });
+        }
+        self.push_entry(h.name(), SnapshotKind::Adjacency, h.num_vertices(), 0, current, regions);
+        Ok(dirty.len())
+    }
+
+    /// Write the delta file and return the delta. [`SnapshotDelta::rebase`]
+    /// the base manifest with it to chain further deltas.
+    pub fn finish(self) -> Result<SnapshotDelta> {
+        self.dfs
+            .write(&delta_path(&self.dir), &self.delta.encode(), self.client)
+            .map_err(|e| PsError::Dfs(e.to_string()))?;
+        Ok(self.delta)
     }
 }
 
@@ -397,12 +807,14 @@ mod tests {
                     kind: SnapshotKind::VecF64,
                     rows: 10,
                     cols: 1,
+                    part_versions: vec![1, 1, 2],
                 },
                 SnapshotEntry {
                     name: "embed".into(),
                     kind: SnapshotKind::MatF32,
                     rows: 10,
                     cols: 16,
+                    part_versions: vec![3],
                 },
             ],
         };
@@ -513,5 +925,162 @@ mod tests {
         let mut entry = m.entry("v").unwrap().clone();
         entry.rows = 99;
         assert!(load_object(&dfs, "/s", &entry, &c).is_err());
+    }
+
+    #[test]
+    fn delta_exports_only_dirty_partitions() {
+        let ps = ps();
+        let dfs = psgraph_dfs::Dfs::in_memory();
+        let c = psgraph_sim::NodeClock::new();
+
+        // 12 vertices over 3 servers → range partitions of 4 vertices.
+        let ranks = VectorHandle::<f64>::create(
+            &ps, "rank", 12, Partitioner::Range, RecoveryMode::Consistent,
+        )
+        .unwrap();
+        let ids: Vec<u64> = (0..12).collect();
+        let vals: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        ranks.push_set(&c, &ids, &vals).unwrap();
+
+        let embed =
+            ColMatrixHandle::create(&ps, "embed", 12, 6, RecoveryMode::Inconsistent).unwrap();
+        embed.init_uniform(&c, 5, 1.0).unwrap();
+
+        let mut w = SnapshotWriter::new(&dfs, "/s", &c);
+        w.vector_f64(&ranks).unwrap();
+        w.colmatrix(&embed).unwrap();
+        let base = w.finish().unwrap();
+
+        // Touch only the first rank partition; leave embed untouched.
+        ranks.push_set(&c, &[1], &[41.5]).unwrap();
+
+        let mut dw = DeltaWriter::new(&dfs, "/s", &base, &c);
+        assert_eq!(dw.vector_f64(&ranks).unwrap(), 1);
+        assert_eq!(dw.colmatrix(&embed).unwrap(), 0);
+        let delta = dw.finish().unwrap();
+
+        // Untouched object omitted entirely; dirty one carries exactly
+        // the dirty partition's rows.
+        assert!(delta.entry("embed").is_none());
+        let e = delta.entry("rank").unwrap();
+        assert_eq!(e.regions.len(), 1);
+        match &e.regions[0] {
+            PatchRegion::RowsF64 { row_lo, values } => {
+                assert_eq!(*row_lo, 0);
+                assert_eq!(values.len(), 4);
+                assert_eq!(values[1].to_bits(), 41.5f64.to_bits());
+                assert_eq!(values[0].to_bits(), 0.0f64.to_bits());
+            }
+            other => panic!("wrong region: {other:?}"),
+        }
+
+        // Round-trips through the DFS bit-exactly.
+        let loaded = SnapshotDelta::load(&dfs, "/s", &c).unwrap();
+        assert_eq!(loaded, delta);
+
+        // Rebase advances versions: the next delta against the rebased
+        // manifest is empty.
+        let next = delta.rebase(&base);
+        assert_ne!(next, base);
+        let mut dw2 = DeltaWriter::new(&dfs, "/s", &next, &c);
+        assert_eq!(dw2.vector_f64(&ranks).unwrap(), 0);
+        assert!(dw2.finish().unwrap().entries.is_empty());
+    }
+
+    #[test]
+    fn delta_covers_matrix_and_adjacency_regions() {
+        let ps = ps();
+        let dfs = psgraph_dfs::Dfs::in_memory();
+        let c = psgraph_sim::NodeClock::new();
+
+        let embed =
+            ColMatrixHandle::create(&ps, "embed", 5, 6, RecoveryMode::Inconsistent).unwrap();
+        embed.init_uniform(&c, 5, 1.0).unwrap();
+        let tables = vec![(0u64, vec![1, 2]), (3, vec![0])];
+        let adj =
+            CsrHandle::build(&ps, "adj", 5, &tables, &c, RecoveryMode::Inconsistent).unwrap();
+
+        let mut w = SnapshotWriter::new(&dfs, "/s2", &c);
+        w.colmatrix(&embed).unwrap();
+        w.adjacency(&adj).unwrap();
+        let base = w.finish().unwrap();
+
+        // A row update dirties every column partition it spans.
+        embed.push_add_rows(&c, &[2], &[vec![1.0f32; 6]]).unwrap();
+        let want = embed.pull_rows(&c, &[2]).unwrap().remove(0);
+        // Rebuilding under the same name continues the version counters.
+        let tables2 = vec![(0u64, vec![4]), (3, vec![0])];
+        let adj2 =
+            CsrHandle::build(&ps, "adj", 5, &tables2, &c, RecoveryMode::Inconsistent).unwrap();
+
+        let mut dw = DeltaWriter::new(&dfs, "/s2", &base, &c);
+        assert!(dw.colmatrix(&embed).unwrap() >= 1);
+        assert!(dw.adjacency(&adj2).unwrap() >= 1);
+        let delta = dw.finish().unwrap();
+
+        // Stitch the Cols regions back together for row 2 and compare
+        // bit-exactly against the live matrix.
+        let mut row = vec![None::<f32>; 6];
+        for r in &delta.entry("embed").unwrap().regions {
+            match r {
+                PatchRegion::Cols { col_lo, col_hi, data } => {
+                    let width = (col_hi - col_lo) as usize;
+                    for j in 0..width {
+                        row[*col_lo as usize + j] = Some(data[2 * width + j]);
+                    }
+                }
+                other => panic!("wrong region: {other:?}"),
+            }
+        }
+        for (j, x) in row.iter().enumerate() {
+            assert_eq!(x.unwrap().to_bits(), want[j].to_bits(), "col {j}");
+        }
+
+        // Adjacency regions carry the rebuilt neighbour lists.
+        let mut neigh = vec![None::<Vec<u64>>; 5];
+        for r in &delta.entry("adj").unwrap().regions {
+            match r {
+                PatchRegion::Adj { row_lo, offsets, targets } => {
+                    for i in 0..offsets.len() - 1 {
+                        neigh[*row_lo as usize + i] = Some(
+                            targets[offsets[i] as usize..offsets[i + 1] as usize].to_vec(),
+                        );
+                    }
+                }
+                other => panic!("wrong region: {other:?}"),
+            }
+        }
+        assert_eq!(neigh[0].clone().unwrap(), vec![4]);
+        assert_eq!(neigh[3].clone().unwrap(), vec![0]);
+
+        assert_eq!(SnapshotDelta::load(&dfs, "/s2", &c).unwrap(), delta);
+    }
+
+    #[test]
+    fn delta_rejects_unknown_and_reshaped_objects() {
+        let ps = ps();
+        let dfs = psgraph_dfs::Dfs::in_memory();
+        let c = psgraph_sim::NodeClock::new();
+        let v = VectorHandle::<f64>::create(
+            &ps, "v", 3, Partitioner::Range, RecoveryMode::Consistent,
+        )
+        .unwrap();
+        let mut w = SnapshotWriter::new(&dfs, "/s3", &c);
+        w.vector_f64(&v).unwrap();
+        let base = w.finish().unwrap();
+
+        // Object absent from the base manifest.
+        let other = VectorHandle::<f64>::create(
+            &ps, "other", 3, Partitioner::Range, RecoveryMode::Consistent,
+        )
+        .unwrap();
+        let mut dw = DeltaWriter::new(&dfs, "/s3", &base, &c);
+        assert!(matches!(dw.vector_f64(&other), Err(PsError::Dfs(_))));
+
+        // Same name, different shape.
+        let mut reshaped = base.clone();
+        reshaped.entries[0].rows = 99;
+        let mut dw2 = DeltaWriter::new(&dfs, "/s3", &reshaped, &c);
+        assert!(matches!(dw2.vector_f64(&v), Err(PsError::Dfs(_))));
     }
 }

@@ -229,6 +229,18 @@ impl<E: Element> VectorHandle<E> {
         &self.layout
     }
 
+    /// Per-partition write versions (see [`PsServer::version`]) — the
+    /// change detector snapshot delta export compares against.
+    pub fn partition_versions(&self) -> Result<Vec<u64>> {
+        (0..self.layout.num_partitions)
+            .map(|p| {
+                self.ps
+                    .server(self.layout.server_of_partition(p))
+                    .version(&self.name, p)
+            })
+            .collect()
+    }
+
     fn check_indices(&self, indices: &[u64]) -> Result<()> {
         for &i in indices {
             if i >= self.layout.size {

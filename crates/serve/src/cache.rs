@@ -149,13 +149,15 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
     /// the budget. Evicts exact-LRU entries until it fits. Returns `false`
     /// — and caches nothing — when `bytes` alone exceeds the budget.
     pub fn insert(&mut self, key: K, value: V, bytes: u64) -> bool {
-        if let Some(&i) = self.map.get(&key) {
-            // Update: retire the old entry first, then insert fresh.
-            self.evict_slot(i);
-        }
+        // Reject before touching the old entry: an oversized update must
+        // leave the previous value cached, not drop the key entirely.
         if bytes > self.meter.budget() {
             self.rejected += 1;
             return false;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            // Update: retire the old entry first, then insert fresh.
+            self.evict_slot(i);
         }
         while self.meter.alloc(bytes).is_err() {
             let victim = self.tail;
@@ -183,6 +185,30 @@ impl<K: Hash + Eq + Clone, V> LruCache<K, V> {
         self.map.remove(&self.slots[i].key);
         self.meter.free(self.slots[i].bytes);
         self.free.push(i);
+    }
+
+    /// Drop `key` if cached (invalidation, not eviction — counts toward
+    /// neither `evictions` nor `rejected`). Returns whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.evict_slot(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Keep only entries whose key satisfies `keep`; returns how many were
+    /// invalidated. LRU order of the survivors is preserved.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) -> usize {
+        let doomed: Vec<usize> =
+            self.map.iter().filter(|(k, _)| !keep(k)).map(|(_, &i)| i).collect();
+        let n = doomed.len();
+        for i in doomed {
+            self.evict_slot(i);
+        }
+        n
     }
 
     /// Keys from least- to most-recently used (for the eviction-order
@@ -238,6 +264,39 @@ mod tests {
         assert_eq!(c.len(), 0);
         assert_eq!(c.rejected(), 1);
         assert_eq!(c.bytes_used(), 0);
+    }
+
+    #[test]
+    fn oversized_update_keeps_the_old_entry() {
+        // Regression: insert used to retire the existing entry *before*
+        // the oversized check, so a too-big update dropped the key from
+        // the cache entirely instead of leaving the old value cached.
+        let mut c: LruCache<u64, u64> = LruCache::new(100);
+        assert!(c.insert(1, 10, 80));
+        assert!(!c.insert(1, 11, 150));
+        assert_eq!(c.peek(&1), Some(&10), "old value must survive a rejected update");
+        assert_eq!(c.bytes_used(), 80);
+        assert_eq!(c.rejected(), 1);
+        assert_eq!(c.evictions(), 0);
+    }
+
+    #[test]
+    fn remove_and_retain_invalidate_exactly() {
+        let mut c: LruCache<u64, u64> = LruCache::new(1000);
+        for k in 0..6 {
+            assert!(c.insert(k, k * 10, 10));
+        }
+        assert!(c.remove(&2));
+        assert!(!c.remove(&2));
+        assert_eq!(c.retain(|&k| k % 2 == 1), 2); // drops 0 and 4
+        assert_eq!(c.keys_lru_order(), vec![1, 3, 5]);
+        assert_eq!(c.bytes_used(), 30);
+        // Invalidation is not eviction and is not a rejection.
+        assert_eq!(c.evictions(), 0);
+        assert_eq!(c.rejected(), 0);
+        // Freed slots are reusable.
+        assert!(c.insert(7, 70, 10));
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

@@ -2,12 +2,17 @@
 
 use psgraph_dfs::Dfs;
 use psgraph_net::Network;
-use psgraph_ps::snapshot::{load_object, SnapshotData, SnapshotManifest};
+use psgraph_ps::snapshot::{
+    load_object, PatchRegion, SnapshotData, SnapshotDelta, SnapshotManifest, SnapshotWriter,
+};
+use psgraph_ps::{
+    ColMatrixHandle, CsrHandle, Partitioner, Ps, PsConfig, RecoveryMode, VectorHandle,
+};
 use psgraph_sim::{CostModel, NodeClock};
 use std::sync::Arc;
 
 use crate::error::{Result, ServeError};
-use crate::frontend::{Frontend, SloPolicy};
+use crate::frontend::{CacheKey, Frontend, SloPolicy};
 use crate::router::Router;
 use crate::shard::{
     col_range, vertex_range, Adjacency, EmbedSlice, Replica, ShardData, ShardSpec,
@@ -50,6 +55,10 @@ pub struct ServeCluster {
     replicas: Vec<Arc<Replica>>,
     frontend: Frontend,
     num_vertices: u64,
+    /// The role → snapshot-object mapping the cluster was loaded with;
+    /// [`ServeCluster::swap_in`] uses it to route delta entries to shard
+    /// fields and cache tags.
+    objects: ObjectMap,
 }
 
 impl ServeCluster {
@@ -187,7 +196,7 @@ impl ServeCluster {
             cfg.policy.clone(),
             n,
         );
-        Ok(ServeCluster { replicas, frontend, num_vertices: n })
+        Ok(ServeCluster { replicas, frontend, num_vertices: n, objects: objects.clone() })
     }
 
     pub fn num_vertices(&self) -> u64 {
@@ -218,9 +227,196 @@ impl ServeCluster {
             .unwrap_or(false)
     }
 
+    /// Bring replica `global_id` back into service with an empty queue
+    /// (the [`crate::monitor::Monitor`] calls this when a container
+    /// restart completes). Returns whether it was dead.
+    pub fn revive_replica(&self, global_id: usize) -> bool {
+        self.replicas
+            .get(global_id)
+            .map(|r| r.revive())
+            .unwrap_or(false)
+    }
+
     /// Count of live replicas (for degraded-service assertions).
     pub fn live_replicas(&self) -> usize {
         self.replicas.iter().filter(|r| r.is_alive()).count()
+    }
+
+    /// Hot-swap a snapshot delta into the live tier: rebuild only the
+    /// shards a patch touches, atomically install the new `Arc` on every
+    /// replica of those shards (dead ones included — they must rejoin
+    /// with current data), and invalidate exactly the cached keys the
+    /// delta made stale. Queries already in flight keep the version they
+    /// started with; every later answer reflects the delta.
+    pub fn swap_in(&mut self, delta: &SnapshotDelta) -> Result<SwapStats> {
+        let num_shards = self.frontend.num_shards();
+        let n = self.num_vertices;
+        // Working copies of patched shards, cloned from the live data on
+        // first touch.
+        let mut rebuilt: Vec<Option<ShardData>> = (0..num_shards).map(|_| None).collect();
+        // Vertex ranges whose cached answers are stale, per cache tag.
+        let mut dirty_rows: Vec<(u8, u64, u64)> = Vec::new();
+        // A column stripe spans every row, so any embedding patch dirties
+        // every cached embedding.
+        let mut embed_dirty = false;
+        let mut regions_applied = 0usize;
+
+        {
+            let router = self.frontend.router();
+            let working = |rebuilt: &mut Vec<Option<ShardData>>, s: usize| -> ShardData {
+                rebuilt[s]
+                    .take()
+                    .unwrap_or_else(|| (*router.replicas(s)[0].data()).clone())
+            };
+            for entry in &delta.entries {
+                let role = [
+                    (&self.objects.ranks, 0u8),
+                    (&self.objects.communities, 1),
+                    (&self.objects.embeddings, 2),
+                    (&self.objects.adjacency, 3),
+                ]
+                .into_iter()
+                .find(|(name, _)| name.as_deref() == Some(entry.name.as_str()));
+                // Objects the cluster does not serve are none of our
+                // business — skip them.
+                let Some((_, tag)) = role else { continue };
+                if entry.rows != n {
+                    return Err(ServeError::Dfs(format!(
+                        "delta entry {} has {} rows but the tier serves {n} vertices",
+                        entry.name, entry.rows
+                    )));
+                }
+                let mismatch = || {
+                    ServeError::Dfs(format!(
+                        "delta entry {} carries a region of the wrong kind", entry.name
+                    ))
+                };
+                for region in &entry.regions {
+                    regions_applied += 1;
+                    match (tag, region) {
+                        (0, PatchRegion::RowsF64 { row_lo, values }) => {
+                            let row_hi = row_lo + values.len() as u64;
+                            for s in 0..num_shards {
+                                let (vlo, vhi) = vertex_range(s, n, num_shards);
+                                let (lo, hi) = ((*row_lo).max(vlo), row_hi.min(vhi));
+                                if lo >= hi {
+                                    continue;
+                                }
+                                let mut data = working(&mut rebuilt, s);
+                                let ranks = data.ranks.as_mut().ok_or_else(|| {
+                                    ServeError::Dfs("delta patches unserved ranks".into())
+                                })?;
+                                for v in lo..hi {
+                                    ranks[(v - vlo) as usize] =
+                                        values[(v - row_lo) as usize];
+                                }
+                                rebuilt[s] = Some(data);
+                            }
+                            dirty_rows.push((0, *row_lo, row_hi));
+                        }
+                        (1, PatchRegion::RowsU64 { row_lo, values }) => {
+                            let row_hi = row_lo + values.len() as u64;
+                            for s in 0..num_shards {
+                                let (vlo, vhi) = vertex_range(s, n, num_shards);
+                                let (lo, hi) = ((*row_lo).max(vlo), row_hi.min(vhi));
+                                if lo >= hi {
+                                    continue;
+                                }
+                                let mut data = working(&mut rebuilt, s);
+                                let coms = data.communities.as_mut().ok_or_else(|| {
+                                    ServeError::Dfs("delta patches unserved communities".into())
+                                })?;
+                                for v in lo..hi {
+                                    coms[(v - vlo) as usize] = values[(v - row_lo) as usize];
+                                }
+                                rebuilt[s] = Some(data);
+                            }
+                            dirty_rows.push((1, *row_lo, row_hi));
+                        }
+                        (2, PatchRegion::Cols { col_lo, col_hi, data: patch }) => {
+                            let dim = entry.cols as usize;
+                            let stripe = (col_hi - col_lo) as usize;
+                            for s in 0..num_shards {
+                                let (clo, chi) = col_range(s, dim, num_shards);
+                                let (lo, hi) =
+                                    ((*col_lo as usize).max(clo), (*col_hi as usize).min(chi));
+                                if lo >= hi {
+                                    continue;
+                                }
+                                let mut data = working(&mut rebuilt, s);
+                                let embed = data.embed.as_mut().ok_or_else(|| {
+                                    ServeError::Dfs("delta patches unserved embeddings".into())
+                                })?;
+                                for r in 0..embed.rows as usize {
+                                    for j in lo..hi {
+                                        embed.data[r * embed.width + (j - clo)] =
+                                            patch[r * stripe + (j - *col_lo as usize)];
+                                    }
+                                }
+                                rebuilt[s] = Some(data);
+                            }
+                            embed_dirty = true;
+                        }
+                        (3, PatchRegion::Adj { row_lo, offsets, targets }) => {
+                            let row_hi = row_lo + offsets.len() as u64 - 1;
+                            for s in 0..num_shards {
+                                let (vlo, vhi) = vertex_range(s, n, num_shards);
+                                let (lo, hi) = ((*row_lo).max(vlo), row_hi.min(vhi));
+                                if lo >= hi {
+                                    continue;
+                                }
+                                let mut data = working(&mut rebuilt, s);
+                                let adj = data.adjacency.as_mut().ok_or_else(|| {
+                                    ServeError::Dfs("delta patches unserved adjacency".into())
+                                })?;
+                                let mut lists: Vec<Vec<u64>> = (0..(vhi - vlo) as usize)
+                                    .map(|i| {
+                                        adj.targets[adj.offsets[i] as usize
+                                            ..adj.offsets[i + 1] as usize]
+                                            .to_vec()
+                                    })
+                                    .collect();
+                                for v in lo..hi {
+                                    let i = (v - row_lo) as usize;
+                                    lists[(v - vlo) as usize] = targets
+                                        [offsets[i] as usize..offsets[i + 1] as usize]
+                                        .to_vec();
+                                }
+                                let mut new_offsets = Vec::with_capacity(lists.len() + 1);
+                                let mut new_targets = Vec::new();
+                                new_offsets.push(0u64);
+                                for l in &lists {
+                                    new_targets.extend_from_slice(l);
+                                    new_offsets.push(new_targets.len() as u64);
+                                }
+                                *adj = Adjacency { offsets: new_offsets, targets: new_targets };
+                                rebuilt[s] = Some(data);
+                            }
+                            dirty_rows.push((3, *row_lo, row_hi));
+                        }
+                        _ => return Err(mismatch()),
+                    }
+                }
+            }
+        }
+
+        let mut shards_rebuilt = 0;
+        for (s, slot) in rebuilt.iter_mut().enumerate() {
+            if let Some(data) = slot.take() {
+                shards_rebuilt += 1;
+                let data = Arc::new(data);
+                for rep in self.replicas.iter().filter(|r| r.shard() == s) {
+                    rep.install(Arc::clone(&data));
+                }
+            }
+        }
+        let keys_invalidated = self.frontend.invalidate_keys(|&(tag, v): &CacheKey| {
+            if tag == 2 {
+                return !embed_dirty;
+            }
+            !dirty_rows.iter().any(|&(t, lo, hi)| t == tag && (lo..hi).contains(&v))
+        });
+        Ok(SwapStats { shards_rebuilt, keys_invalidated, regions_applied })
     }
 
     /// Simulated bytes moved and RPCs made by the serving tier so far.
@@ -232,10 +428,18 @@ impl ServeCluster {
     /// rank `i/n`, community `i % 7`, a ring adjacency, and a `dim`-wide
     /// deterministic embedding.
     pub fn demo(n: u64, dim: usize, cfg: &ServeConfig) -> Result<(Self, DemoTruth)> {
-        use psgraph_ps::{
-            CsrHandle, Partitioner, Ps, PsConfig, RecoveryMode, SnapshotWriter, VectorHandle,
-        };
+        let (cluster, truth, _) = Self::demo_with_ps(n, dim, cfg)?;
+        Ok((cluster, truth))
+    }
 
+    /// Like [`ServeCluster::demo`] but also returns the live PS backend,
+    /// so tests and benches can keep training (mutating the PS objects)
+    /// and hot-swap deltas into the running tier.
+    pub fn demo_with_ps(
+        n: u64,
+        dim: usize,
+        cfg: &ServeConfig,
+    ) -> Result<(Self, DemoTruth, DemoBackend)> {
         let ps = Ps::new(PsConfig::default());
         let dfs = Dfs::in_memory();
         let client = NodeClock::new();
@@ -283,7 +487,7 @@ impl ServeCluster {
         w.vector_u64(&hc)?;
         w.adjacency(&ha)?;
         w.colmatrix(&hm)?;
-        w.finish()?;
+        let manifest = w.finish()?;
 
         let objects = ObjectMap {
             ranks: Some("demo.rank".into()),
@@ -292,8 +496,51 @@ impl ServeCluster {
             adjacency: Some("demo.adj".into()),
         };
         let cluster = ServeCluster::load(&dfs, "/snapshot/demo", &objects, cfg, &client)?;
-        Ok((cluster, DemoTruth { ranks, communities: coms, adjacency: adj, embeddings: embed }))
+        let backend = DemoBackend {
+            ps,
+            dfs,
+            client,
+            dir: "/snapshot/demo".into(),
+            manifest,
+            ranks: hv,
+            communities: hc,
+            adjacency: ha,
+            embeddings: hm,
+        };
+        Ok((
+            cluster,
+            DemoTruth { ranks, communities: coms, adjacency: adj, embeddings: embed },
+            backend,
+        ))
     }
+}
+
+/// Outcome of one [`ServeCluster::swap_in`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapStats {
+    /// Shards whose data was rebuilt and re-installed.
+    pub shards_rebuilt: usize,
+    /// Cached answers invalidated as stale.
+    pub keys_invalidated: usize,
+    /// Patch regions applied to served objects.
+    pub regions_applied: usize,
+}
+
+/// The live PS side of a [`ServeCluster::demo_with_ps`] tier: keep
+/// writing to the handles, export a delta against `manifest`, and
+/// [`ServeCluster::swap_in`] the result.
+pub struct DemoBackend {
+    pub ps: Arc<Ps>,
+    pub dfs: Dfs,
+    pub client: NodeClock,
+    /// Snapshot directory the tier was loaded from.
+    pub dir: String,
+    /// Base manifest deltas are diffed against.
+    pub manifest: SnapshotManifest,
+    pub ranks: VectorHandle<f64>,
+    pub communities: VectorHandle<u64>,
+    pub adjacency: CsrHandle,
+    pub embeddings: ColMatrixHandle,
 }
 
 /// Ground truth backing [`ServeCluster::demo`].
@@ -397,6 +644,114 @@ mod tests {
                     assert_eq!(gv, wv);
                     assert_eq!(gs.to_bits(), ws.to_bits());
                 }
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn swap_in_patches_shards_and_invalidates_exactly() {
+        use psgraph_ps::snapshot::DeltaWriter;
+
+        let (mut cluster, truth, backend) =
+            ServeCluster::demo_with_ps(24, 4, &ServeConfig::default()).unwrap();
+
+        // Warm the cache: a rank the delta will touch, one it won't, and
+        // an embedding row.
+        let mut t = SimTime::ZERO;
+        for (i, q) in [Query::Rank(1), Query::Rank(23), Query::Embedding(5)]
+            .into_iter()
+            .enumerate()
+        {
+            cluster.frontend_mut().execute_now(i, t, q);
+            t += SimTime::from_millis(1);
+        }
+
+        // Train a little more: ranks 0..3 change (one PS partition of
+        // twelve vertices → shard 0 only), one embedding row changes
+        // (dirties every column partition).
+        backend
+            .ranks
+            .push_set(&backend.client, &[0, 1, 2], &[10.0, 11.0, 12.0])
+            .unwrap();
+        backend
+            .embeddings
+            .push_add_rows(&backend.client, &[5], &[vec![1.0f32; 4]])
+            .unwrap();
+        let new_embed_5 = backend.embeddings.pull_rows(&backend.client, &[5]).unwrap().remove(0);
+
+        let mut dw =
+            DeltaWriter::new(&backend.dfs, &backend.dir, &backend.manifest, &backend.client);
+        assert_eq!(dw.vector_f64(&backend.ranks).unwrap(), 1);
+        assert!(dw.colmatrix(&backend.embeddings).unwrap() >= 1);
+        assert_eq!(dw.vector_u64(&backend.communities).unwrap(), 0);
+        assert_eq!(dw.adjacency(&backend.adjacency).unwrap(), 0);
+        let delta = dw.finish().unwrap();
+
+        let stats = cluster.swap_in(&delta).unwrap();
+        assert_eq!(stats.shards_rebuilt, 2, "rank patch hits shard 0, embed patch hits both");
+        // Stale keys gone — rank 1 and embedding 5 — untouched rank 23
+        // kept.
+        assert!(stats.keys_invalidated >= 2);
+        assert!(cluster.frontend().cache().peek(&(0, 1)).is_none());
+        assert!(cluster.frontend().cache().peek(&(2, 5)).is_none());
+        assert!(cluster.frontend().cache().peek(&(0, 23)).is_some());
+
+        // Post-swap answers match post-update PS state, bit for bit.
+        let outs = cluster.frontend_mut().execute_now(10, t, Query::Rank(1));
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Rank(r), cached, .. } => {
+                assert!(!cached);
+                assert_eq!(r.to_bits(), 11.0f64.to_bits());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let outs = cluster.frontend_mut().execute_now(11, t, Query::Embedding(5));
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Embedding(e), cached, .. } => {
+                assert!(!cached);
+                let got: Vec<u32> = e.iter().map(|x| x.to_bits()).collect();
+                let want: Vec<u32> = new_embed_5.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // The surviving cache entry still answers, correctly.
+        let outs = cluster.frontend_mut().execute_now(12, t, Query::Rank(23));
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Rank(r), cached, .. } => {
+                assert!(cached);
+                assert_eq!(r.to_bits(), truth.ranks[23].to_bits());
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn swap_reaches_dead_replicas_when_they_rejoin() {
+        use psgraph_ps::snapshot::DeltaWriter;
+
+        let cfg = ServeConfig { replicas_per_shard: 1, ..ServeConfig::default() };
+        let (mut cluster, _, backend) = ServeCluster::demo_with_ps(24, 4, &cfg).unwrap();
+        assert!(cluster.kill_replica(0));
+
+        backend.ranks.push_set(&backend.client, &[1], &[42.0]).unwrap();
+        let mut dw =
+            DeltaWriter::new(&backend.dfs, &backend.dir, &backend.manifest, &backend.client);
+        dw.vector_f64(&backend.ranks).unwrap();
+        let delta = dw.finish().unwrap();
+        cluster.swap_in(&delta).unwrap();
+
+        // Dead shard: query fails. After revival it serves the *swapped*
+        // data — the install reached it while dead.
+        let outs = cluster.frontend_mut().execute_now(0, SimTime::ZERO, Query::Rank(1));
+        assert!(matches!(outs[0].1, Outcome::Failed(_)));
+        assert!(cluster.revive_replica(0));
+        let outs =
+            cluster.frontend_mut().execute_now(1, SimTime::from_millis(1), Query::Rank(1));
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Rank(r), .. } => {
+                assert_eq!(r.to_bits(), 42.0f64.to_bits());
             }
             other => panic!("unexpected outcome {other:?}"),
         }

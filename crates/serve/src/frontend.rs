@@ -166,6 +166,14 @@ impl Frontend {
         &self.cache
     }
 
+    /// Drop cached entries whose key fails `keep` — the hot-swap path
+    /// calls this with exactly the keys a snapshot delta touched, so
+    /// surviving entries are provably still valid. Returns the number
+    /// invalidated.
+    pub fn invalidate_keys(&mut self, keep: impl FnMut(&CacheKey) -> bool) -> usize {
+        self.cache.retain(keep)
+    }
+
     pub fn network(&self) -> &Network {
         &self.net
     }
@@ -372,11 +380,12 @@ impl Frontend {
             }
         };
 
+        let data = rep.data();
         let mut ops = 0u64;
         let mut resp_bytes = 16u64;
         let mut results = Vec::with_capacity(batch.items.len());
         for item in &batch.items {
-            let res = Self::compute_point(rep.data(), item.query);
+            let res = Self::compute_point(&data, item.query);
             if let Ok(value) = &res {
                 ops += self.policy.ops_per_item;
                 if let Value::Neighbors(n) = value {
@@ -453,11 +462,12 @@ impl Frontend {
                 Ok(x) => x,
                 Err(e) => return self.fail(idx, e, out),
             };
-            let slice = match rep.data().embed_cols(v) {
+            let data = rep.data();
+            let slice = match data.embed_cols(v) {
                 Ok(s) => s.to_vec(),
                 Err(e) => return self.fail(idx, e, out),
             };
-            parts.push((rep.data().spec.col_lo, slice));
+            parts.push((data.spec.col_lo, slice));
             done_max = done_max.max(done);
         }
         if parts.is_empty() {
@@ -494,10 +504,11 @@ impl Frontend {
                 .router
                 .route(shard, at)
                 .ok_or(ServeError::NoReplica { shard })?;
+            let data = rep.data();
             let mut ops = 0u64;
             let mut resp = 16u64;
             for &i in idxs {
-                let ns = rep.data().neighbors(vertices[i])?;
+                let ns = data.neighbors(vertices[i])?;
                 ops += self.policy.ops_per_item + ns.len() as u64;
                 resp += 8 * ns.len() as u64;
                 lists[i] = ns.to_vec();

@@ -27,13 +27,15 @@ pub mod cluster;
 pub mod error;
 pub mod frontend;
 pub mod loadgen;
+pub mod monitor;
 pub mod router;
 pub mod shard;
 
 pub use cache::LruCache;
-pub use cluster::{DemoTruth, ObjectMap, ServeCluster, ServeConfig};
+pub use cluster::{DemoBackend, DemoTruth, ObjectMap, ServeCluster, ServeConfig, SwapStats};
 pub use error::ServeError;
 pub use frontend::{reference, Frontend, Outcome, SloPolicy};
-pub use loadgen::{LoadReport, Mode, QueryMix, Workload};
+pub use loadgen::{LoadReport, Mode, QueryMix, ScriptedAction, Workload};
+pub use monitor::{Monitor, RecoveryEvent};
 pub use router::Router;
 pub use shard::{Query, Replica, ShardData, ShardSpec, Value};

@@ -14,12 +14,13 @@
 //! so the hot head of the distribution spreads across range-partitioned
 //! shards instead of all landing on shard 0.
 
-use psgraph_sim::failpoint::{FailureInjector, NodeKind};
+use psgraph_sim::failpoint::{FailAction, FailureInjector, NodeKind};
 use psgraph_sim::{SimTime, SplitMix64};
 use std::collections::BinaryHeap;
 
 use crate::cluster::ServeCluster;
 use crate::frontend::Outcome;
+use crate::monitor::Monitor;
 use crate::shard::{Query, Value};
 
 /// Relative weights of each query kind in the generated stream.
@@ -141,11 +142,19 @@ pub struct LoadReport {
     pub answered: usize,
     pub shed: usize,
     pub failed: usize,
+    /// Cache hits *during this run* (the frontend's counters are
+    /// cumulative across runs; these are per-run deltas).
     pub cache_hits: u64,
+    /// Cache misses during this run.
     pub cache_misses: u64,
+    /// `cache_hits / (cache_hits + cache_misses)` for this run alone.
     pub hit_rate: f64,
     /// First arrival to last completion.
     pub makespan: SimTime,
+    /// Arrival time of each issued query, indexed by query index — lets
+    /// callers split percentiles around a simulated-time event (a kill,
+    /// a rejoin, a hot-swap).
+    pub issued_at: Vec<SimTime>,
     /// `(query index, latency)` for every answered query.
     pub latencies: Vec<(usize, SimTime)>,
     /// `(query index, query, value)` when recording was requested.
@@ -191,6 +200,22 @@ impl LoadReport {
     }
 }
 
+/// A callback fired at a scripted query index — the hook `repro -- serve`
+/// uses to hot-swap a snapshot delta mid-run. Pending batches are drained
+/// before the action runs, so every earlier query completes against the
+/// pre-action state and every later one against the post-action state.
+pub struct ScriptedAction<'a> {
+    /// Fires just before this query index is issued.
+    pub at_query: usize,
+    pub action: Box<dyn FnMut(&mut ServeCluster) + 'a>,
+}
+
+impl<'a> ScriptedAction<'a> {
+    pub fn new(at_query: usize, action: impl FnMut(&mut ServeCluster) + 'a) -> Self {
+        ScriptedAction { at_query, action: Box::new(action) }
+    }
+}
+
 /// Drive `wl` against the cluster. Between queries the injector is
 /// consulted with the *query index* as the superstep, so a scripted
 /// [`psgraph_sim::FailPlan::kill_replica`] fires mid-run. Answers are
@@ -201,27 +226,80 @@ pub fn run(
     injector: &FailureInjector,
     record_values: bool,
 ) -> LoadReport {
+    run_with(cluster, wl, injector, record_values, None, &mut [])
+}
+
+/// [`run`], plus self-healing and scripted mutations: a [`Monitor`] is
+/// ticked at every arrival (heartbeats, detection, and rejoin happen on
+/// the workload's simulated timeline), scripted
+/// [`psgraph_sim::FailPlan::restart_replica`] plans revive replicas
+/// directly, and each [`ScriptedAction`] fires once at its query index.
+pub fn run_with(
+    cluster: &mut ServeCluster,
+    wl: &Workload,
+    injector: &FailureInjector,
+    record_values: bool,
+    monitor: Option<&Monitor>,
+    actions: &mut [ScriptedAction<'_>],
+) -> LoadReport {
     let n = cluster.num_vertices();
     assert!(n > 0, "cannot load an empty graph");
     let scramble = coprime_multiplier(n);
     let mut rng = SplitMix64::new(wl.seed);
+    let hits0 = cluster.frontend().cache().hits();
+    let misses0 = cluster.frontend().cache().misses();
     let mut queries: Vec<Query> = Vec::with_capacity(wl.queries);
+    let mut issued_at: Vec<SimTime> = Vec::with_capacity(wl.queries);
     let mut outcomes: Vec<(usize, Outcome)> = Vec::with_capacity(wl.queries);
+    let mut t_last = SimTime::ZERO;
+
+    // Everything that happens between queries, in order: scripted
+    // kills/restarts, monitor heartbeats and rejoins, then scripted
+    // actions (draining first so batches complete pre-action).
+    fn prologue(
+        cluster: &mut ServeCluster,
+        injector: &FailureInjector,
+        monitor: Option<&Monitor>,
+        actions: &mut [ScriptedAction<'_>],
+        i: usize,
+        now: SimTime,
+        outcomes: &mut Vec<(usize, Outcome)>,
+    ) {
+        for plan in injector.take_due(NodeKind::Replica, i as u64) {
+            match plan.action {
+                FailAction::Kill => {
+                    cluster.kill_replica(plan.node_id);
+                }
+                FailAction::Restart => {
+                    cluster.revive_replica(plan.node_id);
+                }
+            }
+        }
+        if let Some(m) = monitor {
+            m.tick(cluster, now);
+        }
+        for a in actions.iter_mut() {
+            if a.at_query == i {
+                outcomes.extend(cluster.frontend_mut().drain());
+                (a.action)(cluster);
+            }
+        }
+    }
 
     match wl.mode {
         Mode::Open { qps } => {
             assert!(qps > 0.0, "open-loop workload needs a positive rate");
             let mut t = SimTime::ZERO;
             for i in 0..wl.queries {
-                for plan in injector.take_due(NodeKind::Replica, i as u64) {
-                    cluster.kill_replica(plan.node_id);
-                }
+                prologue(cluster, injector, monitor, actions, i, t, &mut outcomes);
                 let q = next_query(&mut rng, n, scramble, wl);
                 queries.push(q);
+                issued_at.push(t);
                 outcomes.extend(cluster.frontend_mut().submit(i, t, q));
                 t += SimTime::from_secs_f64(rng.next_exp(qps));
             }
             outcomes.extend(cluster.frontend_mut().drain());
+            t_last = t;
         }
         Mode::Closed { workers, think } => {
             assert!(workers > 0, "closed-loop workload needs workers");
@@ -229,13 +307,12 @@ pub fn run(
             let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> =
                 (0..workers).map(|w| std::cmp::Reverse((0, w))).collect();
             for i in 0..wl.queries {
-                for plan in injector.take_due(NodeKind::Replica, i as u64) {
-                    cluster.kill_replica(plan.node_id);
-                }
                 let std::cmp::Reverse((at_ns, w)) = heap.pop().expect("worker heap");
                 let at = SimTime::from_nanos(at_ns);
+                prologue(cluster, injector, monitor, actions, i, at, &mut outcomes);
                 let q = next_query(&mut rng, n, scramble, wl);
                 queries.push(q);
+                issued_at.push(at);
                 let outs = cluster.frontend_mut().execute_now(i, at, q);
                 let mut next = at + think;
                 for (idx, o) in &outs {
@@ -246,10 +323,16 @@ pub fn run(
                     }
                 }
                 outcomes.extend(outs);
+                t_last = t_last.max(at);
                 heap.push(std::cmp::Reverse((next.as_nanos(), w)));
             }
             outcomes.extend(cluster.frontend_mut().drain());
         }
+    }
+    // Let restarts still in flight at the last arrival complete, so a
+    // late kill's recovery is observable in the monitor's event log.
+    if let Some(m) = monitor {
+        m.tick(cluster, t_last + cluster.network().cost_model().restart_overhead());
     }
 
     let mut answered = 0;
@@ -276,15 +359,19 @@ pub fn run(
     values.sort_by_key(|(i, _, _)| *i);
 
     let cache = cluster.frontend().cache();
+    let cache_hits = cache.hits() - hits0;
+    let cache_misses = cache.misses() - misses0;
+    let lookups = cache_hits + cache_misses;
     LoadReport {
         issued: wl.queries,
         answered,
         shed,
         failed,
-        cache_hits: cache.hits(),
-        cache_misses: cache.misses(),
-        hit_rate: cache.hit_rate(),
+        cache_hits,
+        cache_misses,
+        hit_rate: if lookups == 0 { 0.0 } else { cache_hits as f64 / lookups as f64 },
         makespan,
+        issued_at,
         latencies,
         values,
     }

@@ -1,0 +1,179 @@
+//! Serve-tier self-healing: heartbeat health checks and replica
+//! auto-restart.
+//!
+//! The serving analogue of the `ps::master` health-check loop. A
+//! [`Monitor`] pings every replica once per `failure_detect` period; a
+//! dead replica costs two RPC timeouts to declare, then a container
+//! restart is scheduled `container_restart` later, after which the
+//! replica [rejoins](crate::cluster::ServeCluster::revive_replica) the
+//! router's rotation. Both delays come from the cluster's [`CostModel`],
+//! so `repro -- serve` shows tail latency degrading at the kill and
+//! recovering once the restart lands — the Table II story, replayed
+//! against the online tier.
+//!
+//! The monitor is driven from the load generator's simulated timeline:
+//! [`Monitor::tick`] is called between queries and performs every
+//! heartbeat round that became due, so detection latency is quantized to
+//! the heartbeat period exactly as a real watchdog's would be.
+
+use psgraph_sim::sync::Mutex;
+use psgraph_sim::{CostModel, NodeClock, SimTime};
+
+use crate::cluster::ServeCluster;
+
+/// One completed kill → detect → restart → rejoin cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Global id of the replica that died.
+    pub replica: usize,
+    /// When the heartbeat round declared it dead (includes the two RPC
+    /// timeouts).
+    pub detected_at: SimTime,
+    /// When the restarted replica rejoined the rotation.
+    pub rejoined_at: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Next heartbeat round fires at this simulated time.
+    next_check: SimTime,
+    /// Replicas detected dead, awaiting restart: `(id, detected_at,
+    /// rejoin_at)`.
+    pending: Vec<(usize, SimTime, SimTime)>,
+    events: Vec<RecoveryEvent>,
+    checks_run: u64,
+    restarts: u64,
+}
+
+/// Heartbeat monitor over a [`ServeCluster`]'s replicas.
+#[derive(Debug)]
+pub struct Monitor {
+    cost: CostModel,
+    /// The monitor's own clock — heartbeat RPCs charge it, not the
+    /// query path.
+    clock: NodeClock,
+    state: Mutex<State>,
+}
+
+impl Monitor {
+    pub fn new(cost: CostModel) -> Self {
+        let state = State { next_check: cost.failure_detect, ..State::default() };
+        Monitor { cost, clock: NodeClock::new(), state: Mutex::new(state) }
+    }
+
+    /// Heartbeat rounds completed so far.
+    pub fn checks_run(&self) -> u64 {
+        self.state.lock().checks_run
+    }
+
+    /// Restarts scheduled so far (including ones not yet rejoined).
+    pub fn restarts(&self) -> u64 {
+        self.state.lock().restarts
+    }
+
+    /// Every completed recovery, in rejoin order.
+    pub fn events(&self) -> Vec<RecoveryEvent> {
+        self.state.lock().events.clone()
+    }
+
+    /// Advance the monitor to `now`: run every heartbeat round that came
+    /// due, schedule restarts for newly detected deaths, and rejoin
+    /// replicas whose restart completed. Returns the recoveries that
+    /// finished during this tick.
+    pub fn tick(&self, cluster: &ServeCluster, now: SimTime) -> Vec<RecoveryEvent> {
+        let mut st = self.state.lock();
+        while st.next_check <= now {
+            let t = st.next_check;
+            self.clock.sync_to(t);
+            st.checks_run += 1;
+            for rep in cluster.replicas() {
+                if rep.is_alive() {
+                    cluster.network().rpc(&self.clock, rep.port(), 16, 8, 16);
+                } else if !st.pending.iter().any(|&(id, _, _)| id == rep.global_id()) {
+                    // Pings fan out in parallel at the round start; two
+                    // timed-out pings declare the replica dead, then the
+                    // restart is scheduled — the same charges as the PS
+                    // master's recovery path. Detection is computed from
+                    // `t`, not the monitor's clock, so accounting drift
+                    // from the healthy pings never delays recovery.
+                    let detected = t + self.cost.net_latency + self.cost.net_latency;
+                    st.pending.push((
+                        rep.global_id(),
+                        detected,
+                        detected + self.cost.container_restart,
+                    ));
+                    st.restarts += 1;
+                }
+            }
+            st.next_check = t + self.cost.failure_detect;
+        }
+
+        let mut completed = Vec::new();
+        st.pending.retain(|&(id, detected_at, rejoin_at)| {
+            if rejoin_at <= now {
+                cluster.revive_replica(id);
+                completed.push(RecoveryEvent { replica: id, detected_at, rejoined_at: rejoin_at });
+                false
+            } else {
+                true
+            }
+        });
+        st.events.extend(completed.iter().copied());
+        completed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ServeCluster, ServeConfig};
+
+    fn cluster() -> ServeCluster {
+        ServeCluster::demo(24, 4, &ServeConfig::default()).unwrap().0
+    }
+
+    #[test]
+    fn healthy_cluster_just_heartbeats() {
+        let c = cluster();
+        let m = Monitor::new(c.network().cost_model().clone());
+        let period = c.network().cost_model().failure_detect;
+        assert!(m.tick(&c, period.scale(0.5)).is_empty(), "nothing due yet");
+        assert_eq!(m.checks_run(), 0);
+        m.tick(&c, period.scale(3.5));
+        assert_eq!(m.checks_run(), 3, "one round per elapsed period");
+        assert_eq!(m.restarts(), 0);
+        assert!(m.events().is_empty());
+    }
+
+    #[test]
+    fn dead_replica_is_detected_and_rejoined() {
+        let c = cluster();
+        let cost = c.network().cost_model().clone();
+        let m = Monitor::new(cost.clone());
+        assert!(c.kill_replica(1));
+        assert_eq!(c.live_replicas(), 3);
+
+        // First round detects; the restart is still in flight.
+        assert!(m.tick(&c, cost.failure_detect).is_empty());
+        assert_eq!(m.restarts(), 1);
+        assert_eq!(c.live_replicas(), 3, "not back until the restart lands");
+
+        // Once detection + restart has elapsed, the replica rejoins.
+        let done = cost.failure_detect + cost.restart_overhead();
+        let events = m.tick(&c, done);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].replica, 1);
+        assert!(events[0].detected_at >= cost.failure_detect);
+        assert!(events[0].rejoined_at >= events[0].detected_at + cost.container_restart);
+        assert_eq!(c.live_replicas(), 4);
+
+        // Detection is not re-reported, and the replica can die again.
+        assert!(m.tick(&c, done + cost.failure_detect).is_empty());
+        assert_eq!(m.restarts(), 1);
+        assert!(c.kill_replica(1));
+        m.tick(&c, done + cost.failure_detect.scale(2.0) + cost.restart_overhead());
+        assert_eq!(m.restarts(), 2);
+        assert_eq!(m.events().len(), 2);
+        assert_eq!(c.live_replicas(), 4);
+    }
+}

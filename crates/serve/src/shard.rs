@@ -11,6 +11,7 @@
 //! router and the admission controller read as its load.
 
 use psgraph_net::{Mailbox, NodeId, ServicePort};
+use psgraph_sim::sync::RwLock;
 use psgraph_sim::SimTime;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -233,7 +234,10 @@ pub struct Replica {
     shard: usize,
     index: usize,
     global_id: usize,
-    data: Arc<ShardData>,
+    /// The snapshot slice being served. Swapped atomically by
+    /// [`Replica::install`] during a delta hot-swap; queries clone the
+    /// `Arc` so an in-flight read keeps its version to completion.
+    data: RwLock<Arc<ShardData>>,
     port: ServicePort,
     alive: AtomicBool,
     /// Completion times of in-flight queries; bounded, so its occupancy is
@@ -253,7 +257,7 @@ impl Replica {
             shard,
             index,
             global_id,
-            data,
+            data: RwLock::new(data),
             port: ServicePort::new(NodeId::Replica(global_id)),
             alive: AtomicBool::new(true),
             pending: Mailbox::bounded(queue_depth.max(1)),
@@ -272,8 +276,14 @@ impl Replica {
         self.global_id
     }
 
-    pub fn data(&self) -> &ShardData {
-        &self.data
+    pub fn data(&self) -> Arc<ShardData> {
+        self.data.read().clone()
+    }
+
+    /// Atomically replace the served slice (delta hot-swap). Dead replicas
+    /// accept installs too — they must rejoin with current data.
+    pub fn install(&self, data: Arc<ShardData>) {
+        *self.data.write() = data;
     }
 
     pub fn port(&self) -> &ServicePort {
@@ -287,6 +297,13 @@ impl Replica {
     /// Take the replica out of service. Returns whether it was alive.
     pub fn kill(&self) -> bool {
         self.alive.swap(false, Ordering::AcqRel)
+    }
+
+    /// Bring the replica back into service with an empty queue (a restarted
+    /// process holds no in-flight work). Returns whether it was dead.
+    pub fn revive(&self) -> bool {
+        let _ = self.pending.drain();
+        !self.alive.swap(true, Ordering::AcqRel)
     }
 
     /// In-flight queries still unfinished at `now`: drops completions that
@@ -394,5 +411,24 @@ mod tests {
         assert!(r.kill());
         assert!(!r.kill(), "second kill reports already dead");
         assert!(!r.is_alive());
+    }
+
+    #[test]
+    fn install_swaps_data_and_revive_clears_queue() {
+        let r = Replica::new(0, 0, 0, Arc::new(data0()), 4);
+        // An in-flight query holds the old version across a swap.
+        let held = r.data();
+        let mut swapped = data0();
+        swapped.ranks = Some(vec![9.0, 9.0, 9.0, 9.0, 9.0]);
+        r.install(Arc::new(swapped));
+        assert_eq!(held.rank(0).unwrap(), 0.5);
+        assert_eq!(r.data().rank(0).unwrap(), 9.0);
+
+        assert!(r.record_completion(SimTime::ZERO, SimTime::from_secs(100)));
+        assert!(r.kill());
+        assert!(r.revive(), "revive reports it was dead");
+        assert!(!r.revive(), "second revive is a no-op");
+        assert!(r.is_alive());
+        assert_eq!(r.load_at(SimTime::ZERO), 0, "restart clears in-flight work");
     }
 }

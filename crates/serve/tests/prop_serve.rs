@@ -32,11 +32,13 @@ impl ModelLru {
     }
 
     fn insert(&mut self, key: u64, bytes: u64) {
-        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
-            self.entries.remove(pos);
-        }
+        // An oversized value is rejected before the old entry is touched —
+        // a rejected update keeps the previous value cached.
         if bytes > self.budget {
             return;
+        }
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
         }
         while self.bytes() + bytes > self.budget {
             self.entries.remove(0);
@@ -92,6 +94,50 @@ fn lru_matches_exact_model_and_never_exceeds_budget() {
                 // eviction order is exactly LRU.
                 let model_keys: Vec<u64> = model.entries.iter().map(|(k, _)| *k).collect();
                 prop_assert_eq!(real.keys_lru_order(), model_keys);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn shard_ranges_tile_and_agree_with_owner_of() {
+    use psgraph_serve::shard::{owner_of, vertex_range};
+
+    check(
+        "shard_ranges_tile_and_agree_with_owner_of",
+        |src: &mut Source| {
+            let n = src.u64_range(1, 5000);
+            // Deliberately allows more shards than vertices.
+            let shards = src.usize_range(1, 20);
+            (n, shards)
+        },
+        |(n, shards)| {
+            let (n, shards) = (*n, *shards);
+            // Ranges are monotone and tile [0, n) exactly; shards past the
+            // end are empty.
+            let mut covered = 0u64;
+            for s in 0..shards {
+                let (lo, hi) = vertex_range(s, n, shards);
+                prop_assert_eq!(lo, covered.min(n), "shard {} starts at the previous end", s);
+                prop_assert!(lo <= hi && hi <= n);
+                covered = hi;
+            }
+            prop_assert_eq!(covered, n, "ranges must cover every vertex");
+            // owner_of and vertex_range agree: every vertex's owner owns a
+            // range containing it, and no other shard does.
+            for v in (0..n).step_by((n as usize / 64).max(1)) {
+                let s = owner_of(v, n, shards);
+                prop_assert!(s < shards);
+                let (lo, hi) = vertex_range(s, n, shards);
+                prop_assert!(
+                    (lo..hi).contains(&v),
+                    "v={} assigned to shard {} with range [{},{})",
+                    v,
+                    s,
+                    lo,
+                    hi
+                );
             }
             Ok(())
         },

@@ -19,34 +19,51 @@ pub enum NodeKind {
     Replica,
 }
 
-/// One scripted kill.
+/// What a scripted plan does to its target node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailAction {
+    /// The node dies (the default — every `kill_*` constructor).
+    Kill,
+    /// The node comes back, bypassing the monitor's detect/restart
+    /// charges — for scripting manual restarts in tests.
+    Restart,
+}
+
+/// One scripted kill or restart.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FailPlan {
     pub kind: NodeKind,
     /// Index of the node within its kind.
     pub node_id: usize,
-    /// Superstep (0-based) at whose start the node dies.
+    /// Superstep (0-based) at whose start the plan fires.
     pub at_superstep: u64,
+    pub action: FailAction,
 }
 
 impl FailPlan {
     pub fn kill_executor(node_id: usize, at_superstep: u64) -> Self {
-        FailPlan { kind: NodeKind::Executor, node_id, at_superstep }
+        FailPlan { kind: NodeKind::Executor, node_id, at_superstep, action: FailAction::Kill }
     }
 
     pub fn kill_server(node_id: usize, at_superstep: u64) -> Self {
-        FailPlan { kind: NodeKind::Server, node_id, at_superstep }
+        FailPlan { kind: NodeKind::Server, node_id, at_superstep, action: FailAction::Kill }
     }
 
     pub fn kill_datanode(node_id: usize, at_superstep: u64) -> Self {
-        FailPlan { kind: NodeKind::Datanode, node_id, at_superstep }
+        FailPlan { kind: NodeKind::Datanode, node_id, at_superstep, action: FailAction::Kill }
     }
 
     /// For the serving tier, `at_superstep` is a query index rather than
     /// a BSP superstep — the load generator consults the injector between
     /// queries.
     pub fn kill_replica(node_id: usize, at_superstep: u64) -> Self {
-        FailPlan { kind: NodeKind::Replica, node_id, at_superstep }
+        FailPlan { kind: NodeKind::Replica, node_id, at_superstep, action: FailAction::Kill }
+    }
+
+    /// Scripted manual restart of a serving replica (same query-index
+    /// timeline as [`FailPlan::kill_replica`]).
+    pub fn restart_replica(node_id: usize, at_superstep: u64) -> Self {
+        FailPlan { kind: NodeKind::Replica, node_id, at_superstep, action: FailAction::Restart }
     }
 }
 
@@ -91,11 +108,16 @@ impl FailureInjector {
     }
 
     /// Whether a specific node dies at this superstep (consumes the plan).
+    /// Only [`FailAction::Kill`] plans match — scripted restarts are
+    /// delivered via [`FailureInjector::take_due`].
     pub fn should_kill(&self, kind: NodeKind, node_id: usize, superstep: u64) -> bool {
         let mut guard = self.inner.lock();
         let before = guard.len();
         guard.retain(|p| {
-            !(p.kind == kind && p.node_id == node_id && p.at_superstep == superstep)
+            !(p.kind == kind
+                && p.node_id == node_id
+                && p.at_superstep == superstep
+                && p.action == FailAction::Kill)
         });
         guard.len() != before
     }
@@ -151,6 +173,22 @@ mod tests {
         inj.schedule(FailPlan::kill_datanode(9, 1));
         assert_eq!(inj.pending(), 1);
         assert!(inj.should_kill(NodeKind::Datanode, 9, 1));
+    }
+
+    #[test]
+    fn restart_plans_bypass_should_kill() {
+        let inj = FailureInjector::with_plans([
+            FailPlan::kill_replica(1, 4),
+            FailPlan::restart_replica(1, 8),
+        ]);
+        assert!(inj.should_kill(NodeKind::Replica, 1, 4));
+        // The restart at step 8 is not a kill...
+        assert!(!inj.should_kill(NodeKind::Replica, 1, 8));
+        // ...but take_due still delivers it, action intact.
+        let due = inj.take_due(NodeKind::Replica, 8);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].action, FailAction::Restart);
+        assert_eq!(inj.pending(), 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub mod sync;
 pub use bytes::{Buf, BufMut, Bytes};
 pub use clock::{ClusterClock, NodeClock, SimTime};
 pub use cost::CostModel;
-pub use failpoint::{FailPlan, FailureInjector};
+pub use failpoint::{FailAction, FailPlan, FailureInjector};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use memory::{MemoryMeter, OutOfMemory};
 pub use rng::SplitMix64;

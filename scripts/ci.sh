@@ -23,4 +23,10 @@ cargo build --release --offline --workspace
 # finishes in a few minutes.
 cargo test -q --offline --workspace --release
 
+# Serve-tier self-healing smoke: a small `repro -- serve` run with the
+# mid-run replica kill (monitor-restarted) and delta hot-swap. The binary
+# asserts zero wrong/stale answers, a completed rejoin, and a recovered
+# p99 — a non-zero exit fails CI.
+cargo run --release --offline -p psgraph-bench --bin repro -- serve --scale 0.02 --queries 5000
+
 echo "ci: OK"
