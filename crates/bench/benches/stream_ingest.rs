@@ -1,0 +1,53 @@
+//! Streaming ingest bench: drift-RMAT edge events through micro-batch
+//! ingestion, incremental PageRank/CC maintenance, and periodic delta
+//! hot-swaps into a live serving tier.
+//!
+//! Recorded samples are the wall-clock cost of each delta hot-swap; the
+//! metrics carry ingest throughput, event-time freshness lag (p50/p99),
+//! and the swap-vs-full-reload cost comparison the delta path exists
+//! for. Output lands in `results/BENCH_stream.json`.
+
+use psgraph_bench::stream_exp;
+use psgraph_harness::bench::{BenchmarkId, Harness};
+use std::time::Duration;
+
+fn stream_ingest(c: &mut Harness) {
+    let fast = std::env::var("PSGRAPH_BENCH_FAST").is_ok_and(|v| v != "0");
+    let events = if fast { 6_000 } else { 25_000 };
+    let mut group = c.benchmark_group("stream");
+
+    let r = stream_exp::run_stream(0.02, events).expect("stream repro");
+    assert_eq!(r.wrong, 0, "served answers must match the swap-time PS state");
+    assert!(r.cc_ok && r.pr_linf < 1e-6, "incremental maintainers drifted");
+
+    let samples: Vec<Duration> = r
+        .swap_walls_ms
+        .iter()
+        .map(|ms| Duration::from_secs_f64(ms / 1e3))
+        .collect();
+    group.bench_recorded(BenchmarkId::new("swap_wall", "delta"), &samples);
+    group
+        .metric("events_per_sec", r.events_per_sec)
+        .metric("events", r.events as f64)
+        .metric("batches", r.batches as f64)
+        .metric("swaps", r.swaps as f64)
+        .metric("dirty_partitions", r.dirty_partitions as f64)
+        .metric("freshness_p50_ms", r.freshness_p50.as_secs_f64() * 1e3)
+        .metric("freshness_p99_ms", r.freshness_p99.as_secs_f64() * 1e3)
+        .metric("freshness_max_ms", r.freshness_max.as_secs_f64() * 1e3)
+        .metric("swap_wall_mean_ms", r.mean_swap_ms())
+        .metric("full_reload_ms", r.full_reload_ms)
+        .metric("pr_linf", r.pr_linf)
+        .metric("queries_answered", r.answered as f64);
+    eprintln!(
+        "[sim] stream: {:.0} events/s, {} swaps, freshness p99 {}, swap {:.2} ms vs reload {:.2} ms",
+        r.events_per_sec,
+        r.swaps,
+        r.freshness_p99,
+        r.mean_swap_ms(),
+        r.full_reload_ms,
+    );
+    group.finish();
+}
+
+psgraph_harness::bench_main!(stream_ingest);

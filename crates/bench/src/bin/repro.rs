@@ -1,21 +1,23 @@
 //! Regenerate every table and figure of the paper's evaluation (§V).
 //!
 //! ```text
-//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|all] [--scale S] [--queries N]
+//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|stream|all] [--scale S] [--queries N] [--events N]
 //! ```
 //!
 //! Default scale is 0.05 (DS1′ = 10 k vertices / 137.5 k edges). Budgets
 //! scale with the datasets per `deploy::ScaleRule`; reported times are
 //! *simulated* cluster time (see DESIGN.md §2 "Simulated time").
-//! `--queries` sizes the `serve` stream (default 100 000).
+//! `--queries` sizes the `serve` stream (default 100 000); `--events`
+//! sizes the `stream` edge-event stream (default 50 000).
 
-use psgraph_bench::{fig6, line_exp, serve_exp, table1, table2};
+use psgraph_bench::{fig6, line_exp, serve_exp, stream_exp, table1, table2};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which = "all".to_string();
     let mut scale = 0.05f64;
     let mut queries = 100_000usize;
+    let mut events = 50_000usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -31,11 +33,18 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--queries needs a count");
             }
+            "--events" => {
+                events = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--events needs a count");
+            }
             other => which = other.to_string(),
         }
     }
     assert!(scale > 0.0, "scale must be positive");
     assert!(queries > 0, "queries must be positive");
+    assert!(events > 0, "events must be positive");
     println!("psgraph repro — scale {scale} (DS1′ = {} vertices / {} edges)\n",
         psgraph_graph::Dataset::Ds1.spec(scale).vertices,
         psgraph_graph::Dataset::Ds1.spec(scale).edges);
@@ -83,5 +92,31 @@ fn main() {
             r.p99_pre_kill
         );
         println!("(serve wall clock: {:?})\n", t0.elapsed());
+    }
+    if do_all || which == "stream" {
+        let t0 = std::time::Instant::now();
+        let r = stream_exp::run_stream(scale, events).expect("stream");
+        println!("{}", stream_exp::table(&r));
+        assert_eq!(r.wrong, 0, "served answers diverged from the swap-time PS state");
+        assert!(r.swaps >= 1, "at least one delta hot-swap must run");
+        assert!(
+            r.pr_linf < 1e-6,
+            "incremental PageRank drifted from a full recompute: L∞ {}",
+            r.pr_linf
+        );
+        assert!(r.cc_ok, "incremental components diverged from the reference");
+        assert!(
+            r.max_batches_to_publish <= r.swap_every_batches,
+            "a micro-batch waited {} batches to publish, cadence is {}",
+            r.max_batches_to_publish,
+            r.swap_every_batches
+        );
+        assert!(
+            r.freshness_max <= r.freshness_bound,
+            "freshness lag {} exceeded the swap-interval bound {}",
+            r.freshness_max,
+            r.freshness_bound
+        );
+        println!("(stream wall clock: {:?})\n", t0.elapsed());
     }
 }

@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod line_exp;
 pub mod report;
 pub mod serve_exp;
+pub mod stream_exp;
 pub mod table1;
 pub mod table2;
 

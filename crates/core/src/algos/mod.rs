@@ -4,6 +4,7 @@ pub mod common_neighbor;
 pub mod connected_components;
 pub mod fast_unfolding;
 pub mod graphsage;
+pub mod incremental;
 pub mod kcore;
 pub mod label_propagation;
 pub mod line;
@@ -14,6 +15,7 @@ pub use common_neighbor::CommonNeighbor;
 pub use connected_components::ConnectedComponents;
 pub use fast_unfolding::FastUnfolding;
 pub use graphsage::{GraphSage, GraphSageConfig};
+pub use incremental::{CcStats, IncrementalCc, IncrementalPageRank, PrState};
 pub use kcore::KCore;
 pub use label_propagation::LabelPropagation;
 pub use line::{Line, LineConfig, LineOrder};

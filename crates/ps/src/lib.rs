@@ -46,7 +46,7 @@ pub use element::Element;
 pub use error::PsError;
 pub use master::Master;
 pub use matrix::MatrixHandle;
-pub use neighbor::NeighborTableHandle;
+pub use neighbor::{NeighborEntry, NeighborTableHandle};
 pub use partition::{PartitionLayout, Partitioner};
 pub use ps::{Ps, PsConfig, RecoveryMode};
 pub use psfunc::PartitionViewMut;

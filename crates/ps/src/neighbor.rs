@@ -5,6 +5,15 @@
 //! Executors build `(src, Array[dst])` entries with `groupBy` and push
 //! them to the PS; afterwards any executor can pull the adjacency of any
 //! vertex without a shuffle.
+//!
+//! Entries are **mutable**: `update_edges` applies ordered add/remove
+//! operations so a streaming ingestor (`psgraph-stream`) can evolve the
+//! graph online. Removal is tombstone-based — the slot is overwritten
+//! with a sentinel rather than shifting the list, and an entry compacts
+//! once half its slots are dead. Because adds always append and
+//! compaction preserves slot order, the *live* neighbor list is always
+//! exactly "insertion order minus removed elements", independent of when
+//! compaction runs.
 
 use psgraph_sim::bytes::{Buf, BufMut};
 use psgraph_sim::{FxHashMap, NodeClock, SplitMix64};
@@ -15,10 +24,78 @@ use crate::partition::{PartitionLayout, Partitioner};
 use crate::ps::{ObjectOps, Ps, RecoveryMode};
 use crate::server::PsServer;
 
-type TablePart = FxHashMap<u64, Arc<Vec<u64>>>;
+/// Sentinel marking a removed slot. Never a valid vertex id: every id is
+/// bounds-checked against the table size before reaching a server.
+pub const TOMBSTONE: u64 = u64::MAX;
+
+/// One vertex's neighbor slots. `slots` holds neighbors in insertion
+/// order with removed ones overwritten by [`TOMBSTONE`]; `dead` counts
+/// them so live length and compaction are O(1) decisions.
+#[derive(Debug, Clone, Default)]
+pub struct NeighborEntry {
+    slots: Arc<Vec<u64>>,
+    dead: usize,
+}
+
+impl NeighborEntry {
+    /// An entry holding `neighbors` as its live list.
+    pub fn new(neighbors: Vec<u64>) -> Self {
+        NeighborEntry { slots: Arc::new(neighbors), dead: 0 }
+    }
+
+    /// Live (non-tombstoned) neighbor count.
+    pub fn live_len(&self) -> usize {
+        self.slots.len() - self.dead
+    }
+
+    /// Total slots including tombstones (the memory footprint).
+    pub fn slot_len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The live neighbor list, in insertion order. Cheap (an `Arc` clone)
+    /// when the entry has no tombstones.
+    pub fn live(&self) -> Arc<Vec<u64>> {
+        if self.dead == 0 {
+            Arc::clone(&self.slots)
+        } else {
+            Arc::new(self.slots.iter().copied().filter(|&s| s != TOMBSTONE).collect())
+        }
+    }
+
+    /// Append `x` unless it is already a live neighbor. Returns whether
+    /// the edge was added.
+    pub fn add(&mut self, x: u64) -> bool {
+        if self.slots.iter().any(|&s| s == x) {
+            return false;
+        }
+        Arc::make_mut(&mut self.slots).push(x);
+        true
+    }
+
+    /// Tombstone the slot holding `x` (if live), compacting once dead
+    /// slots reach half the entry. Returns whether the edge was removed.
+    pub fn remove(&mut self, x: u64) -> bool {
+        let slots = Arc::make_mut(&mut self.slots);
+        match slots.iter().position(|&s| s == x) {
+            Some(i) => {
+                slots[i] = TOMBSTONE;
+                self.dead += 1;
+                if self.dead * 2 >= slots.len() {
+                    slots.retain(|&s| s != TOMBSTONE);
+                    self.dead = 0;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+type TablePart = FxHashMap<u64, NeighborEntry>;
 
 fn part_bytes(map: &TablePart) -> u64 {
-    map.values().map(|v| 8 + 24 + v.len() as u64 * 8)
+    map.values().map(|e| 8 + 24 + e.slot_len() as u64 * 8)
         .sum::<u64>()
         + 48
 }
@@ -29,7 +106,9 @@ fn encode_part(map: &TablePart) -> Vec<u8> {
     let mut keys: Vec<u64> = map.keys().copied().collect();
     keys.sort_unstable();
     for k in keys {
-        let v = &map[&k];
+        // Checkpoints hold the live list only — tombstones are a
+        // transient in-memory artifact, so restore implies compaction.
+        let v = map[&k].live();
         buf.put_u64_le(k);
         buf.put_u64_le(v.len() as u64);
         for &n in v.iter() {
@@ -54,7 +133,7 @@ fn decode_part(mut bytes: &[u8]) -> Result<TablePart> {
         for _ in 0..len {
             v.push(buf.get_u64_le());
         }
-        map.insert(k, Arc::new(v));
+        map.insert(k, NeighborEntry::new(v));
     }
     Ok(map)
 }
@@ -192,7 +271,7 @@ impl NeighborTableHandle {
                 server.update_resize(&self.name, p, |part: &mut TablePart, _old| {
                     for &pos in &positions {
                         let (v, ns) = &entries[pos];
-                        part.insert(*v, Arc::new(ns.clone()));
+                        part.insert(*v, NeighborEntry::new(ns.clone()));
                     }
                     ((), part_bytes(part))
                 })?;
@@ -201,8 +280,85 @@ impl NeighborTableHandle {
         Ok(())
     }
 
+    /// Apply ordered edge mutations: `(src, dst, add)` adds `dst` to
+    /// `src`'s list when `add` is true (skipping live duplicates) and
+    /// tombstones it otherwise (skipping absent edges). Operation order
+    /// is preserved *per source vertex* — all ops on a source land in its
+    /// partition in input order — so add→remove→add sequences resolve the
+    /// way a stream emitted them. Returns `(added, removed)` counts of
+    /// the operations that took effect.
+    pub fn update_edges(
+        &self,
+        client: &NodeClock,
+        ops: &[(u64, u64, bool)],
+    ) -> Result<(usize, usize)> {
+        for &(src, dst, _) in ops {
+            self.check(&[src, dst])?;
+        }
+        let mut groups: FxHashMap<usize, FxHashMap<usize, Vec<usize>>> = FxHashMap::default();
+        for (pos, &(src, _, _)) in ops.iter().enumerate() {
+            let p = self.layout.partition_of(src);
+            let s = self.layout.server_of_partition(p);
+            groups.entry(s).or_default().entry(p).or_default().push(pos);
+        }
+        let mut added = 0usize;
+        let mut removed = 0usize;
+        for (s, parts) in groups {
+            let server = self.ps.server(s);
+            server.ensure_alive()?;
+            let n: u64 = parts.values().map(|v| v.len() as u64).sum();
+            self.ps.network().rpc(
+                client,
+                server.port(),
+                n * 17,
+                n * self.ps.config().ops_per_item,
+                16,
+            );
+            for (p, positions) in parts {
+                let (a, r) =
+                    server.update_resize(&self.name, p, |part: &mut TablePart, _old| {
+                        let mut a = 0usize;
+                        let mut r = 0usize;
+                        for &pos in &positions {
+                            let (src, dst, add) = ops[pos];
+                            if add {
+                                if part.entry(src).or_default().add(dst) {
+                                    a += 1;
+                                }
+                            } else if let Some(e) = part.get_mut(&src) {
+                                if e.remove(dst) {
+                                    r += 1;
+                                }
+                            }
+                        }
+                        ((a, r), part_bytes(part))
+                    })?;
+                added += a;
+                removed += r;
+            }
+        }
+        Ok((added, removed))
+    }
+
+    /// Add directed edges (see [`NeighborTableHandle::update_edges`]).
+    /// Returns how many were added (live duplicates are skipped).
+    pub fn add_edges(&self, client: &NodeClock, edges: &[(u64, u64)]) -> Result<usize> {
+        let ops: Vec<(u64, u64, bool)> =
+            edges.iter().map(|&(s, d)| (s, d, true)).collect();
+        Ok(self.update_edges(client, &ops)?.0)
+    }
+
+    /// Remove directed edges (see [`NeighborTableHandle::update_edges`]).
+    /// Returns how many were removed (absent edges are skipped).
+    pub fn remove_edges(&self, client: &NodeClock, edges: &[(u64, u64)]) -> Result<usize> {
+        let ops: Vec<(u64, u64, bool)> =
+            edges.iter().map(|&(s, d)| (s, d, false)).collect();
+        Ok(self.update_edges(client, &ops)?.1)
+    }
+
     /// Pull the adjacency of `ids`. Vertices with no entry return an empty
-    /// list. Result aligns with the input.
+    /// list. Result aligns with the input. Tombstoned slots are never
+    /// visible to readers.
     pub fn pull(&self, client: &NodeClock, ids: &[u64]) -> Result<Vec<Arc<Vec<u64>>>> {
         self.check(ids)?;
         static EMPTY: std::sync::OnceLock<Arc<Vec<u64>>> = std::sync::OnceLock::new();
@@ -222,10 +378,11 @@ impl NeighborTableHandle {
             for (p, positions) in &parts {
                 server.get(&self.name, *p, |part: &TablePart| {
                     for &pos in positions {
-                        if let Some(ns) = part.get(&ids[pos]) {
+                        if let Some(e) = part.get(&ids[pos]) {
+                            let ns = e.live();
                             resp_bytes += ns.len() as u64 * 8 + 16;
                             items += ns.len() as u64 + 1;
-                            out[pos] = Arc::clone(ns);
+                            out[pos] = ns;
                         }
                     }
                 })?;
@@ -265,7 +422,7 @@ impl NeighborTableHandle {
             for (p, positions) in parts {
                 server.get(&self.name, p, |part: &TablePart| {
                     for &pos in &positions {
-                        out[pos] = part.get(&ids[pos]).map_or(0, |v| v.len() as u64);
+                        out[pos] = part.get(&ids[pos]).map_or(0, |e| e.live_len() as u64);
                     }
                 })?;
             }
@@ -306,7 +463,8 @@ impl NeighborTableHandle {
                 server.get(&self.name, p, |part: &TablePart| {
                     for &pos in &positions {
                         let v = ids[pos];
-                        if let Some(ns) = part.get(&v) {
+                        if let Some(e) = part.get(&v) {
+                            let ns = e.live();
                             let mut rng = SplitMix64::new(seed ^ v.wrapping_mul(0x9E37_79B9));
                             if ns.len() <= k {
                                 out[pos] = ns.as_ref().clone();
@@ -339,6 +497,30 @@ impl NeighborTableHandle {
 
     pub fn is_empty(&self) -> Result<bool> {
         Ok(self.len()? == 0)
+    }
+
+    /// Total tombstoned slots across all entries (diagnostics: memory
+    /// awaiting compaction).
+    pub fn tombstones(&self) -> Result<usize> {
+        let mut total = 0;
+        for p in 0..self.layout.num_partitions {
+            let server = self.ps.server(self.layout.server_of_partition(p));
+            total += server.get(&self.name, p, |part: &TablePart| {
+                part.values().map(|e| e.dead).sum::<usize>()
+            })?;
+        }
+        Ok(total)
+    }
+
+    /// Per-partition write versions (delta export diffs against these).
+    pub fn partition_versions(&self) -> Result<Vec<u64>> {
+        (0..self.layout.num_partitions)
+            .map(|p| {
+                self.ps
+                    .server(self.layout.server_of_partition(p))
+                    .version(&self.name, p)
+            })
+            .collect()
     }
 
     /// Bytes resident on servers.
@@ -408,6 +590,93 @@ mod tests {
         let t = table(&ps);
         assert!(t.pull(&c, &[100]).is_err());
         assert!(t.push(&c, &[(100, vec![])]).is_err());
+        assert!(t.add_edges(&c, &[(1, 100)]).is_err(), "dst is bounds-checked too");
+        assert!(t.remove_edges(&c, &[(100, 1)]).is_err());
+    }
+
+    #[test]
+    fn add_edges_appends_and_skips_duplicates() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        t.push(&c, &[(1, vec![2, 3])]).unwrap();
+        let added = t.add_edges(&c, &[(1, 4), (1, 2), (7, 8), (1, 4)]).unwrap();
+        assert_eq!(added, 2, "duplicate (1,2) and repeated (1,4) are skipped");
+        assert_eq!(*t.pull(&c, &[1]).unwrap()[0], vec![2, 3, 4], "adds append in order");
+        assert_eq!(*t.pull(&c, &[7]).unwrap()[0], vec![8], "absent source gets a fresh entry");
+        assert_eq!(t.degrees(&c, &[1, 7]).unwrap(), vec![3, 1]);
+    }
+
+    #[test]
+    fn remove_edges_tombstones_and_preserves_order() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        t.push(&c, &[(1, vec![2, 3, 4, 5, 6])]).unwrap();
+        let removed = t.remove_edges(&c, &[(1, 3), (1, 99), (2, 5)]).unwrap();
+        assert_eq!(removed, 1, "absent edges are skipped");
+        assert_eq!(*t.pull(&c, &[1]).unwrap()[0], vec![2, 4, 5, 6]);
+        assert_eq!(t.degrees(&c, &[1]).unwrap(), vec![4]);
+        assert_eq!(t.tombstones().unwrap(), 1);
+        // Samples never expose a tombstone.
+        let s = t.sample_neighbors(&c, &[1], 10, 42).unwrap();
+        assert_eq!(s[0], vec![2, 4, 5, 6]);
+    }
+
+    #[test]
+    fn add_remove_add_roundtrip_in_one_batch() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        // Interleaved ops on one source must resolve in stream order:
+        // add, remove, re-add → present once, now at the end of the list.
+        t.push(&c, &[(1, vec![2, 3])]).unwrap();
+        let (a, r) = t
+            .update_edges(&c, &[(1, 2, false), (1, 4, true), (1, 2, true)])
+            .unwrap();
+        assert_eq!((a, r), (2, 1));
+        assert_eq!(*t.pull(&c, &[1]).unwrap()[0], vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn compaction_reclaims_tombstones_and_memory() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        let big: Vec<u64> = (0..64).collect();
+        t.push(&c, &[(1, big.clone())]).unwrap();
+        let full = t.resident_bytes().unwrap();
+        // Remove just under half: tombstones accumulate, footprint holds.
+        let victims: Vec<(u64, u64)> = (0..31).map(|d| (1u64, d)).collect();
+        assert_eq!(t.remove_edges(&c, &victims).unwrap(), 31);
+        assert_eq!(t.tombstones().unwrap(), 31);
+        assert_eq!(t.resident_bytes().unwrap(), full);
+        // One more removal crosses the half-dead threshold → compaction.
+        assert_eq!(t.remove_edges(&c, &[(1, 31)]).unwrap(), 1);
+        assert_eq!(t.tombstones().unwrap(), 0);
+        assert!(t.resident_bytes().unwrap() < full);
+        let live: Vec<u64> = (32..64).collect();
+        assert_eq!(*t.pull(&c, &[1]).unwrap()[0], live);
+        // The list still behaves normally after compaction.
+        assert_eq!(t.add_edges(&c, &[(1, 7)]).unwrap(), 1);
+        assert_eq!(t.degrees(&c, &[1]).unwrap(), vec![33]);
+    }
+
+    #[test]
+    fn update_edges_bumps_partition_versions() {
+        let ps = ps();
+        let c = NodeClock::new();
+        let t = table(&ps);
+        let before = t.partition_versions().unwrap();
+        t.add_edges(&c, &[(1, 2)]).unwrap();
+        let after = t.partition_versions().unwrap();
+        let p = t.layout().partition_of(1);
+        assert_eq!(after[p], before[p] + 1);
+        for (i, (b, a)) in before.iter().zip(&after).enumerate() {
+            if i != p {
+                assert_eq!(b, a, "untouched partitions keep their version");
+            }
+        }
     }
 
     #[test]
@@ -461,6 +730,9 @@ mod tests {
         let dfs = Dfs::in_memory();
         let t = table(&ps);
         t.push(&c, &[(1, vec![2, 3]), (50, vec![60, 70, 80])]).unwrap();
+        // Leave a tombstone in place so the checkpoint exercises the
+        // live-list compaction path.
+        t.remove_edges(&c, &[(50, 70)]).unwrap();
         ps.checkpoint(&dfs, "adj").unwrap();
         for s in 0..ps.num_servers() {
             ps.kill_server(s);
@@ -468,19 +740,20 @@ mod tests {
             ps.recover_server(s, &dfs, &c).unwrap();
         }
         assert_eq!(*t.pull(&c, &[1]).unwrap()[0], vec![2, 3]);
-        assert_eq!(*t.pull(&c, &[50]).unwrap()[0], vec![60, 70, 80]);
+        assert_eq!(*t.pull(&c, &[50]).unwrap()[0], vec![60, 80]);
         assert_eq!(t.len().unwrap(), 2);
+        assert_eq!(t.tombstones().unwrap(), 0, "restore compacts");
     }
 
     #[test]
     fn encode_decode_part_roundtrip() {
         let mut part = TablePart::default();
-        part.insert(3, Arc::new(vec![1, 2]));
-        part.insert(9, Arc::new(vec![]));
+        part.insert(3, NeighborEntry::new(vec![1, 2]));
+        part.insert(9, NeighborEntry::new(vec![]));
         let decoded = decode_part(&encode_part(&part)).unwrap();
         assert_eq!(decoded.len(), 2);
-        assert_eq!(*decoded[&3], vec![1, 2]);
-        assert!(decoded[&9].is_empty());
+        assert_eq!(*decoded[&3].live(), vec![1, 2]);
+        assert_eq!(decoded[&9].live_len(), 0);
         assert!(decode_part(&[1, 2]).is_err());
     }
 }

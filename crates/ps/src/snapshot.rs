@@ -24,6 +24,7 @@ use crate::colmatrix::ColMatrixHandle;
 use crate::csr::CsrHandle;
 use crate::error::{PsError, Result};
 use crate::matrix::MatrixHandle;
+use crate::neighbor::NeighborTableHandle;
 use crate::vector::VectorHandle;
 
 /// Manifest magic ("PSGSNAP2" as big-endian bytes — v2 added the
@@ -394,6 +395,44 @@ impl<'a> SnapshotWriter<'a> {
         )
     }
 
+    /// Export a mutable neighbor table as a CSR adjacency snapshot (live
+    /// lists only — tombstones never reach the file).
+    pub fn neighbor_table(&mut self, h: &NeighborTableHandle) -> Result<()> {
+        let part_versions = h.partition_versions()?;
+        let n = h.num_vertices();
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut targets: Vec<u64> = Vec::new();
+        offsets.push(0u64);
+        let mut start = 0u64;
+        while start < n {
+            let end = (start + EXPORT_CHUNK as u64).min(n);
+            let ids: Vec<u64> = (start..end).collect();
+            for ns in h.pull(self.client, &ids)? {
+                targets.extend_from_slice(&ns);
+                offsets.push(targets.len() as u64);
+            }
+            start = end;
+        }
+        let mut payload = Vec::with_capacity((offsets.len() + 1 + targets.len()) * 8);
+        for &o in &offsets {
+            payload.put_u64_le(o);
+        }
+        payload.put_u64_le(targets.len() as u64);
+        for &t in &targets {
+            payload.put_u64_le(t);
+        }
+        self.write_object(
+            SnapshotEntry {
+                name: h.name().to_string(),
+                kind: SnapshotKind::Adjacency,
+                rows: n,
+                cols: 0,
+                part_versions,
+            },
+            payload,
+        )
+    }
+
     /// Write the manifest and return it. Must be called last — objects
     /// written after `finish` would not be listed.
     pub fn finish(self) -> Result<SnapshotManifest> {
@@ -418,6 +457,10 @@ pub enum PatchRegion {
     /// Replacement CSR adjacency for rows
     /// `[row_lo, row_lo + offsets.len() - 1)`, offsets rebased to 0.
     Adj { row_lo: u64, offsets: Vec<u64>, targets: Vec<u64> },
+    /// Replacement rows of a *row-partitioned* f32 matrix: full rows
+    /// `[row_lo, row_lo + data.len() / cols)`, row-major (`cols` comes
+    /// from the enclosing [`DeltaEntry`]).
+    RowsF32 { row_lo: u64, data: Vec<f32> },
 }
 
 impl PatchRegion {
@@ -427,6 +470,7 @@ impl PatchRegion {
             PatchRegion::RowsU64 { .. } => 1,
             PatchRegion::Cols { .. } => 2,
             PatchRegion::Adj { .. } => 3,
+            PatchRegion::RowsF32 { .. } => 4,
         }
     }
 }
@@ -520,6 +564,13 @@ impl SnapshotDelta {
                             buf.put_u64_le(t);
                         }
                     }
+                    PatchRegion::RowsF32 { row_lo, data } => {
+                        buf.put_u64_le(*row_lo);
+                        buf.put_u64_le(data.len() as u64);
+                        for &x in data {
+                            buf.put_f32_le(x);
+                        }
+                    }
                 }
             }
         }
@@ -594,6 +645,14 @@ impl SnapshotDelta {
                         need(buf, n_tgt * 8)?;
                         let targets = (0..n_tgt).map(|_| buf.get_u64_le()).collect();
                         PatchRegion::Adj { row_lo, offsets, targets }
+                    }
+                    4 => {
+                        need(buf, 16)?;
+                        let row_lo = buf.get_u64_le();
+                        let len = buf.get_u64_le() as usize;
+                        need(buf, len * 4)?;
+                        let data = (0..len).map(|_| buf.get_f32_le()).collect();
+                        PatchRegion::RowsF32 { row_lo, data }
                     }
                     t => return Err(PsError::Dfs(format!("unknown patch region tag {t}"))),
                 });
@@ -745,6 +804,65 @@ impl<'a> DeltaWriter<'a> {
             current,
             regions,
         );
+        Ok(dirty.len())
+    }
+
+    /// Diff a row-partitioned f32 matrix: each dirty partition is one
+    /// contiguous block of full rows. Returns the re-exported count.
+    pub fn matrix_f32(&mut self, h: &MatrixHandle<f32>) -> Result<usize> {
+        let current = h.partition_versions()?;
+        let dirty =
+            self.dirty_partitions(h.name(), SnapshotKind::MatF32, h.rows(), &current)?;
+        let mut regions = Vec::with_capacity(dirty.len());
+        for &p in &dirty {
+            let (start, end) = h.layout().range_of(p).ok_or_else(|| {
+                PsError::Dfs(format!("delta: {} is not range-partitioned", h.name()))
+            })?;
+            let ids: Vec<u64> = (start..end).collect();
+            let mut data = Vec::with_capacity(ids.len() * h.cols());
+            for row in h.pull_rows(self.client, &ids)? {
+                data.extend_from_slice(&row);
+            }
+            regions.push(PatchRegion::RowsF32 { row_lo: start, data });
+        }
+        self.push_entry(
+            h.name(),
+            SnapshotKind::MatF32,
+            h.rows(),
+            h.cols() as u32,
+            current,
+            regions,
+        );
+        Ok(dirty.len())
+    }
+
+    /// Diff a mutable neighbor table: each dirty partition is re-exported
+    /// as a CSR patch of its vertex range (live lists only). Returns the
+    /// re-exported count.
+    pub fn neighbor_table(&mut self, h: &NeighborTableHandle) -> Result<usize> {
+        let current = h.partition_versions()?;
+        let dirty = self.dirty_partitions(
+            h.name(),
+            SnapshotKind::Adjacency,
+            h.num_vertices(),
+            &current,
+        )?;
+        let mut regions = Vec::with_capacity(dirty.len());
+        for &p in &dirty {
+            let (start, end) = h.layout().range_of(p).ok_or_else(|| {
+                PsError::Dfs(format!("delta: {} is not range-partitioned", h.name()))
+            })?;
+            let ids: Vec<u64> = (start..end).collect();
+            let mut offsets = Vec::with_capacity(ids.len() + 1);
+            let mut targets: Vec<u64> = Vec::new();
+            offsets.push(0u64);
+            for ns in h.pull(self.client, &ids)? {
+                targets.extend_from_slice(&ns);
+                offsets.push(targets.len() as u64);
+            }
+            regions.push(PatchRegion::Adj { row_lo: start, offsets, targets });
+        }
+        self.push_entry(h.name(), SnapshotKind::Adjacency, h.num_vertices(), 0, current, regions);
         Ok(dirty.len())
     }
 
@@ -1054,6 +1172,123 @@ mod tests {
         assert_eq!(neigh[3].clone().unwrap(), vec![0]);
 
         assert_eq!(SnapshotDelta::load(&dfs, "/s2", &c).unwrap(), delta);
+    }
+
+    #[test]
+    fn delta_matrix_f32_roundtrip_bit_identical() {
+        let ps = ps();
+        let dfs = psgraph_dfs::Dfs::in_memory();
+        let c = psgraph_sim::NodeClock::new();
+
+        // 12 rows over 3 servers → range partitions of 4 rows.
+        let m = MatrixHandle::<f32>::create(
+            &ps, "feat", 12, 5, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        m.init_uniform(&c, 11, 1.0).unwrap();
+
+        let mut w = SnapshotWriter::new(&dfs, "/sm", &c);
+        w.matrix_f32(&m).unwrap();
+        let base = w.finish().unwrap();
+        let base_data = match load_object(&dfs, "/sm", base.entry("feat").unwrap(), &c).unwrap()
+        {
+            SnapshotData::MatF32 { cols, data } => {
+                assert_eq!(cols, 5);
+                data
+            }
+            other => panic!("wrong kind: {other:?}"),
+        };
+
+        // Dirty one row in the middle partition.
+        m.push_set_rows(&c, &[6], &[vec![0.25f32, -1.5, 3.0, 0.0, 9.75]]).unwrap();
+
+        let mut dw = DeltaWriter::new(&dfs, "/sm", &base, &c);
+        assert_eq!(dw.matrix_f32(&m).unwrap(), 1);
+        let delta = dw.finish().unwrap();
+        assert_eq!(SnapshotDelta::load(&dfs, "/sm", &c).unwrap(), delta);
+
+        // Apply the patch to the base payload: the result must be
+        // bit-identical to a fresh full export of the live matrix.
+        let mut patched = base_data;
+        let e = delta.entry("feat").unwrap();
+        assert_eq!(e.regions.len(), 1);
+        match &e.regions[0] {
+            PatchRegion::RowsF32 { row_lo, data } => {
+                assert_eq!(*row_lo, 4, "the middle partition starts at row 4");
+                assert_eq!(data.len(), 4 * 5, "full partition, full rows");
+                let at = *row_lo as usize * 5;
+                patched[at..at + data.len()].copy_from_slice(data);
+            }
+            other => panic!("wrong region: {other:?}"),
+        }
+        let mut w2 = SnapshotWriter::new(&dfs, "/sm-full", &c);
+        w2.matrix_f32(&m).unwrap();
+        let full = w2.finish().unwrap();
+        let full_data =
+            match load_object(&dfs, "/sm-full", full.entry("feat").unwrap(), &c).unwrap() {
+                SnapshotData::MatF32 { data, .. } => data,
+                other => panic!("wrong kind: {other:?}"),
+            };
+        let got: Vec<u32> = patched.iter().map(|x| x.to_bits()).collect();
+        let want: Vec<u32> = full_data.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(got, want);
+
+        // Rebase → nothing further to export.
+        let next = delta.rebase(&base);
+        let mut dw2 = DeltaWriter::new(&dfs, "/sm", &next, &c);
+        assert_eq!(dw2.matrix_f32(&m).unwrap(), 0);
+    }
+
+    #[test]
+    fn neighbor_table_snapshot_and_delta() {
+        let ps = ps();
+        let dfs = psgraph_dfs::Dfs::in_memory();
+        let c = psgraph_sim::NodeClock::new();
+
+        // 12 vertices over 3 servers → range partitions of 4 vertices.
+        let t = NeighborTableHandle::create(
+            &ps, "adj", 12, Partitioner::Range, RecoveryMode::Inconsistent,
+        )
+        .unwrap();
+        t.push(&c, &[(0, vec![1, 2]), (5, vec![0, 7]), (9, vec![3])]).unwrap();
+
+        let mut w = SnapshotWriter::new(&dfs, "/sn", &c);
+        w.neighbor_table(&t).unwrap();
+        let base = w.finish().unwrap();
+        match load_object(&dfs, "/sn", base.entry("adj").unwrap(), &c).unwrap() {
+            SnapshotData::Adjacency { offsets, targets } => {
+                assert_eq!(offsets.len(), 13);
+                assert_eq!(&targets[offsets[5] as usize..offsets[6] as usize], &[0, 7]);
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+
+        // Mutate only the middle partition (vertices 4..8): the delta
+        // re-exports exactly that vertex range, tombstones excluded.
+        t.update_edges(&c, &[(5, 7, false), (6, 11, true)]).unwrap();
+
+        let mut dw = DeltaWriter::new(&dfs, "/sn", &base, &c);
+        assert_eq!(dw.neighbor_table(&t).unwrap(), 1);
+        let delta = dw.finish().unwrap();
+        let e = delta.entry("adj").unwrap();
+        assert_eq!(e.regions.len(), 1);
+        match &e.regions[0] {
+            PatchRegion::Adj { row_lo, offsets, targets } => {
+                assert_eq!(*row_lo, 4);
+                assert_eq!(offsets.len(), 5);
+                let ns = |i: usize| {
+                    &targets[offsets[i] as usize..offsets[i + 1] as usize]
+                };
+                assert_eq!(ns(1), &[0], "removed neighbor is gone");
+                assert_eq!(ns(2), &[11], "added neighbor is present");
+            }
+            other => panic!("wrong region: {other:?}"),
+        }
+        assert_eq!(SnapshotDelta::load(&dfs, "/sn", &c).unwrap(), delta);
+
+        let next = delta.rebase(&base);
+        let mut dw2 = DeltaWriter::new(&dfs, "/sn", &next, &c);
+        assert_eq!(dw2.neighbor_table(&t).unwrap(), 0);
     }
 
     #[test]

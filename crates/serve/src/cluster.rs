@@ -178,6 +178,10 @@ impl ServeCluster {
                     }
                     EmbedSlice { rows: n, width, data: slice }
                 }),
+                embed_rows: embeddings.as_ref().map(|(cols, data)| {
+                    let slice = data[vlo as usize * cols..vhi as usize * cols].to_vec();
+                    EmbedSlice { rows: vhi - vlo, width: *cols, data: slice }
+                }),
             });
             let mut shard_reps = Vec::with_capacity(cfg.replicas_per_shard);
             for i in 0..cfg.replicas_per_shard {
@@ -336,26 +340,79 @@ impl ServeCluster {
                         (2, PatchRegion::Cols { col_lo, col_hi, data: patch }) => {
                             let dim = entry.cols as usize;
                             let stripe = (col_hi - col_lo) as usize;
+                            // A column stripe cuts across every shard: the
+                            // column-sliced `embed` on shards whose col
+                            // range intersects, and the row-major
+                            // `embed_rows` on all of them.
                             for s in 0..num_shards {
                                 let (clo, chi) = col_range(s, dim, num_shards);
                                 let (lo, hi) =
                                     ((*col_lo as usize).max(clo), (*col_hi as usize).min(chi));
-                                if lo >= hi {
-                                    continue;
-                                }
                                 let mut data = working(&mut rebuilt, s);
-                                let embed = data.embed.as_mut().ok_or_else(|| {
-                                    ServeError::Dfs("delta patches unserved embeddings".into())
-                                })?;
-                                for r in 0..embed.rows as usize {
-                                    for j in lo..hi {
-                                        embed.data[r * embed.width + (j - clo)] =
-                                            patch[r * stripe + (j - *col_lo as usize)];
+                                if lo < hi {
+                                    let embed = data.embed.as_mut().ok_or_else(|| {
+                                        ServeError::Dfs("delta patches unserved embeddings".into())
+                                    })?;
+                                    for r in 0..embed.rows as usize {
+                                        for j in lo..hi {
+                                            embed.data[r * embed.width + (j - clo)] =
+                                                patch[r * stripe + (j - *col_lo as usize)];
+                                        }
+                                    }
+                                }
+                                if let Some(er) = data.embed_rows.as_mut() {
+                                    let (vlo, vhi) = vertex_range(s, n, num_shards);
+                                    for v in vlo..vhi {
+                                        let r = (v - vlo) as usize;
+                                        for j in *col_lo as usize..*col_hi as usize {
+                                            er.data[r * er.width + j] = patch
+                                                [v as usize * stripe + (j - *col_lo as usize)];
+                                        }
                                     }
                                 }
                                 rebuilt[s] = Some(data);
                             }
                             embed_dirty = true;
+                        }
+                        (2, PatchRegion::RowsF32 { row_lo, data: patch }) => {
+                            let dim = entry.cols as usize;
+                            if dim == 0 || patch.len() % dim != 0 {
+                                return Err(mismatch());
+                            }
+                            let row_hi = row_lo + (patch.len() / dim) as u64;
+                            for s in 0..num_shards {
+                                let (clo, chi) = col_range(s, dim, num_shards);
+                                let (vlo, vhi) = vertex_range(s, n, num_shards);
+                                let (rlo, rhi) = ((*row_lo).max(vlo), row_hi.min(vhi));
+                                if clo >= chi && rlo >= rhi {
+                                    continue;
+                                }
+                                let mut data = working(&mut rebuilt, s);
+                                if clo < chi {
+                                    let embed = data.embed.as_mut().ok_or_else(|| {
+                                        ServeError::Dfs("delta patches unserved embeddings".into())
+                                    })?;
+                                    for v in *row_lo..row_hi {
+                                        let src = (v - row_lo) as usize * dim;
+                                        for j in clo..chi {
+                                            embed.data[v as usize * embed.width + (j - clo)] =
+                                                patch[src + j];
+                                        }
+                                    }
+                                }
+                                if rlo < rhi {
+                                    if let Some(er) = data.embed_rows.as_mut() {
+                                        for v in rlo..rhi {
+                                            let src = (v - row_lo) as usize * dim;
+                                            let dst = (v - vlo) as usize * er.width;
+                                            er.data[dst..dst + dim]
+                                                .copy_from_slice(&patch[src..src + dim]);
+                                        }
+                                    }
+                                }
+                                rebuilt[s] = Some(data);
+                            }
+                            dirty_rows.push((2, *row_lo, row_hi));
                         }
                         (3, PatchRegion::Adj { row_lo, offsets, targets }) => {
                             let row_hi = row_lo + offsets.len() as u64 - 1;
@@ -411,8 +468,8 @@ impl ServeCluster {
             }
         }
         let keys_invalidated = self.frontend.invalidate_keys(|&(tag, v): &CacheKey| {
-            if tag == 2 {
-                return !embed_dirty;
+            if tag == 2 && embed_dirty {
+                return false;
             }
             !dirty_rows.iter().any(|&(t, lo, hi)| t == tag && (lo..hi).contains(&v))
         });
@@ -639,6 +696,126 @@ mod tests {
         match &outs[0].1 {
             Outcome::Answered { value: Value::Ranked(r), .. } => {
                 let want = reference::topk(&truth.embeddings, &truth.adjacency, 3, 3, 2);
+                assert_eq!(r.len(), want.len());
+                for ((gv, gs), (wv, ws)) in r.iter().zip(&want) {
+                    assert_eq!(gv, wv);
+                    assert_eq!(gs.to_bits(), ws.to_bits());
+                }
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn topk_all_scatter_gather_matches_reference() {
+        use crate::frontend::reference;
+        let (mut cluster, truth) = small();
+        let mut t = SimTime::ZERO;
+        for (i, v) in [0u64, 5, 13, 23].into_iter().enumerate() {
+            let outs =
+                cluster.frontend_mut().execute_now(i, t, Query::TopKAll { v, k: 6 });
+            match &outs[0].1 {
+                Outcome::Answered { value: Value::Ranked(r), .. } => {
+                    let want = reference::topk_all(&truth.embeddings, v, 6);
+                    assert_eq!(r.len(), want.len());
+                    for ((gv, gs), (wv, ws)) in r.iter().zip(&want) {
+                        assert_eq!(gv, wv);
+                        assert_eq!(gs.to_bits(), ws.to_bits());
+                    }
+                    assert!(!r.iter().any(|&(u, _)| u == v), "query vertex excluded");
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+            t += SimTime::from_millis(1);
+        }
+        // A warm embedding cache entry feeds the scatter: same answer.
+        cluster.frontend_mut().execute_now(10, t, Query::Embedding(5));
+        let hits = cluster.frontend().cache().hits();
+        let outs = cluster
+            .frontend_mut()
+            .execute_now(11, t + SimTime::from_millis(1), Query::TopKAll { v: 5, k: 6 });
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Ranked(r), .. } => {
+                let want = reference::topk_all(&truth.embeddings, 5, 6);
+                for ((gv, gs), (wv, ws)) in r.iter().zip(&want) {
+                    assert_eq!(gv, wv);
+                    assert_eq!(gs.to_bits(), ws.to_bits());
+                }
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        assert_eq!(cluster.frontend().cache().hits(), hits + 1, "reused cached query row");
+    }
+
+    #[test]
+    fn row_matrix_delta_swaps_rows_and_invalidates_per_row() {
+        use crate::frontend::reference;
+        use psgraph_ps::snapshot::DeltaWriter;
+        use psgraph_ps::MatrixHandle;
+
+        let ps = Ps::new(PsConfig::default());
+        let dfs = Dfs::in_memory();
+        let client = NodeClock::new();
+        let (n, dim) = (24u64, 4usize);
+        let h = MatrixHandle::<f32>::create(
+            &ps,
+            "m.embed",
+            n,
+            dim,
+            Partitioner::Range,
+            RecoveryMode::Consistent,
+        )
+        .unwrap();
+        let ids: Vec<u64> = (0..n).collect();
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| (0..dim).map(|j| ((i * 17 + j as u64 * 5) % 11) as f32 * 0.2 - 1.0).collect())
+            .collect();
+        h.push_set_rows(&client, &ids, &rows).unwrap();
+
+        let mut w = SnapshotWriter::new(&dfs, "/snapshot/rowmat", &client);
+        w.matrix_f32(&h).unwrap();
+        let manifest = w.finish().unwrap();
+        let objects = ObjectMap { embeddings: Some("m.embed".into()), ..ObjectMap::default() };
+        let mut cluster =
+            ServeCluster::load(&dfs, "/snapshot/rowmat", &objects, &ServeConfig::default(), &client)
+                .unwrap();
+
+        // Warm the cache: one row the delta dirties, one it does not.
+        cluster.frontend_mut().execute_now(0, SimTime::ZERO, Query::Embedding(2));
+        cluster.frontend_mut().execute_now(1, SimTime::ZERO, Query::Embedding(20));
+
+        // Touch rows 0..3 — one Range partition of twelve rows.
+        let patch: Vec<Vec<f32>> = (0..3).map(|i| vec![i as f32 + 0.5; dim]).collect();
+        h.push_set_rows(&client, &[0, 1, 2], &patch).unwrap();
+        let fresh = h.pull_rows(&client, &ids).unwrap();
+
+        let mut dw = DeltaWriter::new(&dfs, "/snapshot/rowmat", &manifest, &client);
+        assert_eq!(dw.matrix_f32(&h).unwrap(), 1, "one dirty partition");
+        let delta = dw.finish().unwrap();
+        let stats = cluster.swap_in(&delta).unwrap();
+        assert!(stats.regions_applied >= 1);
+
+        // Row-precise invalidation: the patched partition's cached row is
+        // gone, the far row survived.
+        assert!(cluster.frontend().cache().peek(&(2, 2)).is_none());
+        assert!(cluster.frontend().cache().peek(&(2, 20)).is_some());
+
+        // Post-swap gather and cross-shard top-k both see the new rows.
+        let t = SimTime::from_millis(5);
+        let outs = cluster.frontend_mut().execute_now(10, t, Query::Embedding(1));
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Embedding(e), cached, .. } => {
+                assert!(!cached);
+                let got: Vec<u32> = e.iter().map(|x| x.to_bits()).collect();
+                let want: Vec<u32> = fresh[1].iter().map(|x| x.to_bits()).collect();
+                assert_eq!(got, want);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let outs = cluster.frontend_mut().execute_now(11, t, Query::TopKAll { v: 1, k: 5 });
+        match &outs[0].1 {
+            Outcome::Answered { value: Value::Ranked(r), .. } => {
+                let want = reference::topk_all(&fresh, 1, 5);
                 assert_eq!(r.len(), want.len());
                 for ((gv, gs), (wv, ws)) in r.iter().zip(&want) {
                     assert_eq!(gv, wv);

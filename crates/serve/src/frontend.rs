@@ -74,7 +74,7 @@ fn cache_key(q: &Query) -> Option<CacheKey> {
         Query::Community(v) => Some((1, v)),
         Query::Embedding(v) => Some((2, v)),
         Query::Neighbors(v) => Some((3, v)),
-        Query::KHop { .. } | Query::TopK { .. } => None,
+        Query::KHop { .. } | Query::TopK { .. } | Query::TopKAll { .. } => None,
     }
 }
 
@@ -356,6 +356,7 @@ impl Frontend {
             Query::Embedding(_) => self.execute_embedding(idx, arrival, v, out),
             Query::KHop { hops, .. } => self.execute_khop(idx, arrival, v, hops, out),
             Query::TopK { k, .. } => self.execute_topk(idx, arrival, v, k, out),
+            Query::TopKAll { k, .. } => self.execute_topk_all(idx, arrival, v, k, out),
         }
     }
 
@@ -438,13 +439,10 @@ impl Frontend {
         Ok((rep, done))
     }
 
-    fn execute_embedding(
-        &mut self,
-        idx: usize,
-        arrival: SimTime,
-        v: u64,
-        out: &mut Vec<(usize, Outcome)>,
-    ) {
+    /// Gather `v`'s full embedding row across the column shards. Returns
+    /// the row (column slices concatenated in column order) and the
+    /// slowest leg's completion time.
+    fn gather_embedding(&mut self, v: u64, arrival: SimTime) -> Result<(Vec<f32>, SimTime)> {
         let mut parts: Vec<(usize, Vec<f32>)> = Vec::new();
         let mut done_max = arrival;
         for shard in 0..self.specs.len() {
@@ -452,29 +450,36 @@ impl Frontend {
                 continue;
             }
             let width = self.specs[shard].col_width() as u64;
-            let (rep, done) = match self.shard_rpc(
+            let (rep, done) = self.shard_rpc(
                 shard,
                 arrival,
                 24,
                 self.policy.ops_per_item + width,
                 16 + 4 * width,
-            ) {
-                Ok(x) => x,
-                Err(e) => return self.fail(idx, e, out),
-            };
+            )?;
             let data = rep.data();
-            let slice = match data.embed_cols(v) {
-                Ok(s) => s.to_vec(),
-                Err(e) => return self.fail(idx, e, out),
-            };
+            let slice = data.embed_cols(v)?.to_vec();
             parts.push((data.spec.col_lo, slice));
             done_max = done_max.max(done);
         }
         if parts.is_empty() {
-            return self.fail(idx, ServeError::BadQuery("no embeddings served".into()), out);
+            return Err(ServeError::BadQuery("no embeddings served".into()));
         }
         parts.sort_by_key(|(lo, _)| *lo);
-        let full: Vec<f32> = parts.into_iter().flat_map(|(_, s)| s).collect();
+        Ok((parts.into_iter().flat_map(|(_, s)| s).collect(), done_max))
+    }
+
+    fn execute_embedding(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        v: u64,
+        out: &mut Vec<(usize, Outcome)>,
+    ) {
+        let (full, done_max) = match self.gather_embedding(v, arrival) {
+            Ok(x) => x,
+            Err(e) => return self.fail(idx, e, out),
+        };
         let value = Value::Embedding(full);
         self.cache.insert((2, v), value.clone(), value.approx_bytes());
         self.answer(idx, arrival, done_max, value, false, out);
@@ -632,6 +637,60 @@ impl Frontend {
         ranked.truncate(k);
         self.answer(idx, arrival, done_max, Value::Ranked(ranked), false, out);
     }
+
+    /// Cross-shard scatter-gather top-k over *all* vertices: gather the
+    /// query row (cache-served like an Embedding query), ship it to every
+    /// shard, each shard returns the top-k of its own vertex range, and
+    /// the frontend merges. Per-shard lists are exact under the same total
+    /// order the merge uses, so the merged result is the exact global
+    /// top-k — no candidate truncation like the 2-hop `TopK` plan.
+    fn execute_topk_all(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        v: u64,
+        k: usize,
+        out: &mut Vec<(usize, Outcome)>,
+    ) {
+        let (q, t_q) = match self.cache.get(&(2, v)).cloned() {
+            Some(Value::Embedding(e)) => {
+                (e, arrival + self.net.cost_model().cpu_cost(self.policy.cache_hit_ops))
+            }
+            _ => {
+                let (q, done) = match self.gather_embedding(v, arrival) {
+                    Ok(x) => x,
+                    Err(e) => return self.fail(idx, e, out),
+                };
+                let value = Value::Embedding(q.clone());
+                self.cache.insert((2, v), value.clone(), value.approx_bytes());
+                (q, done)
+            }
+        };
+        let dim = q.len() as u64;
+        let mut merged: Vec<(u64, f64)> = Vec::new();
+        let mut done_max = t_q;
+        for shard in 0..self.specs.len() {
+            let local = self.specs[shard].vertex_hi - self.specs[shard].vertex_lo;
+            if local == 0 {
+                continue;
+            }
+            let ops = local * (2 * dim + self.policy.ops_per_item);
+            let resp = 16 + 16 * (k as u64).min(local);
+            let (rep, done) = match self.shard_rpc(shard, t_q, 24 + 4 * dim, ops, resp) {
+                Ok(x) => x,
+                Err(e) => return self.fail(idx, e, out),
+            };
+            let top = match rep.data().local_topk(&q, k, v) {
+                Ok(t) => t,
+                Err(e) => return self.fail(idx, e, out),
+            };
+            merged.extend(top);
+            done_max = done_max.max(done);
+        }
+        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        merged.truncate(k);
+        self.answer(idx, arrival, done_max, Value::Ranked(merged), false, out);
+    }
 }
 
 /// Driver-side reference answers, mirroring the frontend's algorithms
@@ -700,6 +759,28 @@ pub mod reference {
                     total += partial;
                 }
                 (c, total)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// Exact top-`k` over *all* vertices by embedding dot product with
+    /// `v` — the truth path for `Query::TopKAll`. Scores accumulate over
+    /// the full row in column order, matching the shard-local scoring of
+    /// `ShardData::local_topk` bit for bit.
+    pub fn topk_all(embed: &[Vec<f32>], v: u64, k: usize) -> Vec<(u64, f64)> {
+        let q = &embed[v as usize];
+        let mut ranked: Vec<(u64, f64)> = (0..embed.len() as u64)
+            .filter(|&u| u != v)
+            .map(|u| {
+                let score: f64 = q
+                    .iter()
+                    .zip(&embed[u as usize])
+                    .map(|(a, b)| *a as f64 * *b as f64)
+                    .sum();
+                (u, score)
             })
             .collect();
         ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));

@@ -35,7 +35,9 @@ pub use cache::LruCache;
 pub use cluster::{DemoBackend, DemoTruth, ObjectMap, ServeCluster, ServeConfig, SwapStats};
 pub use error::ServeError;
 pub use frontend::{reference, Frontend, Outcome, SloPolicy};
-pub use loadgen::{LoadReport, Mode, QueryMix, ScriptedAction, Workload};
+pub use loadgen::{
+    assert_freshness, max_state_age, LoadReport, Mode, QueryMix, ScriptedAction, Workload,
+};
 pub use monitor::{Monitor, RecoveryEvent};
 pub use router::Router;
 pub use shard::{Query, Replica, ShardData, ShardSpec, Value};

@@ -32,23 +32,40 @@ pub struct QueryMix {
     pub neighbors: u32,
     pub khop: u32,
     pub topk: u32,
+    /// Cross-shard scatter-gather top-k over *all* vertices (not just the
+    /// candidate neighborhood). Zero in the stock mixes; streaming
+    /// workloads opt in.
+    pub topk_all: u32,
 }
 
 impl Default for QueryMix {
     fn default() -> Self {
-        QueryMix { rank: 30, community: 20, embedding: 25, neighbors: 15, khop: 5, topk: 5 }
+        QueryMix {
+            rank: 30,
+            community: 20,
+            embedding: 25,
+            neighbors: 15,
+            khop: 5,
+            topk: 5,
+            topk_all: 0,
+        }
     }
 }
 
 impl QueryMix {
     /// Point lookups only (rank / community / neighbors / embedding).
     pub fn point_only() -> Self {
-        QueryMix { rank: 35, community: 20, embedding: 25, neighbors: 20, khop: 0, topk: 0 }
+        QueryMix { khop: 0, topk: 0, rank: 35, neighbors: 20, ..QueryMix::default() }
     }
 
     fn total(&self) -> u64 {
-        (self.rank + self.community + self.embedding + self.neighbors + self.khop + self.topk)
-            as u64
+        (self.rank
+            + self.community
+            + self.embedding
+            + self.neighbors
+            + self.khop
+            + self.topk
+            + self.topk_all) as u64
     }
 }
 
@@ -125,6 +142,7 @@ fn next_query(rng: &mut SplitMix64, n: u64, scramble: u64, wl: &Workload) -> Que
         (mix.neighbors, Query::Neighbors(v)),
         (mix.khop, Query::KHop { v, hops: wl.khop_hops }),
         (mix.topk, Query::TopK { v, k: wl.topk_k }),
+        (mix.topk_all, Query::TopKAll { v, k: wl.topk_k }),
     ] {
         if w < weight as u64 {
             return make;
@@ -208,11 +226,15 @@ pub struct ScriptedAction<'a> {
     /// Fires just before this query index is issued.
     pub at_query: usize,
     pub action: Box<dyn FnMut(&mut ServeCluster) + 'a>,
+    /// Simulated arrival time of the query the action fired before —
+    /// recorded by [`run_with`], so freshness bounds can be checked
+    /// against the actual swap instant.
+    pub fired_at: Option<SimTime>,
 }
 
 impl<'a> ScriptedAction<'a> {
     pub fn new(at_query: usize, action: impl FnMut(&mut ServeCluster) + 'a) -> Self {
-        ScriptedAction { at_query, action: Box::new(action) }
+        ScriptedAction { at_query, action: Box::new(action), fired_at: None }
     }
 }
 
@@ -282,6 +304,7 @@ pub fn run_with(
             if a.at_query == i {
                 outcomes.extend(cluster.frontend_mut().drain());
                 (a.action)(cluster);
+                a.fired_at = Some(now);
             }
         }
     }
@@ -374,5 +397,106 @@ pub fn run_with(
         issued_at,
         latencies,
         values,
+    }
+}
+
+/// The worst staleness any answered query could have observed: for each
+/// answered query, the gap between its arrival and the most recent
+/// refresh (hot-swap) that completed before it. `refreshes` must be
+/// ascending; queries arriving before the first refresh measure their
+/// age from `SimTime::ZERO`, i.e. from the initial snapshot load.
+pub fn max_state_age(report: &LoadReport, refreshes: &[SimTime]) -> SimTime {
+    debug_assert!(refreshes.windows(2).all(|w| w[0] <= w[1]), "refreshes must be sorted");
+    let mut worst = SimTime::ZERO;
+    for (idx, _) in &report.latencies {
+        let at = report.issued_at[*idx];
+        let last = refreshes
+            .iter()
+            .rev()
+            .find(|&&r| r <= at)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        worst = worst.max(at.saturating_sub(last));
+    }
+    worst
+}
+
+/// Panic unless every answered query saw state no older than `bound` —
+/// the serving-tier freshness contract `repro -- stream` enforces.
+pub fn assert_freshness(report: &LoadReport, refreshes: &[SimTime], bound: SimTime) {
+    let worst = max_state_age(report, refreshes);
+    assert!(
+        worst <= bound,
+        "freshness violated: a query observed state {worst:?} old, bound {bound:?}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ServeCluster, ServeConfig};
+
+    fn report_with(issued_at: Vec<SimTime>) -> LoadReport {
+        let latencies = (0..issued_at.len()).map(|i| (i, SimTime::ZERO)).collect();
+        LoadReport {
+            issued: issued_at.len(),
+            answered: issued_at.len(),
+            shed: 0,
+            failed: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            hit_rate: 0.0,
+            makespan: SimTime::ZERO,
+            issued_at,
+            latencies,
+            values: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn max_state_age_measures_gap_to_latest_refresh() {
+        let ms = SimTime::from_millis;
+        let report = report_with(vec![ms(1), ms(4), ms(9)]);
+        // No refresh: everything aged from the initial load at t=0.
+        assert_eq!(max_state_age(&report, &[]), ms(9));
+        // A refresh at t=3ms resets the clock for later queries.
+        assert_eq!(max_state_age(&report, &[ms(3)]), ms(6));
+        // Frequent refreshes bound the age.
+        assert_eq!(max_state_age(&report, &[ms(3), ms(8)]), ms(1));
+        assert_freshness(&report, &[ms(3), ms(8)], ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "freshness violated")]
+    fn assert_freshness_panics_on_stale_answers() {
+        let report = report_with(vec![SimTime::from_millis(10)]);
+        assert_freshness(&report, &[], SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn scripted_actions_record_fire_time_and_topk_all_mix_draws() {
+        let (mut cluster, _) = ServeCluster::demo(24, 4, &ServeConfig::default()).unwrap();
+        let wl = Workload {
+            queries: 200,
+            mix: QueryMix { topk_all: 50, ..QueryMix::default() },
+            ..Workload::default()
+        };
+        let injector = FailureInjector::none();
+        let fired = std::cell::Cell::new(false);
+        let mut actions = [ScriptedAction::new(100, |_c: &mut ServeCluster| {
+            fired.set(true);
+        })];
+        let report = run_with(&mut cluster, &wl, &injector, true, None, &mut actions);
+        assert!(actions[0].fired_at.is_some(), "action records when it fired");
+        assert_eq!(actions[0].fired_at.unwrap(), report.issued_at[100]);
+        assert!(fired.get());
+        assert_eq!(report.answered + report.shed + report.failed, report.issued);
+        assert!(
+            report
+                .values
+                .iter()
+                .any(|(_, q, _)| matches!(q, Query::TopKAll { .. })),
+            "mix weight routes TopKAll queries"
+        );
     }
 }

@@ -205,6 +205,41 @@ impl ClusterClock {
 /// Convenience: a shared cluster clock handle.
 pub type SharedClusterClock = Arc<ClusterClock>;
 
+/// Event-time watermark: the monotonically advancing frontier of event
+/// timestamps a streaming consumer has fully ingested. Producers stamp
+/// events with event time; the ingestor calls [`Watermark::observe`] as it
+/// applies them, and freshness is `processing_time - watermark` — how far
+/// the serving state lags behind the newest event it has absorbed.
+#[derive(Debug, Default)]
+pub struct Watermark {
+    frontier: AtomicU64,
+}
+
+impl Watermark {
+    /// A watermark at event time zero (nothing ingested yet).
+    pub fn new() -> Self {
+        Watermark { frontier: AtomicU64::new(0) }
+    }
+
+    /// Advance the frontier to `t` if it is ahead of the current frontier.
+    /// Late (out-of-order) events never move the watermark backwards.
+    pub fn observe(&self, t: SimTime) {
+        self.frontier.fetch_max(t.as_nanos(), Ordering::SeqCst);
+    }
+
+    /// The newest event time observed so far.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.frontier.load(Ordering::SeqCst))
+    }
+
+    /// Freshness lag at processing time `at`: how far behind the newest
+    /// ingested event the given processing-time instant is. Zero when the
+    /// watermark is ahead of `at` (the consumer has caught up).
+    pub fn lag(&self, at: SimTime) -> SimTime {
+        at.saturating_sub(self.now())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +309,19 @@ mod tests {
         let t = cc.barrier([&a]);
         assert_eq!(t, SimTime(500));
         assert_eq!(a.now(), SimTime(500));
+    }
+
+    #[test]
+    fn watermark_is_monotone_and_measures_lag() {
+        let w = Watermark::new();
+        assert_eq!(w.now(), SimTime::ZERO);
+        w.observe(SimTime(100));
+        assert_eq!(w.now(), SimTime(100));
+        w.observe(SimTime(40)); // late event: frontier holds
+        assert_eq!(w.now(), SimTime(100));
+        w.observe(SimTime(250));
+        assert_eq!(w.lag(SimTime(400)), SimTime(150));
+        assert_eq!(w.lag(SimTime(200)), SimTime::ZERO); // caught up
     }
 
     #[test]

@@ -20,7 +20,7 @@ pub mod rng;
 pub mod sync;
 
 pub use bytes::{Buf, BufMut, Bytes};
-pub use clock::{ClusterClock, NodeClock, SimTime};
+pub use clock::{ClusterClock, NodeClock, SimTime, Watermark};
 pub use cost::CostModel;
 pub use failpoint::{FailAction, FailPlan, FailureInjector};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

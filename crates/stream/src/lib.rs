@@ -1,0 +1,33 @@
+//! Streaming ingestion and incremental computation — closing the
+//! train → serve → refresh loop.
+//!
+//! The offline pipeline (train on the PS, snapshot to the DFS, load a
+//! [`psgraph_serve::ServeCluster`]) leaves the serving tier frozen at
+//! snapshot time. This crate keeps it fresh while the graph keeps
+//! changing:
+//!
+//! 1. **Events** ([`events`]) — timestamped edge add/remove events, from
+//!    a drift-parameterized RMAT source ([`events::DriftRmat`]) or
+//!    replayed bit-exactly from a DFS event log ([`events::EventLog`]).
+//! 2. **Ingest** ([`ingest`]) — a bounded-mailbox micro-batch ingestor
+//!    applies events to mutable PS state (tombstone-backed neighbor
+//!    table + degree vector) and tracks an event-time watermark for
+//!    freshness accounting.
+//! 3. **Maintain** — each batch's effects feed the incremental
+//!    maintainers in `psgraph_core::algos::incremental`: PageRank by
+//!    residual re-push, connected components by union-on-add and bounded
+//!    recompute-on-remove.
+//! 4. **Refresh** ([`refresh`]) — every few batches a
+//!    [`psgraph_ps::snapshot::DeltaWriter`] delta of the dirtied
+//!    partitions is hot-swapped into the live serve replicas, so queries
+//!    observe updates within a bounded number of micro-batches.
+
+pub mod error;
+pub mod events;
+pub mod ingest;
+pub mod refresh;
+
+pub use error::{Result, StreamError};
+pub use events::{DriftRmat, DriftRmatSource, EdgeEvent, EdgeOp, EventLog};
+pub use ingest::{BatchEffect, IngestConfig, IngestStats, Ingestor};
+pub use refresh::{RefreshConfig, RefreshDriver, SwapRecord};

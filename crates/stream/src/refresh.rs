@@ -1,0 +1,107 @@
+//! The refresh driver closes the loop: every `swap_every_batches`
+//! micro-batches it exports a [`psgraph_ps::snapshot::DeltaWriter`] delta
+//! of the dirtied partitions and hot-swaps it into the live
+//! [`psgraph_serve::ServeCluster`], then rebases its manifest so the next
+//! delta is relative to what the tier now serves.
+
+use psgraph_dfs::Dfs;
+use psgraph_ps::snapshot::{DeltaWriter, SnapshotManifest};
+use psgraph_ps::{NeighborTableHandle, VectorHandle};
+use psgraph_serve::{ServeCluster, SwapStats};
+use psgraph_sim::{NodeClock, SimTime};
+
+use crate::error::Result;
+
+/// Cadence policy for refreshes.
+#[derive(Debug, Clone)]
+pub struct RefreshConfig {
+    /// Swap after this many applied micro-batches.
+    pub swap_every_batches: usize,
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig { swap_every_batches: 8 }
+    }
+}
+
+/// One completed hot-swap.
+#[derive(Debug, Clone, Copy)]
+pub struct SwapRecord {
+    /// Simulated time the swap ran (the caller's clock position).
+    pub at: SimTime,
+    pub stats: SwapStats,
+    /// Dirty partitions exported across all three objects.
+    pub dirty_partitions: usize,
+}
+
+/// Periodically publishes PS mutations to the serving tier.
+pub struct RefreshDriver {
+    dir: String,
+    manifest: SnapshotManifest,
+    cfg: RefreshConfig,
+    batches_since_swap: usize,
+    swaps: Vec<SwapRecord>,
+}
+
+impl RefreshDriver {
+    /// `manifest` is the snapshot the tier was loaded from; `dir` its DFS
+    /// directory (deltas are written next to it).
+    pub fn new(dir: impl Into<String>, manifest: SnapshotManifest, cfg: RefreshConfig) -> Self {
+        RefreshDriver {
+            dir: dir.into(),
+            manifest,
+            cfg,
+            batches_since_swap: 0,
+            swaps: Vec::new(),
+        }
+    }
+
+    /// Record one applied micro-batch; `true` means a refresh is due.
+    pub fn tick(&mut self) -> bool {
+        self.batches_since_swap += 1;
+        self.batches_since_swap >= self.cfg.swap_every_batches
+    }
+
+    /// Micro-batches applied since the last swap.
+    pub fn batches_since_swap(&self) -> usize {
+        self.batches_since_swap
+    }
+
+    /// Export a delta of everything dirtied since the last swap (ranks,
+    /// labels, adjacency) and install it on the live tier. Returns the
+    /// swap statistics; the internal manifest is rebased so subsequent
+    /// deltas are incremental.
+    pub fn refresh(
+        &mut self,
+        dfs: &Dfs,
+        client: &NodeClock,
+        cluster: &mut ServeCluster,
+        ranks: &VectorHandle<f64>,
+        labels: &VectorHandle<u64>,
+        adjacency: &NeighborTableHandle,
+        at: SimTime,
+    ) -> Result<SwapRecord> {
+        let mut dw = DeltaWriter::new(dfs, &self.dir, &self.manifest, client);
+        let mut dirty = dw.vector_f64(ranks)?;
+        dirty += dw.vector_u64(labels)?;
+        dirty += dw.neighbor_table(adjacency)?;
+        let delta = dw.finish()?;
+        let stats = cluster.swap_in(&delta)?;
+        self.manifest = delta.rebase(&self.manifest);
+        self.batches_since_swap = 0;
+        let record = SwapRecord { at, stats, dirty_partitions: dirty };
+        self.swaps.push(record);
+        Ok(record)
+    }
+
+    /// Every swap so far, in order.
+    pub fn swaps(&self) -> &[SwapRecord] {
+        &self.swaps
+    }
+
+    /// The manifest the serving tier currently reflects.
+    pub fn manifest(&self) -> &SnapshotManifest {
+        &self.manifest
+    }
+}

@@ -1,0 +1,222 @@
+//! Property tests for the streaming tier: randomized event streams
+//! driven through the real `Ingestor`, checked against independent
+//! models — full PageRank recomputes, reference connected components,
+//! and a naive Vec model of the tombstone neighbor table.
+
+use std::sync::Arc;
+
+use psgraph_core::algos::{IncrementalCc, IncrementalPageRank};
+use psgraph_graph::{metrics, EdgeList};
+use psgraph_net::rpc::NodeId;
+use psgraph_ps::{NeighborTableHandle, Partitioner, Ps, PsConfig, RecoveryMode};
+use psgraph_sim::{FxHashMap, NodeClock, SimTime, SplitMix64};
+use psgraph_stream::{DriftRmat, EdgeEvent, EdgeOp, IngestConfig, Ingestor};
+
+/// Drive `events` through the ingestor in micro-batches of `batch`,
+/// keeping the incremental maintainers in lockstep. Returns the live
+/// edge set at the end.
+struct Harness {
+    ps: Arc<Ps>,
+    client: NodeClock,
+    ingestor: Ingestor,
+    pr: IncrementalPageRank,
+    pr_state: psgraph_core::algos::PrState,
+    cc: IncrementalCc,
+    n: u64,
+}
+
+impl Harness {
+    fn new(prefix: &str, n: u64, base: &[(u64, u64)]) -> Harness {
+        let ps = Ps::new(PsConfig::default());
+        let client = NodeClock::new();
+        let cfg = IngestConfig { prefix: prefix.into(), mailbox_cap: 512 };
+        let ingestor = Ingestor::create(&ps, &cfg, n).unwrap();
+        ingestor.bootstrap(&client, base).unwrap();
+        let pr = IncrementalPageRank::default();
+        let mut pr_state = pr.create_state(&ps, &format!("{prefix}.pr"), n).unwrap();
+        pr.init_full(&mut pr_state, &client, &ingestor.adjacency).unwrap();
+        let mut cc = IncrementalCc::create(&ps, &format!("{prefix}.cc"), n).unwrap();
+        cc.bootstrap(&client, &ingestor.adjacency).unwrap();
+        Harness { ps, client, ingestor, pr, pr_state, cc, n }
+    }
+
+    fn apply(&mut self, events: &[EdgeEvent]) {
+        for &ev in events {
+            assert!(self.ingestor.offer(NodeId::Driver, ev), "mailbox overflow in test");
+        }
+        let fx = self.ingestor.apply_pending(&self.client).unwrap();
+        self.pr.on_batch(&mut self.pr_state, &self.client, &fx.effects).unwrap();
+        self.pr.propagate(&mut self.pr_state, &self.client, &self.ingestor.adjacency).unwrap();
+        self.cc.on_batch(&self.client, &fx.applied, &self.ingestor.adjacency).unwrap();
+    }
+
+    fn live_edges(&self) -> Vec<(u64, u64)> {
+        let ids: Vec<u64> = (0..self.n).collect();
+        let lists = self.ingestor.adjacency.pull(&self.client, &ids).unwrap();
+        let mut edges = Vec::new();
+        for (s, list) in lists.iter().enumerate() {
+            for &d in list.iter() {
+                edges.push((s as u64, d));
+            }
+        }
+        edges
+    }
+}
+
+fn random_stream(
+    rng: &mut SplitMix64,
+    n: u64,
+    live: &mut Vec<(u64, u64)>,
+    count: usize,
+    tick: &mut u64,
+) -> Vec<EdgeEvent> {
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        *tick += 1;
+        let at = SimTime::from_micros(*tick * 37);
+        if !live.is_empty() && rng.next_below(3) == 0 {
+            let i = rng.next_below(live.len() as u64) as usize;
+            let (src, dst) = live.swap_remove(i);
+            events.push(EdgeEvent { op: EdgeOp::Remove, src, dst, at });
+        } else {
+            let src = rng.next_below(n);
+            let dst = rng.next_below(n);
+            if src == dst {
+                continue;
+            }
+            // Sometimes re-add a live edge to exercise at-least-once
+            // dedup; only track genuinely new edges as live.
+            if !live.contains(&(src, dst)) {
+                live.push((src, dst));
+            }
+            events.push(EdgeEvent { op: EdgeOp::Add, src, dst, at });
+        }
+    }
+    events
+}
+
+#[test]
+fn incremental_pagerank_matches_full_recompute_over_random_stream() {
+    let n = 48u64;
+    let base = psgraph_graph::gen::rmat(n, 180, Default::default(), 31).dedup();
+    let mut h = Harness::new("p1", n, base.edges());
+    let mut rng = SplitMix64::new(1234);
+    let mut live = base.edges().to_vec();
+    let mut tick = 0u64;
+    for round in 0..5 {
+        let events = random_stream(&mut rng, n, &mut live, 30, &mut tick);
+        h.apply(&events);
+
+        let mut full_state =
+            h.pr.create_state(&h.ps, &format!("p1.full{round}"), n).unwrap();
+        h.pr.init_full(&mut full_state, &h.client, &h.ingestor.adjacency).unwrap();
+        let inc = h.pr.ranks(&h.pr_state, &h.client).unwrap();
+        let full = h.pr.ranks(&full_state, &h.client).unwrap();
+        let linf = inc
+            .iter()
+            .zip(&full)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(linf < 1e-6, "round {round}: incremental drifted from recompute, L∞ {linf}");
+    }
+}
+
+#[test]
+fn incremental_cc_matches_reference_over_random_stream() {
+    let n = 40u64;
+    let base = psgraph_graph::gen::erdos_renyi(n, 60, 8).dedup();
+    let mut h = Harness::new("c1", n, base.edges());
+    let mut rng = SplitMix64::new(99);
+    let mut live = base.edges().to_vec();
+    let mut tick = 0u64;
+    for round in 0..6 {
+        let events = random_stream(&mut rng, n, &mut live, 25, &mut tick);
+        h.apply(&events);
+        let truth =
+            metrics::connected_components(&EdgeList::new(n, h.live_edges()));
+        assert_eq!(h.cc.labels(), truth.as_slice(), "round {round}");
+    }
+}
+
+#[test]
+fn neighbor_table_matches_naive_model_with_tombstone_churn() {
+    // add → remove → add round-trips under heavy churn: the tombstone
+    // table must always expose exactly the naive "append if absent,
+    // remove first occurrence" list, and compaction must keep dead slots
+    // bounded by live ones.
+    let n = 12u64;
+    let ps = Ps::new(PsConfig::default());
+    let client = NodeClock::new();
+    let table = NeighborTableHandle::create(
+        &ps,
+        "m.adj",
+        n,
+        Partitioner::Range,
+        RecoveryMode::Consistent,
+    )
+    .unwrap();
+    let mut model: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+    let mut rng = SplitMix64::new(2718);
+    for _ in 0..60 {
+        let mut ops: Vec<(u64, u64, bool)> = Vec::new();
+        for _ in 0..20 {
+            let s = rng.next_below(n);
+            let d = rng.next_below(n);
+            let add = rng.next_bool(0.55);
+            ops.push((s, d, add));
+            let list = model.entry(s).or_default();
+            if add {
+                if !list.contains(&d) {
+                    list.push(d);
+                }
+            } else if let Some(i) = list.iter().position(|&x| x == d) {
+                list.remove(i);
+            }
+        }
+        table.update_edges(&client, &ops).unwrap();
+        let ids: Vec<u64> = (0..n).collect();
+        let lists = table.pull(&client, &ids).unwrap();
+        for (v, got) in lists.iter().enumerate() {
+            let want = model.get(&(v as u64)).cloned().unwrap_or_default();
+            assert_eq!(got.as_slice(), want.as_slice(), "vertex {v} diverged from model");
+        }
+        let live: usize = model.values().map(|l| l.len()).sum();
+        let dead = table.tombstones().unwrap();
+        assert!(
+            dead <= live + n as usize,
+            "compaction failed to bound tombstones: {dead} dead vs {live} live"
+        );
+    }
+}
+
+#[test]
+fn drift_source_through_ingestor_preserves_live_set() {
+    // The generator's own live-edge bookkeeping, the ingestor's table,
+    // and the degree vector all agree after a long at-least-once stream.
+    let n = 64u64;
+    let cfg = DriftRmat {
+        num_vertices: n,
+        remove_fraction: 0.3,
+        seed: 17,
+        ..DriftRmat::default()
+    };
+    let mut source = cfg.start(&[]);
+    let mut h = Harness::new("d1", n, &[]);
+    for _ in 0..10 {
+        let events: Vec<EdgeEvent> = (0..200).map(|_| source.next_event()).collect();
+        h.apply(&events);
+    }
+    let mut want = source.live_edges().to_vec();
+    want.sort_unstable();
+    let mut got = h.live_edges();
+    got.sort_unstable();
+    assert_eq!(got, want, "table diverged from the source's live set");
+    let ids: Vec<u64> = (0..n).collect();
+    let degs = h.ingestor.degrees.pull(&h.client, &ids).unwrap();
+    let lists = h.ingestor.adjacency.pull(&h.client, &ids).unwrap();
+    for (v, (deg, list)) in degs.iter().zip(&lists).enumerate() {
+        assert_eq!(*deg, list.len() as f64, "degree of {v} out of lockstep");
+    }
+    // The stream really exercised the at-least-once path.
+    assert!(h.ingestor.stats().skipped > 0, "expected duplicate adds in an RMAT stream");
+}

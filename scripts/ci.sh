@@ -29,4 +29,10 @@ cargo test -q --offline --workspace --release
 # p99 — a non-zero exit fails CI.
 cargo run --release --offline -p psgraph-bench --bin repro -- serve --scale 0.02 --queries 5000
 
+# Streaming smoke: drift-RMAT edge events through micro-batch ingestion,
+# incremental PageRank/CC maintenance, and delta hot-swaps into the live
+# tier. The binary asserts zero wrong answers, L∞ ≤ 1e-6 vs a full
+# recompute, reference-equal components, and bounded freshness lag.
+cargo run --release --offline -p psgraph-bench --bin repro -- stream --scale 0.02 --events 6000
+
 echo "ci: OK"
