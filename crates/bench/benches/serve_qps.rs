@@ -6,9 +6,11 @@
 //! throughput ablation. Output lands in `results/BENCH_serve.json`.
 
 use psgraph_harness::bench::{BenchmarkId, Harness};
+use psgraph_harness::Pool;
 use psgraph_serve::loadgen;
 use psgraph_serve::{QueryMix, ServeCluster, ServeConfig, Workload};
 use psgraph_sim::failpoint::FailureInjector;
+use std::sync::Arc;
 use std::time::Duration;
 
 fn serve_cache_ablation(c: &mut Harness) {
@@ -63,4 +65,63 @@ fn serve_cache_ablation(c: &mut Harness) {
     group.finish();
 }
 
-psgraph_harness::bench_main!(serve_cache_ablation);
+/// Thread-count scaling sweep over the heaviest serve op: `TopKAll`
+/// scatter-gather queries on frontends pinned to pools of 1/2/4/8
+/// workers. Query answers and simulated latencies must be bit-identical
+/// at every pool size (shard-order merge rule); wall-clock shows the real
+/// scatter scaling.
+fn serve_thread_scaling(c: &mut Harness) {
+    let fast = std::env::var("PSGRAPH_BENCH_FAST").is_ok_and(|v| v != "0");
+    let queries = if fast { 200 } else { 1_000 };
+    let wl = Workload {
+        queries,
+        zipf_s: 1.0,
+        mix: QueryMix {
+            rank: 0,
+            community: 0,
+            embedding: 0,
+            neighbors: 0,
+            khop: 0,
+            topk: 0,
+            topk_all: 1,
+        },
+        ..Default::default()
+    };
+    let run_once = |threads: usize, record: bool| {
+        let cfg = ServeConfig { cache_budget: 256 * 1024, ..Default::default() }
+            .with_pool(Arc::new(Pool::with_perturb(threads, None)));
+        let (mut cluster, _truth) = ServeCluster::demo(2_048, 16, &cfg).expect("demo cluster");
+        loadgen::run(&mut cluster, &wl, &FailureInjector::none(), record)
+    };
+
+    let mut group = c.benchmark_group("serve_scaling");
+    group.sample_size(if fast { 3 } else { 5 }).warmup_iters(1);
+    let baseline = run_once(1, true);
+    let mut means: Vec<(usize, f64)> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let rep = run_once(threads, true);
+        assert_eq!(rep.values, baseline.values, "answers diverge at {threads} threads");
+        assert_eq!(
+            rep.latencies, baseline.latencies,
+            "simulated latencies diverge at {threads} threads"
+        );
+        group.bench_function(BenchmarkId::new("topk_all", format!("threads={threads}")), |b| {
+            b.iter_sim(|| run_once(threads, false).makespan.as_nanos())
+        });
+        means.push((threads, group.last_mean_ns().unwrap()));
+    }
+
+    let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+    group.metric("host_cores", host as f64);
+    let t1 = means[0].1;
+    for &(threads, mean) in &means {
+        group.metric(format!("speedup_x{threads}"), t1 / mean);
+    }
+    if host >= 8 {
+        let s8 = t1 / means.last().unwrap().1;
+        assert!(s8 >= 3.0, "expected >=3x wall speedup at 8 threads, got {s8:.2}x");
+    }
+    group.finish();
+}
+
+psgraph_harness::bench_main!(serve_cache_ablation, serve_thread_scaling);

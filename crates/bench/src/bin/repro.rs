@@ -1,14 +1,16 @@
 //! Regenerate every table and figure of the paper's evaluation (§V).
 //!
 //! ```text
-//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|stream|all] [--scale S] [--queries N] [--events N]
+//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|stream|all] [--scale S] [--queries N] [--events N] [--threads T]
 //! ```
 //!
 //! Default scale is 0.05 (DS1′ = 10 k vertices / 137.5 k edges). Budgets
 //! scale with the datasets per `deploy::ScaleRule`; reported times are
 //! *simulated* cluster time (see DESIGN.md §2 "Simulated time").
 //! `--queries` sizes the `serve` stream (default 100 000); `--events`
-//! sizes the `stream` edge-event stream (default 50 000).
+//! sizes the `stream` edge-event stream (default 50 000); `--threads`
+//! sizes the global work-stealing pool (default: host parallelism; the
+//! simulated times are thread-count-invariant, only wall clock changes).
 
 use psgraph_bench::{fig6, line_exp, serve_exp, stream_exp, table1, table2};
 
@@ -38,6 +40,15 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--events needs a count");
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--threads needs a count");
+                assert!(t > 0, "--threads must be positive");
+                // Must happen before anything touches Pool::global().
+                std::env::set_var("POOL_THREADS", t.to_string());
             }
             other => which = other.to_string(),
         }

@@ -131,20 +131,29 @@ impl PageRank {
                 })
                 .map_err(crate::error::CoreError::from)?;
 
-            // Canonical fold: sort contributions by (dst, src) and sum
-            // each destination sequentially. Each destination then gets
+            // Canonical fold: bucket contributions by owner partition,
+            // then — in parallel across owners — sort each bucket by
+            // (dst, src) and sum every destination sequentially. Each
+            // destination still accumulates its contributions in the
+            // same globally-sorted (src) order as a single sorted pass,
+            // so the floating-point result is bit-identical for any
+            // partitioning AND any pool size; the expensive sort+fold is
+            // what the pool parallelizes. Each destination then gets
             // exactly one add per superstep, from its owner partition.
             let num_parts = tables.num_partitions();
-            let mut contribs: Vec<(u64, u64, f64)> =
-                staged.into_iter().flatten().collect();
-            contribs.sort_unstable_by_key(|&(dst, src, _)| (dst, src));
-            let mut per_part: Vec<FxHashMap<u64, f64>> =
-                vec![FxHashMap::default(); num_parts];
-            for (dst, _src, c) in contribs {
-                let owner = (dst % num_parts as u64) as usize;
-                *per_part[owner].entry(dst).or_default() += c;
+            let mut buckets: Vec<Vec<(u64, u64, f64)>> = vec![Vec::new(); num_parts];
+            for (dst, src, c) in staged.into_iter().flatten() {
+                buckets[(dst % num_parts as u64) as usize].push((dst, src, c));
             }
-            let staged = per_part;
+            let staged: Vec<FxHashMap<u64, f64>> =
+                ctx.cluster().pool().map(buckets, |mut bucket| {
+                    bucket.sort_unstable_by_key(|&(dst, src, _)| (dst, src));
+                    let mut sums: FxHashMap<u64, f64> = FxHashMap::default();
+                    for (dst, _src, c) in bucket {
+                        *sums.entry(dst).or_default() += c;
+                    }
+                    sums
+                });
 
             // Step 4: PS folds Δranks into ranks and resets Δranks.
             ranks.accumulate_and_reset(ctx.cluster().driver(), &dranks)?;

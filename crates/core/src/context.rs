@@ -40,6 +40,14 @@ impl PsGraphConfig {
         self
     }
 
+    /// Run the cluster's stage tasks and the PS's psFunc fan-out on one
+    /// explicit thread pool (thread-count sweeps, determinism tests).
+    pub fn with_pool(mut self, pool: std::sync::Arc<psgraph_harness::Pool>) -> Self {
+        self.cluster.pool = Some(std::sync::Arc::clone(&pool));
+        self.ps.pool = Some(pool);
+        self
+    }
+
     /// Paper-style sizing: `executors × exec_mem` + `servers × server_mem`.
     pub fn sized(
         executors: usize,

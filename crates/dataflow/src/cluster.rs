@@ -1,7 +1,8 @@
 //! The simulated Spark cluster: a driver plus a pool of executors.
 
-use psgraph_sim::sync::Mutex;
+use psgraph_harness::Pool;
 use psgraph_net::Network;
+use psgraph_sim::sync::Mutex;
 use psgraph_sim::{
     ClusterClock, CostModel, FailureInjector, MemoryMeter, NodeClock, SimTime,
 };
@@ -33,6 +34,10 @@ pub struct ClusterConfig {
     pub record_overhead: u64,
     /// Cost model shared with the rest of the simulated datacenter.
     pub cost: CostModel,
+    /// Thread pool that executes stage tasks (`None` = the process-wide
+    /// [`Pool::global`]). Benches and determinism tests install explicit
+    /// pools to sweep thread counts.
+    pub pool: Option<Arc<Pool>>,
 }
 
 impl Default for ClusterConfig {
@@ -46,6 +51,7 @@ impl Default for ClusterConfig {
             ops_per_record: 8,
             record_overhead: 0,
             cost: CostModel::default(),
+            pool: None,
         }
     }
 }
@@ -59,6 +65,11 @@ impl ClusterConfig {
 
     pub fn with_memory(mut self, bytes: u64) -> Self {
         self.memory_per_executor = bytes;
+        self
+    }
+
+    pub fn with_pool(mut self, pool: Arc<Pool>) -> Self {
+        self.pool = Some(pool);
         self
     }
 }
@@ -146,6 +157,7 @@ pub struct Cluster {
     executors: Vec<Arc<Executor>>,
     injector: FailureInjector,
     stages_run: AtomicU64,
+    pool: Arc<Pool>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -171,6 +183,10 @@ impl Cluster {
             })
             .collect();
         let network = Network::new(config.cost.clone());
+        let pool = config
+            .pool
+            .clone()
+            .unwrap_or_else(|| Arc::clone(Pool::global()));
         Arc::new(Cluster {
             config,
             network,
@@ -179,6 +195,7 @@ impl Cluster {
             executors,
             injector: FailureInjector::none(),
             stages_run: AtomicU64::new(0),
+            pool,
         })
     }
 
@@ -209,6 +226,11 @@ impl Cluster {
 
     pub fn injector(&self) -> &FailureInjector {
         &self.injector
+    }
+
+    /// The thread pool stage tasks execute on.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
     }
 
     pub fn num_executors(&self) -> usize {
@@ -254,10 +276,14 @@ impl Cluster {
 
     /// Run one stage of `tasks` partition-indexed tasks.
     ///
-    /// Tasks are grouped by home executor and each executor processes its
-    /// tasks on its own OS thread (real parallelism), charging simulated
-    /// costs to its own clock. A BSP barrier over all live executors closes
-    /// the stage. Returns per-partition results in partition order, or the
+    /// Tasks are grouped by home executor and each executor group runs as
+    /// one task on the shared work-stealing pool (real parallelism up to
+    /// the pool's thread count), charging simulated costs to its own
+    /// clock. Within a group, partitions execute serially in partition
+    /// order, and results land in partition-indexed slots — the
+    /// deterministic reduction rule, so the output is bit-identical for
+    /// any pool size. A BSP barrier over all live executors closes the
+    /// stage. Returns per-partition results in partition order, or the
     /// first error (OOM / executor-lost) encountered.
     pub fn run_stage<R, F>(&self, tasks: usize, f: F) -> Result<Vec<R>>
     where
@@ -281,7 +307,7 @@ impl Cluster {
             Mutex::new((0..tasks).map(|_| None).collect());
         let first_err: Mutex<Option<DataflowError>> = Mutex::new(None);
 
-        std::thread::scope(|scope| {
+        self.pool.scope(|scope| {
             for (eid, parts) in by_exec.iter().enumerate() {
                 if parts.is_empty() {
                     continue;
@@ -290,7 +316,7 @@ impl Cluster {
                 let f = &f;
                 let results = &results;
                 let first_err = &first_err;
-                scope.spawn(move || {
+                scope.spawn(move |_| {
                     for &p in parts {
                         if first_err.lock().is_some() {
                             return;
@@ -472,8 +498,11 @@ mod tests {
 
     #[test]
     fn parallel_stage_uses_multiple_threads() {
-        // Smoke test: tasks on different executors can overlap in real time.
-        let c = Cluster::local();
+        // Smoke test: tasks on different executors can overlap in real
+        // time. Uses an explicit 4-thread pool so the test holds under
+        // any `POOL_THREADS` setting (CI runs the suite at 1 and max).
+        let pool = Arc::new(Pool::with_perturb(4, None));
+        let c = Cluster::new(ClusterConfig::default().with_pool(pool));
         let t0 = std::time::Instant::now();
         c.run_stage(4, |_p, _e| {
             std::thread::sleep(std::time::Duration::from_millis(50));

@@ -44,6 +44,10 @@ pub fn key_partition<K: Hash>(key: &K, num_out: usize) -> usize {
 
 /// One map task's output destined for one reduce partition.
 struct BucketChunk<K, V> {
+    /// Map partition that produced this chunk — the reduce side merges
+    /// chunks in `from_part` order so output bytes never depend on the
+    /// (scheduling-dependent) order map tasks finished.
+    from_part: usize,
     from_exec: usize,
     bytes: u64,
     pairs: Vec<(K, V)>,
@@ -115,7 +119,7 @@ where
             exec.clock().advance(cluster.cost().disk_bulk_cost(bytes));
             out2[out_p]
                 .lock()
-                .push(BucketChunk { from_exec: exec.id(), bytes, pairs });
+                .push(BucketChunk { from_part: p, from_exec: exec.id(), bytes, pairs });
         }
         Ok(())
     })?;
@@ -138,9 +142,14 @@ where
     K: Record,
     V: Record,
 {
+    // Canonical merge order: by producing map partition, not by the
+    // (scheduling-dependent) order map tasks appended their chunks.
+    let mut order: Vec<usize> = (0..chunks.len()).collect();
+    order.sort_unstable_by_key(|&i| chunks[i].from_part);
     let mut merged = Vec::new();
     let mut total_bytes = 0u64;
-    for chunk in chunks {
+    for &i in &order {
+        let chunk = &chunks[i];
         exec.clock().advance(cost.disk_bulk_cost(chunk.bytes));
         if chunk.from_exec != exec.id() {
             network.bulk_fetch(exec.clock(), chunk.bytes);
@@ -401,7 +410,7 @@ where
         let prov: Provenance<(K, (V, W))> = Arc::new(move |p, exec| {
             let l = left_prov.partition_or_recompute(p, exec)?;
             let r = right_prov.partition_or_recompute(p, exec)?;
-            Ok(hash_join(l.as_ref().clone(), r.as_ref().clone()))
+            Ok(hash_join_ref(&l, &r))
         });
         let cluster2 = Arc::clone(&cluster);
         Rdd::materialize(&cluster, "join_copart", num_out, Some(prov), move |p, exec| {
@@ -409,12 +418,14 @@ where
             let r = right.partition(p)?;
             let lbytes = slice_bytes(&l);
             let rbytes = slice_bytes(&r);
+            // The hash table is built over the *smaller* side, by
+            // reference — only that side's bytes carry table overhead.
+            let build_bytes = lbytes.min(rbytes);
             let overhead =
-                lbytes + lbytes * HASH_TABLE_OVERHEAD_NUM / HASH_TABLE_OVERHEAD_DEN + 64;
+                build_bytes + build_bytes * HASH_TABLE_OVERHEAD_NUM / HASH_TABLE_OVERHEAD_DEN + 64;
             let _reservation = Reservation::new(exec.memory(), overhead)?;
             exec.charge_cpu(cluster2.cost(), (l.len() + r.len()) as u64 * HASH_OPS);
-            let _ = rbytes;
-            Ok(hash_join(l.as_ref().clone(), r.as_ref().clone()))
+            Ok(hash_join_ref(&l, &r))
         })
     }
 
@@ -440,6 +451,48 @@ where
         if let Some(vs) = table.get(&k) {
             for v in vs {
                 out.push((k.clone(), (v.clone(), w.clone())));
+            }
+        }
+    }
+    out
+}
+
+/// Hash join over borrowed partitions: builds the table over the
+/// *smaller* side by reference and clones only matched records. The
+/// copartitioned fast path must not pay full-partition clones — that is
+/// precisely the work it exists to skip.
+fn hash_join_ref<K, V, W>(left: &[(K, V)], right: &[(K, W)]) -> Vec<(K, (V, W))>
+where
+    K: Record + Hash + Eq,
+    V: Record,
+    W: Record,
+{
+    let mut out = Vec::new();
+    if left.len() <= right.len() {
+        let mut table: FxHashMap<&K, Vec<&V>> = FxHashMap::default();
+        for (k, v) in left {
+            table.entry(k).or_default().push(v);
+        }
+        for (k, w) in right {
+            if let Some(vs) = table.get(k) {
+                for &v in vs {
+                    out.push((k.clone(), (v.clone(), w.clone())));
+                }
+            }
+        }
+    } else {
+        let mut table: FxHashMap<&K, Vec<&W>> = FxHashMap::default();
+        for (k, w) in right {
+            table.entry(k).or_default().push(w);
+        }
+        // Stream the left (probe) side in order so output order matches
+        // the build-left `hash_join` convention: left record order major,
+        // right matches minor.
+        for (k, v) in left {
+            if let Some(ws) = table.get(k) {
+                for &w in ws {
+                    out.push((k.clone(), (v.clone(), w.clone())));
+                }
             }
         }
     }

@@ -44,10 +44,9 @@ impl From<&str> for BenchmarkId {
     }
 }
 
-/// Measured statistics for one benchmark, all in nanoseconds.
+/// Mean + order statistics over one nanosecond sample set.
 #[derive(Debug, Clone)]
-pub struct BenchStats {
-    pub id: String,
+pub struct Summary {
     pub samples: usize,
     pub mean_ns: f64,
     pub p50_ns: f64,
@@ -57,16 +56,14 @@ pub struct BenchStats {
     pub max_ns: f64,
 }
 
-impl BenchStats {
-    fn from_samples(id: String, samples: &mut [Duration]) -> Self {
-        assert!(!samples.is_empty());
-        samples.sort_unstable();
-        let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+impl Summary {
+    fn from_ns(mut ns: Vec<f64>) -> Self {
+        assert!(!ns.is_empty());
+        ns.sort_unstable_by(f64::total_cmp);
         let mean = ns.iter().sum::<f64>() / ns.len() as f64;
         // Nearest-rank percentile on the sorted samples.
         let pct = |p: f64| ns[((ns.len() as f64 * p).ceil() as usize).clamp(1, ns.len()) - 1];
-        BenchStats {
-            id,
+        Summary {
             samples: ns.len(),
             mean_ns: mean,
             p50_ns: pct(0.50),
@@ -77,9 +74,8 @@ impl BenchStats {
         }
     }
 
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("id".into(), Json::str(&self.id)),
+    fn json_fields(&self) -> Vec<(String, Json)> {
+        vec![
             ("samples".into(), Json::Int(self.samples as i64)),
             ("mean_ns".into(), Json::Float(self.mean_ns)),
             ("p50_ns".into(), Json::Float(self.p50_ns)),
@@ -87,7 +83,68 @@ impl BenchStats {
             ("p99_ns".into(), Json::Float(self.p99_ns)),
             ("min_ns".into(), Json::Float(self.min_ns)),
             ("max_ns".into(), Json::Float(self.max_ns)),
-        ])
+        ]
+    }
+}
+
+/// Measured statistics for one benchmark, all in nanoseconds. The flat
+/// fields are wall-clock (host) time; `sim` is the simulated-clock view
+/// when the workload reported one ([`Bencher::iter_sim`]).
+#[derive(Debug, Clone)]
+pub struct BenchStats {
+    pub id: String,
+    pub samples: usize,
+    pub mean_ns: f64,
+    pub p50_ns: f64,
+    pub p95_ns: f64,
+    pub p99_ns: f64,
+    pub min_ns: f64,
+    pub max_ns: f64,
+    pub sim: Option<Summary>,
+}
+
+impl BenchStats {
+    fn from_samples(id: String, samples: &[Duration]) -> Self {
+        let wall = Summary::from_ns(samples.iter().map(|d| d.as_nanos() as f64).collect());
+        Self::from_summaries(id, wall, None)
+    }
+
+    fn from_summaries(id: String, wall: Summary, sim: Option<Summary>) -> Self {
+        BenchStats {
+            id,
+            samples: wall.samples,
+            mean_ns: wall.mean_ns,
+            p50_ns: wall.p50_ns,
+            p95_ns: wall.p95_ns,
+            p99_ns: wall.p99_ns,
+            min_ns: wall.min_ns,
+            max_ns: wall.max_ns,
+            sim,
+        }
+    }
+
+    fn wall_summary(&self) -> Summary {
+        Summary {
+            samples: self.samples,
+            mean_ns: self.mean_ns,
+            p50_ns: self.p50_ns,
+            p95_ns: self.p95_ns,
+            p99_ns: self.p99_ns,
+            min_ns: self.min_ns,
+            max_ns: self.max_ns,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        // Flat fields stay for existing result tooling; dual-clock runs
+        // additionally nest explicit `wall_ns` / `sim_ns` objects.
+        let mut fields = vec![("id".into(), Json::str(&self.id))];
+        fields.extend(self.wall_summary().json_fields());
+        if let Some(sim) = &self.sim {
+            fields.push(("wall_ns".into(), Json::Obj(self.wall_summary().json_fields())));
+            fields.push(("sim_ns".into(), Json::Obj(sim.json_fields())));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -97,6 +154,7 @@ pub struct Bencher {
     warmup_iters: u32,
     sample_size: u32,
     samples: Vec<Duration>,
+    sim_samples: Vec<u64>,
 }
 
 impl Bencher {
@@ -113,6 +171,25 @@ impl Bencher {
             let t0 = Instant::now();
             black_box(f());
             self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Like [`Bencher::iter`] for simulator workloads: `f` returns the
+    /// iteration's *simulated* duration in nanoseconds, and each sample
+    /// records the wall-clock and simulated time side by side. The report
+    /// then carries both views — simulated cost is pool-size-invariant
+    /// while wall time shows the real scaling.
+    pub fn iter_sim(&mut self, mut f: impl FnMut() -> u64) {
+        for _ in 0..self.warmup_iters {
+            black_box(f());
+        }
+        self.samples.reserve(self.sample_size as usize);
+        self.sim_samples.reserve(self.sample_size as usize);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            let sim_ns = black_box(f());
+            self.samples.push(t0.elapsed());
+            self.sim_samples.push(sim_ns);
         }
     }
 }
@@ -149,7 +226,12 @@ impl Group<'_> {
         } else {
             (self.warmup_iters, self.sample_size)
         };
-        let mut b = Bencher { warmup_iters: warmup, sample_size: size.max(1), samples: Vec::new() };
+        let mut b = Bencher {
+            warmup_iters: warmup,
+            sample_size: size.max(1),
+            samples: Vec::new(),
+            sim_samples: Vec::new(),
+        };
         f(&mut b);
         assert!(
             !b.samples.is_empty(),
@@ -157,7 +239,10 @@ impl Group<'_> {
             self.name,
             id
         );
-        let stats = BenchStats::from_samples(id, &mut b.samples);
+        let wall = Summary::from_ns(b.samples.iter().map(|d| d.as_nanos() as f64).collect());
+        let sim = (!b.sim_samples.is_empty())
+            .then(|| Summary::from_ns(b.sim_samples.iter().map(|&n| n as f64).collect()));
+        let stats = BenchStats::from_summaries(id, wall, sim);
         self.print_and_push(stats);
         self
     }
@@ -173,8 +258,7 @@ impl Group<'_> {
     ) -> &mut Self {
         let id: String = id.into().into();
         assert!(!samples.is_empty(), "bench '{}/{}' recorded no samples", self.name, id);
-        let mut samples = samples.to_vec();
-        let stats = BenchStats::from_samples(id, &mut samples);
+        let stats = BenchStats::from_samples(id, samples);
         self.print_and_push(stats);
         self
     }
@@ -185,15 +269,26 @@ impl Group<'_> {
         self
     }
 
+    /// Mean wall-clock (ns) of the most recently recorded benchmark —
+    /// scaling sweeps derive speedup metrics from it.
+    pub fn last_mean_ns(&self) -> Option<f64> {
+        self.stats.last().map(|s| s.mean_ns)
+    }
+
     fn print_and_push(&mut self, stats: BenchStats) {
+        let sim_note = stats
+            .sim
+            .as_ref()
+            .map_or(String::new(), |s| format!(", sim {:.3} ms", s.mean_ns / 1e6));
         eprintln!(
-            "bench {}/{}: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms ({} samples)",
+            "bench {}/{}: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms{} ({} samples)",
             self.name,
             stats.id,
             stats.mean_ns / 1e6,
             stats.p50_ns / 1e6,
             stats.p95_ns / 1e6,
             stats.p99_ns / 1e6,
+            sim_note,
             stats.samples,
         );
         self.stats.push(stats);
@@ -398,6 +493,32 @@ mod tests {
         assert!(report.contains("\"id\": \"noop/fast\""));
         assert!(report.contains("\"id\": \"plain_name\""));
         assert!(report.contains("mean_ns"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn iter_sim_reports_both_clocks() {
+        let dir = std::env::temp_dir().join(format!(
+            "psgraph-harness-dual-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut h = Harness::from_env().with_out_dir(&dir);
+        h.fast = true;
+        let mut g = h.benchmark_group("dual_clock_group");
+        g.sample_size(3).bench_function("simulated", |b| {
+            b.iter_sim(|| 1_000_000u64) // every iteration: 1 ms of sim time
+        });
+        g.finish();
+        h.finish();
+        let report =
+            std::fs::read_to_string(dir.join("BENCH_dual_clock_group.json")).unwrap();
+        assert!(report.contains("\"wall_ns\""));
+        assert!(report.contains("\"sim_ns\""));
+        // Legacy flat fields still present.
+        assert!(report.contains("\"mean_ns\""));
+        assert!(report.contains("\"sim_ns\": {"));
+        assert!(report.contains("\"p50_ns\": 1000000"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

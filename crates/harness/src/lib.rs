@@ -15,9 +15,17 @@
 //!
 //! Both are deterministic-by-default and safe to run fully offline.
 
+//! * [`pool`] — a hermetic work-stealing thread pool (the rayon
+//!   replacement): per-worker LIFO deques with randomized stealing,
+//!   `scope`-style structured fork/join with panic propagation, and a
+//!   deterministic reduction rule so parallel results are bit-identical
+//!   at any thread count.
+
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod prop;
 
 pub use bench::{black_box, BenchmarkId, Harness};
+pub use pool::{Pool, Scope};
 pub use prop::{Config, Gen, Source};

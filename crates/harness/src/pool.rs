@@ -1,0 +1,520 @@
+//! Hermetic work-stealing thread pool (the rayon-shaped piece of the
+//! in-tree substrate — zero external crates).
+//!
+//! Design:
+//!
+//! * **Fixed worker set.** `Pool::new(n)` spawns `n` OS threads that live
+//!   for the pool's lifetime; `Drop` joins them.
+//! * **Per-worker LIFO deques + randomized stealing.** A worker pushes
+//!   and pops its own deque at the back (LIFO: fresh tasks are
+//!   cache-hot); thieves steal from the front (FIFO: the oldest — and
+//!   typically largest — task moves). Steal victims are picked starting
+//!   from a per-worker random index. Tasks submitted from outside the
+//!   pool land in a shared injector queue.
+//! * **Structured fork/join.** [`Pool::scope`] gives out a [`Scope`]
+//!   whose `spawn` accepts closures borrowing the caller's stack
+//!   (`'scope` lifetime, rayon-style). `scope` does not return until
+//!   every spawned task — including nested spawns — has finished, even
+//!   if the scope body or a task panics, which is exactly what makes the
+//!   borrow-erasing transmute inside sound.
+//! * **Panic propagation.** A panicking task is caught on the worker;
+//!   the first panic payload is stashed in the scope and re-raised on
+//!   the caller's thread by `resume_unwind` after the join. Workers
+//!   never die.
+//! * **Deterministic reduction rule.** Parallel results are only ever
+//!   combined in *canonical partition order*: [`Pool::map`] returns
+//!   results indexed by input position and [`Pool::fold_in_order`]
+//!   folds them left-to-right by index. No reduction ever depends on
+//!   completion order, so outputs are bit-identical for any thread
+//!   count and any steal schedule.
+//! * **Nested waiting.** A worker that blocks in `scope` *helps*: it
+//!   executes queued tasks while waiting, so nested scopes cannot
+//!   deadlock even on a 1-thread pool. External (non-worker) callers
+//!   park on a condvar instead — `POOL_THREADS=1` therefore means the
+//!   algorithm work genuinely runs on one thread.
+//! * **Schedule perturbation.** `PSGRAPH_POOL_PERTURB=<seed>` (or
+//!   [`Pool::with_perturb`]) arms a replayable debug mode that injects
+//!   seeded yields before task execution and biases steal-victim
+//!   selection, shaking out ordering assumptions without changing any
+//!   result (see the determinism suite).
+//!
+//! The global pool ([`Pool::global`]) is sized by `POOL_THREADS`, else
+//! `max(available_parallelism, 4)` — oversubscription on small hosts
+//! keeps blocking simulation tasks overlapping the way one-thread-per-
+//! executor did before this pool existed.
+
+use psgraph_sim::sync::{Condvar, Mutex};
+use psgraph_sim::SplitMix64;
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An erased, queued unit of work.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// How long an idle worker parks before re-checking the queues. The
+/// notify path makes this a pure safety net against missed wakeups.
+const PARK: Duration = Duration::from_micros(500);
+
+thread_local! {
+    /// (pool identity, worker index) when the current thread is a pool
+    /// worker; used to route spawns to the worker's own deque and to
+    /// decide whether a waiting thread may help execute tasks.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+struct Shared {
+    /// Per-worker deques: owner pops the back (LIFO), thieves the front.
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Overflow queue for tasks submitted from non-worker threads.
+    injector: Mutex<VecDeque<Task>>,
+    /// Tasks queued anywhere and not yet started.
+    pending: AtomicUsize,
+    shutdown: AtomicBool,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    /// Schedule-perturbation seed (debug mode); `None` = off.
+    perturb: Option<u64>,
+    /// Tasks executed over the pool's lifetime (stats / tests).
+    executed: AtomicU64,
+}
+
+impl Shared {
+    fn id(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Pop a task: own deque (LIFO), injector, then steal (FIFO) from a
+    /// victim picked starting at a seeded random index.
+    fn find_task(&self, me: Option<usize>, rng: &mut SplitMix64) -> Option<Task> {
+        if let Some(w) = me {
+            if let Some(t) = self.deques[w].lock().pop_back() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(t);
+        }
+        let n = self.deques.len();
+        let start = rng.next_below(n as u64) as usize;
+        for i in 0..n {
+            let v = (start + i) % n;
+            if Some(v) == me {
+                continue;
+            }
+            if let Some(t) = self.deques[v].lock().pop_front() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Queue a task: a worker of *this* pool pushes its own deque; any
+    /// other thread goes through the injector. Wakes a parked worker.
+    fn push(self: &Arc<Self>, task: Task) {
+        match WORKER.get() {
+            Some((pid, w)) if pid == self.id() => {
+                self.deques[w].lock().push_back(task);
+            }
+            _ => self.injector.lock().push_back(task),
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let _g = self.sleep_lock.lock();
+        self.sleep_cv.notify_all();
+    }
+
+    /// Execute one task, with an optional perturbation yield first.
+    fn run(&self, task: Task, rng: &mut SplitMix64) {
+        if self.perturb.is_some() && rng.next_below(4) == 0 {
+            std::thread::yield_now();
+        }
+        task();
+        self.executed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    WORKER.set(Some((shared.id(), me)));
+    // Worker RNG drives steal-victim choice; under perturbation the
+    // stream is derived from the replayable seed so a failing schedule
+    // can be re-run.
+    let seed = shared
+        .perturb
+        .map_or(0x5371_u64, |s| s ^ 0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(me as u64);
+    let mut rng = SplitMix64::new(seed);
+    loop {
+        if let Some(task) = shared.find_task(Some(me), &mut rng) {
+            shared.run(task, &mut rng);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let g = shared.sleep_lock.lock();
+        if shared.pending.load(Ordering::SeqCst) == 0
+            && !shared.shutdown.load(Ordering::Acquire)
+        {
+            let _ = shared.sleep_cv.wait_timeout(g, PARK);
+        }
+    }
+}
+
+/// Per-scope join state: outstanding task count, first panic payload,
+/// and the completion signal external waiters park on.
+struct ScopeState {
+    outstanding: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl ScopeState {
+    fn new() -> Self {
+        ScopeState {
+            outstanding: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let _g = self.done_lock.lock();
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// Spawn handle passed to [`Pool::scope`] closures. Spawned closures may
+/// borrow anything that outlives the `scope` call (`'scope`).
+pub struct Scope<'scope> {
+    shared: Arc<Shared>,
+    state: Arc<ScopeState>,
+    /// Invariant in `'scope` (rayon's trick): stops the borrow checker
+    /// from shrinking the scope lifetime out from under spawned tasks.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn `f` into the pool. The closure receives the scope again so
+    /// it can spawn nested tasks joined by the same `scope` call.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.outstanding.fetch_add(1, Ordering::SeqCst);
+        let shared = Arc::clone(&self.shared);
+        let state = Arc::clone(&self.state);
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let scope = Scope {
+                shared: Arc::clone(&shared),
+                state: Arc::clone(&state),
+                _marker: PhantomData,
+            };
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f(&scope))) {
+                let mut g = state.panic.lock();
+                if g.is_none() {
+                    *g = Some(p);
+                }
+            }
+            // Completion is signalled last, after any panic is stashed:
+            // the joining caller reads `panic` only once this count
+            // drains, so the payload is always visible to it.
+            state.complete_one();
+        });
+        // SAFETY: erase 'scope to queue the task. `Pool::scope` joins
+        // every task spawned on this state — on the success path, the
+        // panic path, and for nested spawns — before returning, so the
+        // borrows captured in `f` outlive the task's execution.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task)
+        };
+        self.shared.push(task);
+    }
+}
+
+/// The work-stealing pool. See the module docs for the design.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    threads: usize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .field("perturb", &self.shared.perturb)
+            .finish()
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` workers (clamped to ≥ 1). Reads the
+    /// `PSGRAPH_POOL_PERTURB` seed from the environment.
+    pub fn new(threads: usize) -> Pool {
+        let perturb = std::env::var("PSGRAPH_POOL_PERTURB")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
+        Pool::with_perturb(threads, perturb)
+    }
+
+    /// A pool with an explicit perturbation seed (`None` = off).
+    pub fn with_perturb(threads: usize, perturb: Option<u64>) -> Pool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            perturb,
+            executed: AtomicU64::new(0),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("psgraph-pool-{i}"))
+                    .spawn(move || worker_loop(s, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { shared, handles: Mutex::new(handles), threads }
+    }
+
+    /// The process-wide pool, sized by `POOL_THREADS` (else
+    /// `max(available_parallelism, 4)`).
+    pub fn global() -> &'static Arc<Pool> {
+        static GLOBAL: OnceLock<Arc<Pool>> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let threads = std::env::var("POOL_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(4, |n| n.get()).max(4)
+                });
+            Arc::new(Pool::new(threads))
+        })
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Tasks executed over the pool's lifetime.
+    pub fn tasks_executed(&self) -> u64 {
+        self.shared.executed.load(Ordering::Relaxed)
+    }
+
+    /// Structured fork/join: run `f` with a [`Scope`]; every task it
+    /// spawns (including nested spawns) completes before `scope`
+    /// returns. The first panic — scope body first, else first task —
+    /// is re-raised here.
+    pub fn scope<'scope, R>(&self, f: impl FnOnce(&Scope<'scope>) -> R) -> R {
+        let state = Arc::new(ScopeState::new());
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            state: Arc::clone(&state),
+            _marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        self.join_scope(&state);
+        match result {
+            Ok(r) => {
+                if let Some(p) = state.panic.lock().take() {
+                    resume_unwind(p);
+                }
+                r
+            }
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    /// Wait until the scope's tasks drain. Pool workers help execute
+    /// queued tasks while they wait (nested scopes must make progress
+    /// even on a 1-thread pool); external threads park.
+    fn join_scope(&self, state: &ScopeState) {
+        let helper = match WORKER.get() {
+            Some((pid, w)) if pid == self.shared.id() => Some(w),
+            _ => None,
+        };
+        if let Some(w) = helper {
+            let mut rng = SplitMix64::new(0xA11C_E5ED ^ w as u64);
+            while state.outstanding.load(Ordering::SeqCst) != 0 {
+                match self.shared.find_task(Some(w), &mut rng) {
+                    Some(t) => self.shared.run(t, &mut rng),
+                    None => std::thread::yield_now(),
+                }
+            }
+            return;
+        }
+        loop {
+            if state.outstanding.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let g = state.done_lock.lock();
+            if state.outstanding.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            let _ = state.done_cv.wait_timeout(g, PARK);
+        }
+    }
+
+    /// Parallel map with the deterministic reduction rule: `f` runs on
+    /// every item concurrently, but the results come back indexed by
+    /// input position — combining them in that canonical order makes
+    /// every downstream fold independent of the steal schedule.
+    ///
+    /// Single-threaded pools (and single-item inputs) run inline on the
+    /// caller, so `POOL_THREADS=1` is a genuinely serial baseline.
+    pub fn map<T, R>(&self, items: Vec<T>, f: impl Fn(T) -> R + Send + Sync) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> =
+            (0..items.len()).map(|_| Mutex::new(None)).collect();
+        self.scope(|s| {
+            for (i, item) in items.into_iter().enumerate() {
+                let f = &f;
+                let slots = &slots;
+                s.spawn(move |_| {
+                    *slots[i].lock() = Some(f(item));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("pool map task lost"))
+            .collect()
+    }
+
+    /// Parallel map + left fold in canonical index order (the
+    /// deterministic-reduction rule as one call).
+    pub fn fold_in_order<T, R, A>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(T) -> R + Send + Sync,
+        init: A,
+        fold: impl FnMut(A, R) -> A,
+    ) -> A
+    where
+        T: Send,
+        R: Send,
+    {
+        self.map(items, f).into_iter().fold(init, fold)
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.sleep_lock.lock();
+            self.shared.sleep_cv.notify_all();
+        }
+        for h in self.handles.lock().drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let pool = Pool::with_perturb(4, None);
+        let counter = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..100 {
+                let counter = &counter;
+                s.spawn(move |_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let pool = Pool::with_perturb(4, None);
+        let out = pool.map((0..256u64).collect(), |x| x * 3);
+        assert_eq!(out, (0..256u64).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::with_perturb(1, None);
+        let out = pool.map(vec![1, 2, 3], |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        // Inline path: the workers never saw these tasks.
+        assert_eq!(pool.tasks_executed(), 0);
+    }
+
+    #[test]
+    fn nested_scopes_on_one_worker_make_progress() {
+        let pool = Pool::with_perturb(1, None);
+        let total = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                let total = &total;
+                let pool = &pool;
+                s.spawn(move |_| {
+                    pool.scope(|inner| {
+                        for _ in 0..4 {
+                            inner.spawn(move |_| {
+                                total.fetch_add(1, Ordering::SeqCst);
+                            });
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn panic_propagates_to_caller() {
+        let pool = Pool::with_perturb(2, None);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("task panic"));
+            });
+        }));
+        assert!(res.is_err());
+        // The pool survives and keeps working.
+        assert_eq!(pool.map(vec![1, 2], |x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn fold_in_order_is_left_fold_by_index() {
+        let pool = Pool::with_perturb(4, None);
+        let s = pool.fold_in_order(
+            (1..=10u64).collect(),
+            |x| x.to_string(),
+            String::new(),
+            |acc, x| acc + &x,
+        );
+        assert_eq!(s, "12345678910");
+    }
+}

@@ -1,0 +1,149 @@
+//! Property/stress suite for the work-stealing pool: counted tokens are
+//! never lost or duplicated under stealing, nested scopes make progress
+//! on any pool size, saturated pools shut down cleanly, and worker
+//! panics propagate to the caller without deadlocking the pool.
+
+use std::panic;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use psgraph_harness::prop::{check_with, Config};
+use psgraph_harness::{prop_assert, prop_assert_eq, Pool};
+
+#[test]
+fn counted_tokens_survive_stealing_exactly_once() {
+    check_with(
+        "counted_tokens_survive_stealing_exactly_once",
+        &Config::with_cases(40),
+        |src| {
+            (
+                src.usize_range(1, 8),     // workers
+                src.usize_range(1, 300),   // tokens
+                src.u64_range(0, 5),       // perturbation seed (0 = off)
+            )
+        },
+        |&(threads, tokens, seed)| {
+            let pool = Pool::with_perturb(threads, (seed != 0).then_some(seed));
+            let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+            pool.scope(|scope| {
+                for t in 0..tokens {
+                    let seen = &seen;
+                    scope.spawn(move |_| seen.lock().unwrap().push(t));
+                }
+            });
+            let mut got = seen.into_inner().unwrap();
+            got.sort_unstable();
+            let want: Vec<usize> = (0..tokens).collect();
+            prop_assert_eq!(got, want); // no loss, no duplication
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn nested_scopes_fan_out_exactly_once() {
+    check_with(
+        "nested_scopes_fan_out_exactly_once",
+        &Config::with_cases(25),
+        |src| {
+            (
+                src.usize_range(1, 6),   // workers
+                src.usize_range(1, 12),  // outer tasks
+                src.usize_range(1, 12),  // inner tasks per outer
+            )
+        },
+        |&(threads, outer, inner)| {
+            let pool = Pool::with_perturb(threads, Some(99));
+            let hits = AtomicU64::new(0);
+            pool.scope(|scope| {
+                for _ in 0..outer {
+                    let hits = &hits;
+                    scope.spawn(move |s| {
+                        // A nested structured scope run from inside a task:
+                        // must complete even on a 1-worker pool (the worker
+                        // helps while waiting).
+                        s.spawn(move |_| {
+                            for _ in 0..inner {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                        });
+                    });
+                }
+            });
+            prop_assert_eq!(hits.into_inner(), (outer * inner) as u64);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn saturated_pool_shuts_down_cleanly() {
+    // Fill the deques well past the worker count, then drop the pool the
+    // moment the scope joins. Every task must have run and the drop must
+    // not hang (joining stuck workers would).
+    for round in 0..10u64 {
+        let pool = Pool::with_perturb(4, Some(round));
+        let count = Arc::new(AtomicU64::new(0));
+        pool.scope(|scope| {
+            for _ in 0..2_000 {
+                let count = Arc::clone(&count);
+                scope.spawn(move |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2_000);
+        drop(pool);
+    }
+}
+
+#[test]
+fn worker_panic_propagates_without_deadlock() {
+    let pool = Pool::with_perturb(3, None);
+    let survivors = Arc::new(AtomicU64::new(0));
+    let result = {
+        let survivors = Arc::clone(&survivors);
+        panic::catch_unwind(panic::AssertUnwindSafe(|| {
+            pool.scope(|scope| {
+                for t in 0..50 {
+                    let survivors = Arc::clone(&survivors);
+                    scope.spawn(move |_| {
+                        if t == 17 {
+                            panic!("worker task detonated");
+                        }
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }))
+    };
+    let err = result.expect_err("the task panic must reach the scope caller");
+    let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+    assert!(msg.contains("detonated"), "unexpected panic payload: {msg:?}");
+    // The pool is still alive and usable after the panic.
+    let after: u64 = pool.map((0..32u64).collect::<Vec<_>>(), |x| x * 2).into_iter().sum();
+    assert_eq!(after, 2 * (0..32u64).sum::<u64>());
+    assert!(survivors.load(Ordering::Relaxed) <= 49);
+}
+
+#[test]
+fn map_is_order_preserving_under_perturbation() {
+    check_with(
+        "map_is_order_preserving_under_perturbation",
+        &Config::with_cases(30),
+        |src| {
+            (
+                src.usize_range(1, 8),
+                src.vec_with(0, 200, |s| s.u64_range(0, 1_000_000)),
+                src.u64_range(1, u64::MAX),
+            )
+        },
+        |(threads, items, seed)| {
+            let pool = Pool::with_perturb(*threads, Some(*seed));
+            let out = pool.map(items.clone(), |x| x.wrapping_mul(3));
+            let want: Vec<u64> = items.iter().map(|x| x.wrapping_mul(3)).collect();
+            prop_assert!(out == want, "map reordered results");
+            Ok(())
+        },
+    );
+}

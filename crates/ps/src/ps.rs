@@ -1,8 +1,9 @@
 //! The PS cluster: servers + object registry + checkpoint/recovery (the
 //! master's failure-handling policy from paper §III-B).
 
-use psgraph_sim::sync::RwLock;
+use psgraph_harness::Pool;
 use psgraph_net::Network;
+use psgraph_sim::sync::RwLock;
 use psgraph_sim::failpoint::NodeKind;
 use psgraph_sim::{CostModel, FailureInjector, FxHashMap, NodeClock, SimTime};
 use std::sync::Arc;
@@ -21,6 +22,9 @@ pub struct PsConfig {
     /// Server CPU ops charged per pulled/pushed item.
     pub ops_per_item: u64,
     pub cost: CostModel,
+    /// Thread pool for per-partition psFunc application (`None` = the
+    /// process-wide [`Pool::global`]).
+    pub pool: Option<Arc<Pool>>,
 }
 
 impl Default for PsConfig {
@@ -30,6 +34,7 @@ impl Default for PsConfig {
             memory_per_server: 1 << 30,
             ops_per_item: 4,
             cost: CostModel::default(),
+            pool: None,
         }
     }
 }
@@ -63,6 +68,7 @@ pub struct Ps {
     servers: Vec<Arc<PsServer>>,
     injector: FailureInjector,
     registry: RwLock<FxHashMap<String, Arc<dyn ObjectOps>>>,
+    pool: Arc<Pool>,
 }
 
 impl std::fmt::Debug for Ps {
@@ -81,12 +87,17 @@ impl Ps {
             .map(|i| Arc::new(PsServer::new(i, config.memory_per_server)))
             .collect();
         let network = Network::new(config.cost.clone());
+        let pool = config
+            .pool
+            .clone()
+            .unwrap_or_else(|| Arc::clone(Pool::global()));
         Arc::new(Ps {
             config,
             network,
             servers,
             injector: FailureInjector::none(),
             registry: RwLock::default(),
+            pool,
         })
     }
 
@@ -109,6 +120,11 @@ impl Ps {
 
     pub fn injector(&self) -> &FailureInjector {
         &self.injector
+    }
+
+    /// The thread pool psFunc partition application runs on.
+    pub fn pool(&self) -> &Arc<Pool> {
+        &self.pool
     }
 
     pub fn num_servers(&self) -> usize {

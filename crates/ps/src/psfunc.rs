@@ -34,28 +34,44 @@ impl<E: Element> VectorHandle<E> {
     ///   (the UDF's closure arguments and returned summary).
     /// * `f` — the UDF; it sees a mutable partition view and returns a
     ///   partition-local result. CPU is charged per touched element.
-    pub fn ps_func<R: Default>(
+    ///
+    /// The UDF is applied to the partitions concurrently on the PS's
+    /// thread pool (each application holds its server's state lock, as a
+    /// real server-side UDF would). RPC charges and the `merge` fold then
+    /// run serially in canonical partition order — the deterministic
+    /// reduction rule, so the result and the simulated-time accounting
+    /// are identical for every pool size. On error, partitions owned by
+    /// live servers may still have been mutated (as with a real fan-out
+    /// whose legs fail independently).
+    pub fn ps_func<R: Default + Send>(
         &self,
         client: &NodeClock,
         req_bytes: u64,
         resp_bytes: u64,
-        f: impl Fn(PartitionViewMut<'_, E>) -> R,
+        f: impl Fn(PartitionViewMut<'_, E>) -> R + Send + Sync,
         merge: impl Fn(R, R) -> R,
     ) -> Result<R> {
         let layout = self.layout().clone();
+        let f = &f;
+        let computed: Vec<Result<(R, u64)>> = self.owner_ps().pool().map(
+            (0..layout.num_partitions).collect(),
+            |p| {
+                self.with_partition_mut(p, |part| match part {
+                    VecPart::Dense { start, data } => {
+                        let n = data.len() as u64;
+                        (f(PartitionViewMut::Dense { start: *start, data }), n)
+                    }
+                    VecPart::Sparse { map } => {
+                        let n = map.len() as u64;
+                        (f(PartitionViewMut::Sparse(map)), n)
+                    }
+                })
+            },
+        );
         let mut acc = R::default();
-        for p in 0..layout.num_partitions {
+        for (p, res) in computed.into_iter().enumerate() {
+            let (r, items) = res?;
             let server_idx = layout.server_of_partition(p);
-            let (r, items) = self.with_partition_mut(p, |part| match part {
-                VecPart::Dense { start, data } => {
-                    let n = data.len() as u64;
-                    (f(PartitionViewMut::Dense { start: *start, data }), n)
-                }
-                VecPart::Sparse { map } => {
-                    let n = map.len() as u64;
-                    (f(PartitionViewMut::Sparse(map)), n)
-                }
-            })?;
             self.charge_server_rpc(client, server_idx, req_bytes, items, resp_bytes);
             acc = merge(acc, r);
         }

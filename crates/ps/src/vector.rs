@@ -503,6 +503,11 @@ impl<E: Element> VectorHandle<E> {
         Ok(total)
     }
 
+    /// Crate-internal: the owning PS (psFunc machinery reaches its pool).
+    pub(crate) fn owner_ps(&self) -> &Arc<Ps> {
+        &self.ps
+    }
+
     /// Crate-internal: mutate one partition in place on its server
     /// (footprint re-measured afterwards). Used by the psFunc machinery.
     pub(crate) fn with_partition_mut<R>(

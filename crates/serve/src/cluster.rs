@@ -27,6 +27,9 @@ pub struct ServeConfig {
     pub cache_budget: u64,
     pub policy: SloPolicy,
     pub cost: CostModel,
+    /// Thread pool for the frontend's multi-shard scatter phases; `None`
+    /// uses the process-global pool (thread-count sweeps pass their own).
+    pub pool: Option<Arc<psgraph_harness::Pool>>,
 }
 
 impl Default for ServeConfig {
@@ -37,7 +40,16 @@ impl Default for ServeConfig {
             cache_budget: 1 << 20,
             policy: SloPolicy::default(),
             cost: CostModel::default(),
+            pool: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Run the frontend's scatter phases on an explicit pool.
+    pub fn with_pool(mut self, pool: Arc<psgraph_harness::Pool>) -> Self {
+        self.pool = Some(pool);
+        self
     }
 }
 
@@ -193,12 +205,17 @@ impl ServeCluster {
             shards.push(shard_reps);
         }
 
-        let frontend = Frontend::new(
+        let pool = cfg
+            .pool
+            .clone()
+            .unwrap_or_else(|| Arc::clone(psgraph_harness::Pool::global()));
+        let frontend = Frontend::with_pool(
             Router::new(shards),
             Network::new(cfg.cost.clone()),
             cfg.cache_budget,
             cfg.policy.clone(),
             n,
+            pool,
         );
         Ok(ServeCluster { replicas, frontend, num_vertices: n, objects: objects.clone() })
     }

@@ -15,6 +15,7 @@
 //! queue is half full — bounded queues plus backpressure instead of
 //! unbounded tail growth.
 
+use psgraph_harness::Pool;
 use psgraph_net::Network;
 use psgraph_sim::{FxHashSet, NodeClock, SimTime};
 use std::collections::VecDeque;
@@ -23,7 +24,7 @@ use std::sync::Arc;
 use crate::cache::LruCache;
 use crate::error::{Result, ServeError};
 use crate::router::Router;
-use crate::shard::{owner_of, Query, Replica, ShardSpec, Value};
+use crate::shard::{owner_of, Query, ShardSpec, Value};
 
 /// Max candidate set for top-k scoring (2-hop neighborhood, truncated).
 pub const TOPK_CANDIDATES: usize = 128;
@@ -120,6 +121,9 @@ pub struct Frontend {
     answered: u64,
     shed: u64,
     failed: u64,
+    /// Pool for multi-shard scatter phases (fan-out legs run
+    /// concurrently; results merge in canonical shard order).
+    pool: Arc<Pool>,
 }
 
 impl Frontend {
@@ -131,6 +135,26 @@ impl Frontend {
         cache_budget: u64,
         policy: SloPolicy,
         num_vertices: u64,
+    ) -> Self {
+        Frontend::with_pool(
+            router,
+            net,
+            cache_budget,
+            policy,
+            num_vertices,
+            Arc::clone(Pool::global()),
+        )
+    }
+
+    /// Like [`Frontend::new`] with an explicit scatter pool (thread-count
+    /// sweeps, determinism tests).
+    pub fn with_pool(
+        router: Router,
+        net: Network,
+        cache_budget: u64,
+        policy: SloPolicy,
+        num_vertices: u64,
+        pool: Arc<Pool>,
     ) -> Self {
         assert!(policy.batch_max >= 1, "batch_max must be at least 1");
         let specs: Vec<ShardSpec> = (0..router.num_shards())
@@ -151,6 +175,7 @@ impl Frontend {
             answered: 0,
             shed: 0,
             failed: 0,
+            pool,
         }
     }
 
@@ -417,49 +442,40 @@ impl Frontend {
         }
     }
 
-    /// One RPC to a live replica of `shard` at time `at`; returns the
-    /// replica and completion time.
-    fn shard_rpc(
-        &self,
-        shard: usize,
-        at: SimTime,
-        req_bytes: u64,
-        ops: u64,
-        resp_bytes: u64,
-    ) -> Result<(Arc<Replica>, SimTime)> {
-        let rep = self
-            .router
-            .route(shard, at)
-            .ok_or(ServeError::NoReplica { shard })?;
-        let clock = NodeClock::new();
-        clock.advance(at);
-        self.net.rpc(&clock, rep.port(), req_bytes, ops, resp_bytes);
-        let done = clock.now();
-        rep.record_completion(at, done);
-        Ok((rep, done))
-    }
-
     /// Gather `v`'s full embedding row across the column shards. Returns
     /// the row (column slices concatenated in column order) and the
     /// slowest leg's completion time.
-    fn gather_embedding(&mut self, v: u64, arrival: SimTime) -> Result<(Vec<f32>, SimTime)> {
+    ///
+    /// The per-shard legs run concurrently on the frontend pool; results
+    /// merge serially in shard order (the deterministic reduction rule),
+    /// so the row bytes and the first-error choice are identical for
+    /// every pool size.
+    fn gather_embedding(&self, v: u64, arrival: SimTime) -> Result<(Vec<f32>, SimTime)> {
+        let shards: Vec<usize> =
+            (0..self.specs.len()).filter(|&s| self.specs[s].col_width() != 0).collect();
+        let router = &self.router;
+        let net = &self.net;
+        let specs = &self.specs;
+        let ops_per_item = self.policy.ops_per_item;
+        let legs: Vec<Result<(usize, Vec<f32>, SimTime)>> =
+            self.pool.map(shards, move |shard| {
+                let width = specs[shard].col_width() as u64;
+                let rep =
+                    router.route(shard, arrival).ok_or(ServeError::NoReplica { shard })?;
+                let clock = NodeClock::new();
+                clock.advance(arrival);
+                net.rpc(&clock, rep.port(), 24, ops_per_item + width, 16 + 4 * width);
+                let done = clock.now();
+                rep.record_completion(arrival, done);
+                let data = rep.data();
+                let slice = data.embed_cols(v)?.to_vec();
+                Ok((data.spec.col_lo, slice, done))
+            });
         let mut parts: Vec<(usize, Vec<f32>)> = Vec::new();
         let mut done_max = arrival;
-        for shard in 0..self.specs.len() {
-            if self.specs[shard].col_width() == 0 {
-                continue;
-            }
-            let width = self.specs[shard].col_width() as u64;
-            let (rep, done) = self.shard_rpc(
-                shard,
-                arrival,
-                24,
-                self.policy.ops_per_item + width,
-                16 + 4 * width,
-            )?;
-            let data = rep.data();
-            let slice = data.embed_cols(v)?.to_vec();
-            parts.push((data.spec.col_lo, slice));
+        for leg in legs {
+            let (lo, slice, done) = leg?;
+            parts.push((lo, slice));
             done_max = done_max.max(done);
         }
         if parts.is_empty() {
@@ -498,32 +514,43 @@ impl Frontend {
         for (i, &u) in vertices.iter().enumerate() {
             by_shard[owner_of(u, self.num_vertices, num_shards)].push(i);
         }
+        let work: Vec<(usize, Vec<usize>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .collect();
+        let router = &self.router;
+        let net = &self.net;
+        let ops_per_item = self.policy.ops_per_item;
+        // One concurrent leg per owner shard; merged in shard order.
+        let legs: Vec<Result<(Vec<(usize, Vec<u64>)>, SimTime)>> =
+            self.pool.map(work, move |(shard, idxs)| {
+                let rep = router.route(shard, at).ok_or(ServeError::NoReplica { shard })?;
+                let data = rep.data();
+                // Compute first so the response size is the real payload.
+                let mut ops = 0u64;
+                let mut resp = 16u64;
+                let mut got: Vec<(usize, Vec<u64>)> = Vec::with_capacity(idxs.len());
+                for &i in &idxs {
+                    let ns = data.neighbors(vertices[i])?;
+                    ops += ops_per_item + ns.len() as u64;
+                    resp += 8 * ns.len() as u64;
+                    got.push((i, ns.to_vec()));
+                }
+                let clock = NodeClock::new();
+                clock.advance(at);
+                net.rpc(&clock, rep.port(), 16 + 8 * idxs.len() as u64, ops, resp);
+                let done = clock.now();
+                rep.record_completion(at, done);
+                Ok((got, done))
+            });
         let mut lists: Vec<Vec<u64>> = vec![Vec::new(); vertices.len()];
         let mut done_max = at;
-        for (shard, idxs) in by_shard.iter().enumerate() {
-            if idxs.is_empty() {
-                continue;
+        for leg in legs {
+            let (got, done) = leg?;
+            for (i, ns) in got {
+                lists[i] = ns;
             }
-            // Compute first so the response size is the real payload.
-            let rep = self
-                .router
-                .route(shard, at)
-                .ok_or(ServeError::NoReplica { shard })?;
-            let data = rep.data();
-            let mut ops = 0u64;
-            let mut resp = 16u64;
-            for &i in idxs {
-                let ns = data.neighbors(vertices[i])?;
-                ops += self.policy.ops_per_item + ns.len() as u64;
-                resp += 8 * ns.len() as u64;
-                lists[i] = ns.to_vec();
-            }
-            let clock = NodeClock::new();
-            clock.advance(at);
-            self.net
-                .rpc(&clock, rep.port(), 16 + 8 * idxs.len() as u64, ops, resp);
-            let done = clock.now();
-            rep.record_completion(at, done);
             done_max = done_max.max(done);
         }
         Ok((lists, done_max))
@@ -667,21 +694,36 @@ impl Frontend {
             }
         };
         let dim = q.len() as u64;
+        // Scatter: one concurrent leg per vertex shard (the heaviest op in
+        // the serve tier); the gather below merges in shard order so the
+        // global ranking is identical for every pool size.
+        let shards: Vec<usize> = (0..self.specs.len())
+            .filter(|&s| self.specs[s].vertex_hi - self.specs[s].vertex_lo != 0)
+            .collect();
+        let router = &self.router;
+        let net = &self.net;
+        let specs = &self.specs;
+        let ops_per_item = self.policy.ops_per_item;
+        let q_ref = &q;
+        let legs: Vec<Result<(Vec<(u64, f64)>, SimTime)>> =
+            self.pool.map(shards, move |shard| {
+                let local = specs[shard].vertex_hi - specs[shard].vertex_lo;
+                let ops = local * (2 * dim + ops_per_item);
+                let resp = 16 + 16 * (k as u64).min(local);
+                let rep = router.route(shard, t_q).ok_or(ServeError::NoReplica { shard })?;
+                let clock = NodeClock::new();
+                clock.advance(t_q);
+                net.rpc(&clock, rep.port(), 24 + 4 * dim, ops, resp);
+                let done = clock.now();
+                rep.record_completion(t_q, done);
+                let top = rep.data().local_topk(q_ref, k, v)?;
+                Ok((top, done))
+            });
         let mut merged: Vec<(u64, f64)> = Vec::new();
         let mut done_max = t_q;
-        for shard in 0..self.specs.len() {
-            let local = self.specs[shard].vertex_hi - self.specs[shard].vertex_lo;
-            if local == 0 {
-                continue;
-            }
-            let ops = local * (2 * dim + self.policy.ops_per_item);
-            let resp = 16 + 16 * (k as u64).min(local);
-            let (rep, done) = match self.shard_rpc(shard, t_q, 24 + 4 * dim, ops, resp) {
+        for leg in legs {
+            let (top, done) = match leg {
                 Ok(x) => x,
-                Err(e) => return self.fail(idx, e, out),
-            };
-            let top = match rep.data().local_topk(&q, k, v) {
-                Ok(t) => t,
                 Err(e) => return self.fail(idx, e, out),
             };
             merged.extend(top);

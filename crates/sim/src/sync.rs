@@ -9,6 +9,7 @@
 //! surface `Result`s at every call site.
 
 use std::sync::{self, LockResult};
+use std::time::Duration;
 
 /// Mutual-exclusion lock whose `lock()` returns the guard directly.
 #[derive(Debug, Default)]
@@ -69,10 +70,65 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`], with the same poison-free
+/// contract: waits return the guard directly. Used by the harness thread
+/// pool for worker parking and scope-completion signalling.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    pub fn wait<'a, T>(&self, guard: sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T> {
+        unpoison(self.0.wait(guard))
+    }
+
+    /// Wait with a timeout; returns the guard and whether the wait timed
+    /// out. Timed waits make missed-notify bugs self-healing, so the pool
+    /// uses them exclusively.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: sync::MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (sync::MutexGuard<'a, T>, bool) {
+        let (g, res) = unpoison(self.0.wait_timeout(guard, dur));
+        (g, res.timed_out())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::Arc;
+
+    #[test]
+    fn condvar_notifies_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*p2;
+            *lock.lock() = true;
+            cv.notify_all();
+        });
+        let (lock, cv) = &*pair;
+        let mut g = lock.lock();
+        while !*g {
+            let (ng, _timed_out) = cv.wait_timeout(g, Duration::from_millis(50));
+            g = ng;
+        }
+        assert!(*g);
+        h.join().unwrap();
+    }
 
     #[test]
     fn mutex_guards_and_into_inner() {

@@ -12,16 +12,33 @@ if grep -q '^source = ' Cargo.lock; then
     exit 1
 fi
 
-# The harness is the substrate every test stands on — hold it to
-# warnings-as-errors. Same bar for the serving tier (newest subsystem).
-RUSTFLAGS="-D warnings" cargo build --offline -p psgraph-harness
+# The harness is the substrate every test stands on (the work-stealing
+# pool lives there) — hold it to warnings-as-errors. Same bar for the
+# serving tier (newest subsystem).
+RUSTFLAGS="-D warnings" cargo build --offline -p psgraph-harness --all-targets
 RUSTFLAGS="-D warnings" cargo build --offline -p psgraph-serve --all-targets
 
 cargo build --release --offline --workspace
 # Release mode: the fig6/table emergence tests simulate whole cluster
 # runs and are debug-prohibitive (>10 min); in release the full suite
 # finishes in a few minutes.
-cargo test -q --offline --workspace --release
+#
+# The full suite runs twice — genuinely serial (POOL_THREADS=1) and on
+# every host core — and the normalized outputs must be identical: the
+# deterministic-reduction rule says no result may depend on the pool
+# size. Timing lines are stripped before the diff.
+normalize() {
+    sed -E -e 's/finished in [0-9.]+s//g' -e 's/^(test .*) \.\.\. .*/\1/' "$1"
+}
+POOL_THREADS=1 cargo test -q --offline --workspace --release >/tmp/ci-tests-t1.log 2>&1 \
+    || { cat /tmp/ci-tests-t1.log; exit 1; }
+POOL_THREADS="$(nproc)" cargo test -q --offline --workspace --release >/tmp/ci-tests-tmax.log 2>&1 \
+    || { cat /tmp/ci-tests-tmax.log; exit 1; }
+if ! diff <(normalize /tmp/ci-tests-t1.log) <(normalize /tmp/ci-tests-tmax.log) >/tmp/ci-tests.diff; then
+    echo "ci: test outputs diverge between POOL_THREADS=1 and POOL_THREADS=$(nproc)" >&2
+    cat /tmp/ci-tests.diff >&2
+    exit 1
+fi
 
 # Serve-tier self-healing smoke: a small `repro -- serve` run with the
 # mid-run replica kill (monitor-restarted) and delta hot-swap. The binary
@@ -34,5 +51,17 @@ cargo run --release --offline -p psgraph-bench --bin repro -- serve --scale 0.02
 # tier. The binary asserts zero wrong answers, L∞ ≤ 1e-6 vs a full
 # recompute, reference-equal components, and bounded freshness lag.
 cargo run --release --offline -p psgraph-bench --bin repro -- stream --scale 0.02 --events 6000
+
+# Schedule-perturbation sweep: rerun both smokes under ten seeded
+# steal-schedule perturbations (randomized victim order + injected
+# yields). The binaries' internal correctness asserts — zero wrong
+# answers, reference-equal results — must hold on every schedule.
+for seed in 1 2 3 4 5 6 7 8 9 10; do
+    echo "ci: perturbation seed $seed"
+    PSGRAPH_POOL_PERTURB=$seed cargo run --release --offline -p psgraph-bench --bin repro -- \
+        serve --scale 0.01 --queries 1500 >/dev/null
+    PSGRAPH_POOL_PERTURB=$seed cargo run --release --offline -p psgraph-bench --bin repro -- \
+        stream --scale 0.01 --events 2000 >/dev/null
+done
 
 echo "ci: OK"

@@ -1,0 +1,112 @@
+//! Satellite suite for the work-stealing pool: outputs must be
+//! *byte-identical* for every pool size and across repeated runs. The
+//! engine's rule is that parallel stages combine partial results in
+//! canonical partition order, never completion order — these tests pin
+//! that rule end-to-end through PageRank and the shuffle machinery.
+
+use std::sync::Arc;
+
+use psgraph::core::algos::PageRank;
+use psgraph::core::runner::distribute_edges;
+use psgraph::core::{PsGraphConfig, PsGraphContext};
+use psgraph::dataflow::{Cluster, ClusterConfig, Rdd};
+use psgraph::graph::gen;
+use psgraph_harness::Pool;
+
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+fn pagerank_bits(threads: usize) -> Vec<u64> {
+    let g = gen::rmat(128, 900, Default::default(), 11).dedup();
+    let pool = Arc::new(Pool::with_perturb(threads, None));
+    let ctx = PsGraphContext::new(PsGraphConfig::default().with_pool(pool));
+    let edges = distribute_edges(&ctx, &g, 8).unwrap();
+    PageRank { max_iterations: 15, ..Default::default() }
+        .run(&ctx, &edges, g.num_vertices())
+        .unwrap()
+        .ranks
+        .iter()
+        .map(|r| r.to_bits())
+        .collect()
+}
+
+#[test]
+fn pagerank_bit_identical_across_pool_sizes() {
+    let baseline = pagerank_bits(1);
+    assert!(!baseline.is_empty());
+    for threads in &POOL_SIZES[1..] {
+        assert_eq!(
+            pagerank_bits(*threads),
+            baseline,
+            "ranks diverge on a {threads}-worker pool"
+        );
+    }
+}
+
+#[test]
+fn pagerank_repeated_runs_on_one_pool_size_are_bit_identical() {
+    // Steal schedules differ between runs even at a fixed pool size; the
+    // canonical-order reduction must hide that entirely.
+    let first = pagerank_bits(4);
+    for _ in 0..2 {
+        assert_eq!(pagerank_bits(4), first, "re-run diverged at 4 workers");
+    }
+}
+
+/// A shuffle whose reduce-side fold is order-sensitive (float addition):
+/// identical output requires the reduce side to merge map-side chunks in
+/// canonical partition order, not arrival order.
+fn shuffle_sums(threads: usize) -> Vec<(u64, u64)> {
+    let pool = Arc::new(Pool::with_perturb(threads, None));
+    let cluster = Cluster::new(ClusterConfig::default().with_pool(pool));
+    let records: Vec<(u64, f64)> =
+        (0..4_000u64).map(|i| (i % 97, (i as f64) * 0.1 + 1.0 / (i + 1) as f64)).collect();
+    let rdd = Rdd::from_vec(&cluster, records, 8).unwrap();
+    let summed = rdd.reduce_by_key(5, |a, b| a + b).unwrap();
+    // No sorting: partition order and within-partition order must already
+    // be deterministic.
+    summed.collect().unwrap().into_iter().map(|(k, v)| (k, v.to_bits())).collect()
+}
+
+#[test]
+fn shuffle_reduce_bit_identical_across_pool_sizes() {
+    let baseline = shuffle_sums(1);
+    assert!(!baseline.is_empty());
+    for threads in &POOL_SIZES[1..] {
+        assert_eq!(
+            shuffle_sums(*threads),
+            baseline,
+            "shuffle output diverges on a {threads}-worker pool"
+        );
+    }
+}
+
+#[test]
+fn shuffle_repeated_runs_are_bit_identical() {
+    let first = shuffle_sums(8);
+    for _ in 0..2 {
+        assert_eq!(shuffle_sums(8), first, "re-run diverged at 8 workers");
+    }
+}
+
+#[test]
+fn perturbed_schedules_do_not_change_outputs() {
+    // Same pool size, adversarially perturbed steal schedules (seeded
+    // yields + randomized victim order) — outputs must not move.
+    let run = |perturb: Option<u64>| {
+        let g = gen::rmat(96, 600, Default::default(), 5).dedup();
+        let pool = Arc::new(Pool::with_perturb(4, perturb));
+        let ctx = PsGraphContext::new(PsGraphConfig::default().with_pool(pool));
+        let edges = distribute_edges(&ctx, &g, 6).unwrap();
+        PageRank { max_iterations: 10, ..Default::default() }
+            .run(&ctx, &edges, g.num_vertices())
+            .unwrap()
+            .ranks
+            .iter()
+            .map(|r| r.to_bits())
+            .collect::<Vec<u64>>()
+    };
+    let baseline = run(None);
+    for seed in [1u64, 7, 42] {
+        assert_eq!(run(Some(seed)), baseline, "perturbation seed {seed} changed the ranks");
+    }
+}
