@@ -42,7 +42,9 @@ fn serve_cache_ablation(c: &mut Harness) {
             .metric(
                 format!("{name}_p99_ms"),
                 report.percentile(0.99).as_secs_f64() * 1e3,
-            );
+            )
+            .metric(format!("{name}_mailbox_dropped"), report.mailbox_dropped as f64)
+            .metric(format!("{name}_mailbox_retried"), report.mailbox_retried as f64);
         eprintln!(
             "[sim] serve/{name}: hit_rate {:.3}, qps {:.0}, p50 {}, p99 {}",
             report.hit_rate,

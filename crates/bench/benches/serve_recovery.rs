@@ -131,7 +131,9 @@ fn serve_recovery(c: &mut Harness) {
         .metric("swap_regions", swap.regions_applied as f64)
         .metric("swap_shards_rebuilt", swap.shards_rebuilt as f64)
         .metric("swap_keys_invalidated", swap.keys_invalidated as f64)
-        .metric("stale_answers", stale as f64);
+        .metric("stale_answers", stale as f64)
+        .metric("mailbox_dropped", report.mailbox_dropped as f64)
+        .metric("mailbox_retried", report.mailbox_retried as f64);
     eprintln!(
         "[sim] serve_recovery: detect {}, restart {}, p99 pre-kill {} → post-rejoin {}, \
          swap {{regions {}, shards {}, keys {}}}, stale {}",

@@ -1,18 +1,25 @@
 //! Regenerate every table and figure of the paper's evaluation (§V).
 //!
 //! ```text
-//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|stream|all] [--scale S] [--queries N] [--events N] [--threads T]
+//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|stream|chaos|all] [--scale S] [--queries N] [--events N] [--seeds N] [--seed S] [--threads T]
 //! ```
 //!
 //! Default scale is 0.05 (DS1′ = 10 k vertices / 137.5 k edges). Budgets
 //! scale with the datasets per `deploy::ScaleRule`; reported times are
 //! *simulated* cluster time (see DESIGN.md §2 "Simulated time").
 //! `--queries` sizes the `serve` stream (default 100 000); `--events`
-//! sizes the `stream` edge-event stream (default 50 000); `--threads`
-//! sizes the global work-stealing pool (default: host parallelism; the
-//! simulated times are thread-count-invariant, only wall clock changes).
+//! sizes the `stream` edge-event stream (default 50 000; the chaos soak
+//! defaults to 12 000 per run unless `--events` is given explicitly);
+//! `--seeds` sizes the chaos fault-schedule sweep (default 20) and
+//! `--seed` replays exactly one failing schedule; `--threads` sizes the
+//! global work-stealing pool (default: host parallelism; the simulated
+//! times are thread-count-invariant, only wall clock changes).
 
-use psgraph_bench::{fig6, line_exp, serve_exp, stream_exp, table1, table2};
+use psgraph_bench::{chaos_exp, fig6, line_exp, serve_exp, stream_exp, table1, table2};
+
+/// First seed of the standard chaos sweep; sweep seed `i` is `BASE + i`,
+/// so any failure is nameable (and replayable) as a single integer.
+const CHAOS_SEED_BASE: u64 = 0xC0FFEE;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -20,6 +27,9 @@ fn main() {
     let mut scale = 0.05f64;
     let mut queries = 100_000usize;
     let mut events = 50_000usize;
+    let mut events_explicit = false;
+    let mut chaos_seeds = 20usize;
+    let mut chaos_seed: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -40,6 +50,21 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--events needs a count");
+                events_explicit = true;
+            }
+            "--seeds" => {
+                chaos_seeds = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seeds needs a count");
+                assert!(chaos_seeds > 0, "--seeds must be positive");
+            }
+            "--seed" => {
+                chaos_seed = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs a schedule seed"),
+                );
             }
             "--threads" => {
                 let t: usize = it
@@ -129,5 +154,48 @@ fn main() {
             r.freshness_bound
         );
         println!("(stream wall clock: {:?})\n", t0.elapsed());
+    }
+    if do_all || which == "chaos" {
+        let t0 = std::time::Instant::now();
+        // A full event stream per seeded run is overkill for fault
+        // coverage; soak a shorter stream per schedule unless the caller
+        // sized it explicitly.
+        let chaos_events = if events_explicit { events } else { 12_000.min(events) };
+        let seeds: Vec<u64> = match chaos_seed {
+            Some(s) => vec![s],
+            None => (0..chaos_seeds as u64).map(|i| CHAOS_SEED_BASE + i).collect(),
+        };
+        let r = chaos_exp::run_chaos(scale, chaos_events, &seeds).expect("chaos");
+        println!("{}", chaos_exp::table(&r));
+        match chaos_exp::write_report(&r) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write BENCH_chaos.json: {e}"),
+        }
+        let replay = |seed: u64| chaos_exp::replay_command(seed, scale, chaos_events);
+        if let Some(bad) = r.seeds.iter().find(|s| s.wrong > 0) {
+            panic!(
+                "chaos seed {} served {} wrong answers — replay with:\n  {}",
+                bad.seed,
+                bad.wrong,
+                replay(bad.seed)
+            );
+        }
+        if let Some(&seed) = r.mismatched_seeds().first() {
+            panic!(
+                "chaos seed {seed} ended with PS state diverging from the fault-free run — replay with:\n  {}",
+                replay(seed)
+            );
+        }
+        if let Some(&seed) = r.freshness_violations().first() {
+            panic!(
+                "chaos seed {seed} exceeded the freshness bound — replay with:\n  {}",
+                replay(seed)
+            );
+        }
+        assert!(
+            r.seeds.iter().any(|s| s.ps_crashes > 0),
+            "the sweep never drew a PS crash — widen the seed set"
+        );
+        println!("(chaos wall clock: {:?})\n", t0.elapsed());
     }
 }

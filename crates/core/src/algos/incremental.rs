@@ -62,6 +62,15 @@ impl PrState {
     pub fn dirty_len(&self) -> usize {
         self.dirty.len()
     }
+
+    /// Driver-side reset after PS crash recovery: the rank/residual
+    /// vectors were rolled back to a checkpoint taken at a *converged*
+    /// batch boundary (empty frontier), so the matching driver state is an
+    /// empty dirty set. The event-log replay re-dirties exactly what the
+    /// original run did.
+    pub fn reset_after_recovery(&mut self) {
+        self.dirty.clear();
+    }
 }
 
 impl IncrementalPageRank {
@@ -268,6 +277,22 @@ impl IncrementalCc {
     /// Labels as the serving tier and tests see them.
     pub fn labels(&self) -> &[u64] {
         &self.mirror
+    }
+
+    /// Rebuild the driver-side mirror and member index from the PS copy
+    /// after crash recovery rolled `{prefix}.labels` back to a checkpoint.
+    /// Membership lists are grouped in ascending vertex order — the same
+    /// canonical order incremental maintenance preserves — so a restored
+    /// maintainer replays batches bit-identically to one that never
+    /// crashed.
+    pub fn restore_from_ps(&mut self, client: &NodeClock) -> Result<()> {
+        self.mirror = self.labels.pull_all(client)?;
+        let mut members: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+        for (v, &label) in self.mirror.iter().enumerate() {
+            members.entry(label).or_default().push(v as u64);
+        }
+        self.members = members;
+        Ok(())
     }
 
     /// Apply one micro-batch of edge events that were *actually applied*

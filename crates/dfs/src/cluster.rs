@@ -3,7 +3,8 @@
 use psgraph_sim::bytes::Bytes;
 use psgraph_sim::sync::{Mutex, RwLock};
 use psgraph_net::Network;
-use psgraph_sim::{FxHashMap, NodeClock};
+use psgraph_sim::{FaultSite, FxHashMap, NodeClock};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::block::{Block, BlockId};
 use crate::error::DfsError;
@@ -111,6 +112,9 @@ pub struct Dfs {
     files: RwLock<FxHashMap<String, FileMeta>>,
     datanodes: Vec<Datanode>,
     next_block: Mutex<u64>,
+    /// Reads that detected a corrupt replica (checksum mismatch) and fell
+    /// back to a good one — the observable half of corruption injection.
+    corrupt_fallbacks: AtomicU64,
 }
 
 impl Dfs {
@@ -125,6 +129,7 @@ impl Dfs {
             files: RwLock::default(),
             datanodes,
             next_block: Mutex::new(0),
+            corrupt_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -178,6 +183,17 @@ impl Dfs {
             for &dn in &replicas {
                 self.datanodes[dn].store(block.clone());
             }
+            // Chaos: silently corrupt one replica of the fresh block (stale
+            // checksum), keyed by the block id so the injection replays
+            // bit-identically from the seed. Reads detect the mismatch and
+            // fall back to a healthy replica.
+            if !chunk.is_empty() {
+                let chaos = self.network.chaos();
+                if chaos.is_active() && chaos.corrupt(FaultSite::DfsWrite, id.0, 0) {
+                    let victim = chaos.pick(FaultSite::DfsWrite, id.0, 0, replicas.len());
+                    self.datanodes[replicas[victim]].corrupt(id);
+                }
+            }
             // Client: one wire pass; pipeline hides replica fan-out.
             client.advance(cost.net_bulk_cost(chunk.len() as u64));
             // Slowest stage of the pipeline: one disk write.
@@ -218,6 +234,9 @@ impl Dfs {
                     Some(_) => saw_corrupt = true,
                     None => {}
                 }
+            }
+            if found.is_some() && saw_corrupt {
+                self.corrupt_fallbacks.fetch_add(1, Ordering::Relaxed);
             }
             let block = match found {
                 Some(b) => b,
@@ -306,6 +325,17 @@ impl Dfs {
     /// Total bytes of user data stored (not counting replication).
     pub fn total_bytes(&self) -> u64 {
         self.files.read().values().map(|m| m.len).sum()
+    }
+
+    /// The network this DFS charges costs to (chaos attaches here).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// How many reads checksum-detected a corrupt replica and recovered
+    /// from a healthy one.
+    pub fn corrupt_fallbacks(&self) -> u64 {
+        self.corrupt_fallbacks.load(Ordering::Relaxed)
     }
 }
 
@@ -431,6 +461,50 @@ mod tests {
         }
         assert!(corrupted);
         assert_eq!(&dfs.read("/d", &clk).unwrap()[..], b"abcdefgh");
+    }
+
+    #[test]
+    fn chaos_corruption_is_injected_detected_and_survived() {
+        use psgraph_sim::{ChaosConfig, FaultSchedule, SimTime};
+        let dfs = Dfs::new(
+            DfsConfig { block_size: 8, replication: 3, datanodes: 3 },
+            Network::new(Default::default()),
+        );
+        dfs.network()
+            .attach_chaos(FaultSchedule::new(ChaosConfig {
+                seed: 5,
+                p_corrupt: 1.0,
+                ..ChaosConfig::off()
+            }));
+        let clk = NodeClock::new();
+        let data: Vec<u8> = (0..64u8).collect();
+        dfs.write("/chaos/blob", &data, &clk).unwrap();
+        // Every block had one replica corrupted; reads still succeed by
+        // falling back, and each fallback is counted.
+        let back = dfs.read("/chaos/blob", &clk).unwrap();
+        assert_eq!(&back[..], &data[..]);
+        // Fallbacks fire only when the corrupt replica is tried before a
+        // good one, so the count is ≤ blocks — but with every block
+        // corrupted some must be detected.
+        assert!(dfs.corrupt_fallbacks() >= 1, "no corruption was ever detected");
+        // Same seed corrupts the same replicas: a second identical cluster
+        // produces the same observable history.
+        let dfs2 = Dfs::new(
+            DfsConfig { block_size: 8, replication: 3, datanodes: 3 },
+            Network::new(Default::default()),
+        );
+        dfs2.network()
+            .attach_chaos(FaultSchedule::new(ChaosConfig {
+                seed: 5,
+                p_corrupt: 1.0,
+                ..ChaosConfig::off()
+            }));
+        let clk2 = NodeClock::new();
+        dfs2.write("/chaos/blob", &data, &clk2).unwrap();
+        dfs2.read("/chaos/blob", &clk2).unwrap();
+        assert_eq!(dfs2.corrupt_fallbacks(), dfs.corrupt_fallbacks());
+        assert_eq!(clk2.now(), clk.now());
+        let _ = SimTime::ZERO;
     }
 
     #[test]

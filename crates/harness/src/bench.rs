@@ -358,6 +358,13 @@ fn default_out_dir() -> PathBuf {
     start.join("results")
 }
 
+/// The directory bench reports land in: the `PSGRAPH_BENCH_OUT` override
+/// or the workspace `results/`. Public so non-bench report writers
+/// (`repro -- chaos`) put their JSON beside the bench reports.
+pub fn out_dir() -> PathBuf {
+    default_out_dir()
+}
+
 /// The top-level bench driver (criterion's `Criterion` analogue).
 pub struct Harness {
     reports: Vec<GroupReport>,

@@ -6,9 +6,41 @@
 use psgraph_sim::sync::Mutex;
 use psgraph_sim::SimTime;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::rpc::NodeId;
+
+/// Snapshot of one mailbox's admission history. Backpressure loss used to
+/// be invisible (`try_post` returning `false` was the only trace); these
+/// counters make it observable in load reports and bench JSON.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MailboxCounters {
+    /// Messages admitted into the queue.
+    pub accepted: u64,
+    /// Posts refused because the mailbox was full (or chaos-dropped).
+    pub dropped: u64,
+    /// Sender-side retries after a refused post (reported via
+    /// [`Mailbox::note_retry`] / [`Sender::note_retry`]).
+    pub retried: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    dropped: AtomicU64,
+    retried: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> MailboxCounters {
+        MailboxCounters {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// A control-plane message with simulated send time.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,6 +56,7 @@ pub struct Message<T> {
 struct Shared<T> {
     queue: Mutex<VecDeque<Message<T>>>,
     capacity: usize,
+    counters: Counters,
 }
 
 /// A cloneable producer handle onto a [`Mailbox`].
@@ -45,10 +78,22 @@ impl<T> Sender<T> {
     pub fn send(&self, msg: Message<T>) -> Result<(), Message<T>> {
         let mut queue = self.shared.queue.lock();
         if queue.len() >= self.shared.capacity {
+            self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
             return Err(msg);
         }
         queue.push_back(msg);
+        self.shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Record that this producer retried after a refused post.
+    pub fn note_retry(&self) {
+        self.shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admission counters of the mailbox this sender feeds.
+    pub fn counters(&self) -> MailboxCounters {
+        self.shared.counters.snapshot()
     }
 }
 
@@ -68,7 +113,11 @@ impl<T> Default for Mailbox<T> {
 impl<T> Mailbox<T> {
     pub fn new() -> Self {
         Mailbox {
-            shared: Arc::new(Shared { queue: Mutex::default(), capacity: usize::MAX }),
+            shared: Arc::new(Shared {
+                queue: Mutex::default(),
+                capacity: usize::MAX,
+                counters: Counters::default(),
+            }),
         }
     }
 
@@ -77,7 +126,13 @@ impl<T> Mailbox<T> {
     /// admission-control building block for bounded request queues.
     pub fn bounded(capacity: usize) -> Self {
         assert!(capacity > 0, "a zero-capacity mailbox would reject everything");
-        Mailbox { shared: Arc::new(Shared { queue: Mutex::default(), capacity }) }
+        Mailbox {
+            shared: Arc::new(Shared {
+                queue: Mutex::default(),
+                capacity,
+                counters: Counters::default(),
+            }),
+        }
     }
 
     /// The capacity (`usize::MAX` when unbounded).
@@ -107,10 +162,24 @@ impl<T> Mailbox<T> {
     pub fn try_post(&self, from: NodeId, sent_at: SimTime, payload: T) -> bool {
         let mut queue = self.shared.queue.lock();
         if queue.len() >= self.shared.capacity {
+            self.shared.counters.dropped.fetch_add(1, Ordering::Relaxed);
             return false;
         }
         queue.push_back(Message { from, sent_at, payload });
+        self.shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
         true
+    }
+
+    /// Record that a producer retried after a refused post — keeps
+    /// at-least-once senders' extra work visible next to the drops that
+    /// caused it.
+    pub fn note_retry(&self) {
+        self.shared.counters.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Admission counters: accepted/dropped/retried since creation.
+    pub fn counters(&self) -> MailboxCounters {
+        self.shared.counters.snapshot()
     }
 
     /// Drain every pending message.
@@ -174,6 +243,28 @@ mod tests {
         assert!(mb.try_post(NodeId::Driver, SimTime::ZERO, 5));
         let got: Vec<u32> = mb.drain().into_iter().map(|m| m.payload).collect();
         assert_eq!(got, vec![2, 5]);
+    }
+
+    #[test]
+    fn counters_track_accepts_drops_and_retries() {
+        let mb: Mailbox<u32> = Mailbox::bounded(2);
+        assert!(mb.try_post(NodeId::Driver, SimTime::ZERO, 1));
+        assert!(mb.try_post(NodeId::Driver, SimTime::ZERO, 2));
+        assert!(!mb.try_post(NodeId::Driver, SimTime::ZERO, 3));
+        mb.note_retry();
+        let tx = mb.sender();
+        assert!(tx
+            .send(Message { from: NodeId::Driver, sent_at: SimTime::ZERO, payload: 4 })
+            .is_err());
+        tx.note_retry();
+        let c = mb.counters();
+        assert_eq!(c, MailboxCounters { accepted: 2, dropped: 2, retried: 2 });
+        // Sender and mailbox share one counter set.
+        assert_eq!(tx.counters(), c);
+        // Draining frees space; the next accept is counted too.
+        mb.drain();
+        assert!(mb.try_post(NodeId::Driver, SimTime::ZERO, 5));
+        assert_eq!(mb.counters().accepted, 3);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! paper's parameter server under 10 GbE.
 
 pub mod bus;
+pub mod reliable;
 pub mod rpc;
 
-pub use bus::{Mailbox, Message, Sender};
+pub use bus::{Mailbox, MailboxCounters, Message, Sender};
+pub use reliable::{DeliveryError, DeliveryReceipt, IdempotencyFilter, RetryPolicy};
 pub use rpc::{Network, NetworkStats, NodeId, ServicePort};

@@ -2,9 +2,9 @@
 //! service time on the callee.
 
 use psgraph_sim::sync::Mutex;
-use psgraph_sim::{CostModel, NodeClock, SimTime};
+use psgraph_sim::{CostModel, FaultSchedule, FaultSite, NodeClock, SimTime};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Address of a logical node in the simulated cluster.
@@ -17,6 +17,22 @@ pub enum NodeId {
     Datanode(usize),
     /// A read replica in the serving tier (see `psgraph-serve`).
     Replica(usize),
+}
+
+impl NodeId {
+    /// Stable numeric key for chaos hashing: `(tag << 32) | index`. Two
+    /// distinct nodes never collide, and the mapping is independent of
+    /// construction order.
+    pub fn as_key(self) -> u64 {
+        match self {
+            NodeId::Driver => 0,
+            NodeId::Master => 1 << 32,
+            NodeId::Executor(i) => (2 << 32) | i as u64,
+            NodeId::Server(i) => (3 << 32) | i as u64,
+            NodeId::Datanode(i) => (4 << 32) | i as u64,
+            NodeId::Replica(i) => (5 << 32) | i as u64,
+        }
+    }
 }
 
 impl fmt::Display for NodeId {
@@ -111,11 +127,21 @@ impl ServicePort {
     }
 }
 
+/// Chaos attachment point shared by every clone of a [`Network`]. The
+/// `active` flag is checked lock-free so fault-free runs pay one relaxed
+/// atomic load per RPC and stay bit-identical to a build without chaos.
+#[derive(Debug, Default)]
+struct ChaosCell {
+    active: AtomicBool,
+    sched: Mutex<FaultSchedule>,
+}
+
 /// The simulated network: cost model + stats. Cheap to clone and share.
 #[derive(Debug, Clone)]
 pub struct Network {
     cost: Arc<CostModel>,
     stats: Arc<NetworkStats>,
+    chaos: Arc<ChaosCell>,
 }
 
 impl Network {
@@ -123,6 +149,7 @@ impl Network {
         Network {
             cost: Arc::new(cost),
             stats: Arc::new(NetworkStats::default()),
+            chaos: Arc::new(ChaosCell::default()),
         }
     }
 
@@ -132,6 +159,29 @@ impl Network {
 
     pub fn stats(&self) -> &NetworkStats {
         &self.stats
+    }
+
+    /// Attach a fault schedule: every clone of this network (and every
+    /// subsystem holding one) starts consulting it. Attaching
+    /// [`FaultSchedule::off`] detaches.
+    pub fn attach_chaos(&self, sched: FaultSchedule) {
+        let active = sched.is_active();
+        *self.chaos.sched.lock() = sched;
+        self.chaos.active.store(active, Ordering::Release);
+    }
+
+    /// The currently attached fault schedule (off by default).
+    pub fn chaos(&self) -> FaultSchedule {
+        self.chaos.sched.lock().clone()
+    }
+
+    /// Cheap check-then-clone: `None` unless a live schedule is attached.
+    pub(crate) fn chaos_if_active(&self) -> Option<FaultSchedule> {
+        if self.chaos.active.load(Ordering::Acquire) {
+            Some(self.chaos.sched.lock().clone())
+        } else {
+            None
+        }
     }
 
     /// A synchronous RPC from `client` to `port`.
@@ -150,7 +200,16 @@ impl Network {
         resp_bytes: u64,
     ) -> SimTime {
         let sent_at = client.now();
-        let arrival = sent_at + self.cost.net_cost(req_bytes);
+        let mut arrival = sent_at + self.cost.net_cost(req_bytes);
+        if let Some(chaos) = self.chaos_if_active() {
+            // Keyed by the call *shape* (callee + sizes + work), not by a
+            // draw counter: the same logical call is perturbed identically
+            // on every run and under any thread interleaving, which keeps
+            // chaos runs replayable from the seed alone (determinism rule,
+            // DESIGN.md "Fault model").
+            let lane = req_bytes ^ resp_bytes.rotate_left(21) ^ server_ops.rotate_left(42);
+            arrival += chaos.delay(FaultSite::Rpc, port.id.as_key(), lane);
+        }
         let done = port.serve(arrival, self.cost.cpu_cost(server_ops));
         let back = done + self.cost.net_cost(resp_bytes);
         client.sync_to(back);
@@ -273,6 +332,60 @@ mod tests {
         assert_eq!(to.now(), arrival);
         // Sender only paid latency, not full wire time of a big message.
         assert!(from.now() < arrival + SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn attached_chaos_perturbs_rpc_latency_deterministically() {
+        use psgraph_sim::ChaosConfig;
+        let cfg = ChaosConfig {
+            seed: 7,
+            p_delay: 1.0,
+            max_delay: SimTime(1_000_000),
+            ..ChaosConfig::off()
+        };
+        let plain = {
+            let n = net();
+            let c = NodeClock::new();
+            let port = ServicePort::new(NodeId::Server(0));
+            n.rpc(&c, &port, 1000, 1000, 1000)
+        };
+        let run = || {
+            let n = net();
+            n.attach_chaos(FaultSchedule::new(cfg));
+            let c = NodeClock::new();
+            let port = ServicePort::new(NodeId::Server(0));
+            n.rpc(&c, &port, 1000, 1000, 1000)
+        };
+        let (a, b) = (run(), run());
+        assert!(a > plain, "chaos delay did not lengthen the rtt: {a} vs {plain}");
+        assert_eq!(a, b, "same seed + same call shape must perturb identically");
+        // Detaching restores the exact fault-free timeline.
+        let n = net();
+        n.attach_chaos(FaultSchedule::new(cfg));
+        n.attach_chaos(FaultSchedule::off());
+        let c = NodeClock::new();
+        let port = ServicePort::new(NodeId::Server(0));
+        assert_eq!(n.rpc(&c, &port, 1000, 1000, 1000), plain);
+    }
+
+    #[test]
+    fn node_id_keys_are_unique() {
+        let ids = [
+            NodeId::Driver,
+            NodeId::Master,
+            NodeId::Executor(0),
+            NodeId::Executor(1),
+            NodeId::Server(0),
+            NodeId::Server(1),
+            NodeId::Datanode(0),
+            NodeId::Replica(0),
+            NodeId::Replica(1),
+        ];
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(a.as_key(), b.as_key(), "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -175,8 +175,16 @@ impl Ps {
         killed
     }
 
-    fn ckpt_path(name: &str, partition: usize) -> String {
-        format!("/ckpt/{name}/part-{partition:05}")
+    /// Checkpoint file layout. Generational checkpoints live in their own
+    /// directory so writing generation `g` never touches generation `g-1`:
+    /// a crash *during* checkpointing leaves the previous generation fully
+    /// intact instead of a half-overwritten mix (write-then-publish
+    /// atomicity, the simulated stand-in for HDFS rename).
+    fn ckpt_path_gen(generation: Option<u64>, name: &str, partition: usize) -> String {
+        match generation {
+            None => format!("/ckpt/{name}/part-{partition:05}"),
+            Some(g) => format!("/ckpt/gen-{g:06}/{name}/part-{partition:05}"),
+        }
     }
 
     /// Checkpoint every partition of every registered object to the DFS
@@ -186,9 +194,28 @@ impl Ps {
     pub fn checkpoint_all(&self, dfs: &Dfs) -> Result<()> {
         let registry = self.registry.read();
         for ops in registry.values() {
-            self.checkpoint_object(dfs, ops.as_ref())?;
+            self.checkpoint_object(dfs, ops.as_ref(), None)?;
         }
         Ok(())
+    }
+
+    /// Checkpoint every registered object into generation `g`'s directory.
+    /// Callers treat the generation as published only after this returns
+    /// `Ok` — a crash partway through leaves earlier generations untouched
+    /// and recoverable.
+    pub fn checkpoint_all_generation(&self, dfs: &Dfs, g: u64) -> Result<()> {
+        let registry = self.registry.read();
+        for ops in registry.values() {
+            self.checkpoint_object(dfs, ops.as_ref(), Some(g))?;
+        }
+        Ok(())
+    }
+
+    /// Delete a published-and-superseded checkpoint generation.
+    pub fn discard_checkpoint_generation(&self, dfs: &Dfs, g: u64) {
+        for path in dfs.list(&format!("/ckpt/gen-{g:06}/")) {
+            dfs.delete(&path);
+        }
     }
 
     /// Checkpoint a single registered object by name.
@@ -199,16 +226,25 @@ impl Ps {
             .get(name)
             .cloned()
             .ok_or_else(|| PsError::NotFound(name.to_string()))?;
-        self.checkpoint_object(dfs, ops.as_ref())
+        self.checkpoint_object(dfs, ops.as_ref(), None)
     }
 
-    fn checkpoint_object(&self, dfs: &Dfs, ops: &dyn ObjectOps) -> Result<()> {
+    fn checkpoint_object(
+        &self,
+        dfs: &Dfs,
+        ops: &dyn ObjectOps,
+        generation: Option<u64>,
+    ) -> Result<()> {
         let layout = ops.layout();
         for p in 0..layout.num_partitions {
             let server = &self.servers[layout.server_of_partition(p)];
             server.ensure_alive()?;
             let bytes = ops.encode_partition(server, p)?;
-            dfs.write(&Self::ckpt_path(ops.name(), p), &bytes, server.port().clock())?;
+            dfs.write(
+                &Self::ckpt_path_gen(generation, ops.name(), p),
+                &bytes,
+                server.port().clock(),
+            )?;
         }
         Ok(())
     }
@@ -219,6 +255,28 @@ impl Ps {
     /// server) back to the checkpoint. `clock` is the driver/master clock
     /// observing the recovery.
     pub fn recover_server(&self, id: usize, dfs: &Dfs, clock: &NodeClock) -> Result<()> {
+        self.recover_server_impl(id, dfs, clock, None)
+    }
+
+    /// [`Ps::recover_server`], restoring from a specific checkpoint
+    /// generation (see [`Ps::checkpoint_all_generation`]).
+    pub fn recover_server_from_generation(
+        &self,
+        id: usize,
+        dfs: &Dfs,
+        clock: &NodeClock,
+        g: u64,
+    ) -> Result<()> {
+        self.recover_server_impl(id, dfs, clock, Some(g))
+    }
+
+    fn recover_server_impl(
+        &self,
+        id: usize,
+        dfs: &Dfs,
+        clock: &NodeClock,
+        generation: Option<u64>,
+    ) -> Result<()> {
         let server = Arc::clone(&self.servers[id]);
         server.ensure_alive()?;
         let registry = self.registry.read();
@@ -227,13 +285,13 @@ impl Ps {
             match ops.recovery_mode() {
                 RecoveryMode::Inconsistent => {
                     for p in layout.partitions_of_server(id) {
-                        self.restore_partition(dfs, ops.as_ref(), p, &server)?;
+                        self.restore_partition(dfs, ops.as_ref(), p, &server, generation)?;
                     }
                 }
                 RecoveryMode::Consistent => {
                     for p in 0..layout.num_partitions {
                         let target = &self.servers[layout.server_of_partition(p)];
-                        self.restore_partition(dfs, ops.as_ref(), p, target)?;
+                        self.restore_partition(dfs, ops.as_ref(), p, target, generation)?;
                     }
                 }
             }
@@ -248,8 +306,9 @@ impl Ps {
         ops: &dyn ObjectOps,
         partition: usize,
         server: &Arc<PsServer>,
+        generation: Option<u64>,
     ) -> Result<()> {
-        let path = Self::ckpt_path(ops.name(), partition);
+        let path = Self::ckpt_path_gen(generation, ops.name(), partition);
         if !dfs.exists(&path) {
             return Err(PsError::NoCheckpoint(format!("{}[{partition}]", ops.name())));
         }

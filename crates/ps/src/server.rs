@@ -5,7 +5,7 @@ use psgraph_sim::sync::RwLock;
 use psgraph_net::{NodeId, ServicePort};
 use psgraph_sim::{FxHashMap, MemoryMeter, SimTime};
 use std::any::Any;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use crate::error::{PsError, Result};
 
@@ -24,6 +24,12 @@ pub struct PsServer {
     port: ServicePort,
     memory: MemoryMeter,
     alive: AtomicBool,
+    /// Incarnation number, bumped on every [`PsServer::kill`]. Folded into
+    /// the version base of partitions created after a restart so a
+    /// recovered partition's version can never coincide with a pre-crash
+    /// version recorded in a snapshot manifest — the delta writer's
+    /// "version differs ⇒ dirty" check stays sound across crashes.
+    epoch: AtomicU64,
     store: RwLock<FxHashMap<(String, usize), StoredPartition>>,
 }
 
@@ -44,6 +50,7 @@ impl PsServer {
             port: ServicePort::new(NodeId::Server(id)),
             memory: MemoryMeter::new(format!("ps-server-{id}"), memory_budget),
             alive: AtomicBool::new(true),
+            epoch: AtomicU64::new(0),
             store: RwLock::default(),
         }
     }
@@ -76,8 +83,14 @@ impl PsServer {
     /// Kill: all in-memory partitions and accounting are lost.
     pub fn kill(&self) {
         self.alive.store(false, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::AcqRel);
         self.store.write().clear();
         self.memory.clear();
+    }
+
+    /// Current incarnation (0 until the first kill).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// Restart at simulated time `t` with an empty store (recovery
@@ -98,7 +111,10 @@ impl PsServer {
         self.ensure_alive()?;
         let mut store = self.store.write();
         let key = (name.to_string(), partition);
-        let mut version = 0;
+        // Fresh partitions (e.g. restored after a crash wiped the store)
+        // start their version count in the current epoch's range; replaced
+        // ones continue their own count.
+        let mut version = self.epoch.load(Ordering::Acquire) << 32;
         if let Some(old) = store.remove(&key) {
             self.memory.free(old.bytes);
             version = old.version;
@@ -312,6 +328,24 @@ mod tests {
         s.insert("v", 0, vec![0.0f64; 2], 16).unwrap();
         assert_eq!(s.version("v", 0).unwrap(), 3, "replace continues the count");
         assert!(matches!(s.version("v", 1), Err(PsError::NotFound(_))));
+    }
+
+    #[test]
+    fn post_restart_versions_never_collide_with_pre_crash_ones() {
+        let s = PsServer::new(0, 1 << 20);
+        s.insert("v", 0, 1u64, 8).unwrap();
+        s.update("v", 0, |x: &mut u64| *x = 2).unwrap();
+        let pre = s.version("v", 0).unwrap();
+        s.kill();
+        s.restart(SimTime::from_secs(1));
+        assert_eq!(s.epoch(), 1);
+        // Recovery re-inserts the partition; even after exactly as many
+        // writes as before the crash, the version lives in a new range.
+        s.insert("v", 0, 1u64, 8).unwrap();
+        s.update("v", 0, |x: &mut u64| *x = 2).unwrap();
+        let post = s.version("v", 0).unwrap();
+        assert_ne!(pre, post, "a restored partition echoed a pre-crash version");
+        assert_eq!(post, (1 << 32) + 2);
     }
 
     #[test]

@@ -167,6 +167,11 @@ pub struct LoadReport {
     pub cache_misses: u64,
     /// `cache_hits / (cache_hits + cache_misses)` for this run alone.
     pub hit_rate: f64,
+    /// Replica completion-queue entries dropped at saturation during this
+    /// run (summed over replicas; per-run delta like the cache counters).
+    pub mailbox_dropped: u64,
+    /// Sender-side retries recorded against replica queues this run.
+    pub mailbox_retried: u64,
     /// First arrival to last completion.
     pub makespan: SimTime,
     /// Arrival time of each issued query, indexed by query index — lets
@@ -270,6 +275,13 @@ pub fn run_with(
     let mut rng = SplitMix64::new(wl.seed);
     let hits0 = cluster.frontend().cache().hits();
     let misses0 = cluster.frontend().cache().misses();
+    let queue_sum = |cluster: &ServeCluster| {
+        cluster.replicas().iter().fold((0u64, 0u64), |(d, r), rep| {
+            let c = rep.queue_counters();
+            (d + c.dropped, r + c.retried)
+        })
+    };
+    let (dropped0, retried0) = queue_sum(cluster);
     let mut queries: Vec<Query> = Vec::with_capacity(wl.queries);
     let mut issued_at: Vec<SimTime> = Vec::with_capacity(wl.queries);
     let mut outcomes: Vec<(usize, Outcome)> = Vec::with_capacity(wl.queries);
@@ -353,9 +365,12 @@ pub fn run_with(
         }
     }
     // Let restarts still in flight at the last arrival complete, so a
-    // late kill's recovery is observable in the monitor's event log.
+    // late kill's recovery is observable in the monitor's event log. The
+    // drain horizon covers the grace window (two silent rounds), the
+    // round quantization, and the restart itself.
     if let Some(m) = monitor {
-        m.tick(cluster, t_last + cluster.network().cost_model().restart_overhead());
+        let cost = cluster.network().cost_model().clone();
+        m.tick(cluster, t_last + cost.failure_detect.scale(3.0) + cost.restart_overhead());
     }
 
     let mut answered = 0;
@@ -385,6 +400,7 @@ pub fn run_with(
     let cache_hits = cache.hits() - hits0;
     let cache_misses = cache.misses() - misses0;
     let lookups = cache_hits + cache_misses;
+    let (dropped1, retried1) = queue_sum(cluster);
     LoadReport {
         issued: wl.queries,
         answered,
@@ -393,6 +409,8 @@ pub fn run_with(
         cache_hits,
         cache_misses,
         hit_rate: if lookups == 0 { 0.0 } else { cache_hits as f64 / lookups as f64 },
+        mailbox_dropped: dropped1 - dropped0,
+        mailbox_retried: retried1 - retried0,
         makespan,
         issued_at,
         latencies,
@@ -446,6 +464,8 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             hit_rate: 0.0,
+            mailbox_dropped: 0,
+            mailbox_retried: 0,
             makespan: SimTime::ZERO,
             issued_at,
             latencies,

@@ -2,22 +2,32 @@
 //! auto-restart.
 //!
 //! The serving analogue of the `ps::master` health-check loop. A
-//! [`Monitor`] pings every replica once per `failure_detect` period; a
-//! dead replica costs two RPC timeouts to declare, then a container
-//! restart is scheduled `container_restart` later, after which the
-//! replica [rejoins](crate::cluster::ServeCluster::revive_replica) the
-//! router's rotation. Both delays come from the cluster's [`CostModel`],
-//! so `repro -- serve` shows tail latency degrading at the kill and
-//! recovering once the restart lands — the Table II story, replayed
-//! against the online tier.
+//! [`Monitor`] pings every replica once per `failure_detect` period and
+//! tracks *when each replica was last heard from* — the response-arrival
+//! bookkeeping a real watchdog has, rather than an oracle view of
+//! liveness. A replica is declared dead only when nothing has been heard
+//! from it for a full **grace window** (two ping intervals), which costs
+//! two RPC timeouts on top; then a container restart is scheduled
+//! `container_restart` later, after which the replica
+//! [rejoins](crate::cluster::ServeCluster::revive_replica) the router's
+//! rotation.
+//!
+//! The grace window is what makes the monitor safe under fault
+//! injection: a heartbeat response that is merely *delayed* (the
+//! [`psgraph_sim::FaultSite::Heartbeat`] chaos site) does not trigger a
+//! restart as long as it arrives within the grace window, and a response
+//! delayed even longer cancels the pending spurious restart when it
+//! lands ([`Monitor::restarts_cancelled`]). Only sustained silence — an
+//! actually dead replica — survives to a completed restart.
 //!
 //! The monitor is driven from the load generator's simulated timeline:
 //! [`Monitor::tick`] is called between queries and performs every
 //! heartbeat round that became due, so detection latency is quantized to
 //! the heartbeat period exactly as a real watchdog's would be.
 
+use psgraph_sim::chaos::FaultSite;
 use psgraph_sim::sync::Mutex;
-use psgraph_sim::{CostModel, NodeClock, SimTime};
+use psgraph_sim::{CostModel, FxHashMap, NodeClock, SimTime};
 
 use crate::cluster::ServeCluster;
 
@@ -26,8 +36,8 @@ use crate::cluster::ServeCluster;
 pub struct RecoveryEvent {
     /// Global id of the replica that died.
     pub replica: usize,
-    /// When the heartbeat round declared it dead (includes the two RPC
-    /// timeouts).
+    /// When the heartbeat round declared it dead (grace window expired,
+    /// plus the two RPC timeouts).
     pub detected_at: SimTime,
     /// When the restarted replica rejoined the rotation.
     pub rejoined_at: SimTime,
@@ -37,18 +47,53 @@ pub struct RecoveryEvent {
 struct State {
     /// Next heartbeat round fires at this simulated time.
     next_check: SimTime,
-    /// Replicas detected dead, awaiting restart: `(id, detected_at,
+    /// Heartbeat responses still in flight: `(replica id, arrival time)`.
+    inflight: Vec<(usize, SimTime)>,
+    /// Last response arrival per replica. Absence means never heard from
+    /// (treated as last heard at `SimTime::ZERO`, when the monitor was
+    /// installed alongside a presumed-healthy cluster).
+    last_heard: FxHashMap<usize, SimTime>,
+    /// Replicas declared dead, awaiting restart: `(id, detected_at,
     /// rejoin_at)`.
     pending: Vec<(usize, SimTime, SimTime)>,
     events: Vec<RecoveryEvent>,
     checks_run: u64,
     restarts: u64,
+    restarts_cancelled: u64,
+}
+
+impl State {
+    /// Absorb every response that has arrived by `now`: advance
+    /// `last_heard` and cancel pending restarts for replicas that turned
+    /// out to be alive (their delayed heartbeat outran the restart).
+    fn absorb_arrivals(&mut self, now: SimTime) {
+        let mut arrived = Vec::new();
+        self.inflight.retain(|&(id, at)| {
+            if at <= now {
+                arrived.push((id, at));
+                false
+            } else {
+                true
+            }
+        });
+        for (id, at) in arrived {
+            let heard = self.last_heard.entry(id).or_insert(SimTime::ZERO);
+            *heard = (*heard).max(at);
+            if let Some(i) = self.pending.iter().position(|&(pid, _, _)| pid == id) {
+                self.pending.remove(i);
+                self.restarts_cancelled += 1;
+            }
+        }
+    }
 }
 
 /// Heartbeat monitor over a [`ServeCluster`]'s replicas.
 #[derive(Debug)]
 pub struct Monitor {
     cost: CostModel,
+    /// Silence longer than this declares a replica dead — two ping
+    /// intervals, so one delayed (or lost) heartbeat is never enough.
+    grace: SimTime,
     /// The monitor's own clock — heartbeat RPCs charge it, not the
     /// query path.
     clock: NodeClock,
@@ -58,7 +103,17 @@ pub struct Monitor {
 impl Monitor {
     pub fn new(cost: CostModel) -> Self {
         let state = State { next_check: cost.failure_detect, ..State::default() };
-        Monitor { cost, clock: NodeClock::new(), state: Mutex::new(state) }
+        Monitor {
+            grace: cost.failure_detect.scale(2.0),
+            cost,
+            clock: NodeClock::new(),
+            state: Mutex::new(state),
+        }
+    }
+
+    /// The silence window after which a replica is declared dead.
+    pub fn grace(&self) -> SimTime {
+        self.grace
     }
 
     /// Heartbeat rounds completed so far.
@@ -66,9 +121,22 @@ impl Monitor {
         self.state.lock().checks_run
     }
 
-    /// Restarts scheduled so far (including ones not yet rejoined).
+    /// Restarts scheduled so far (including cancelled and not-yet-rejoined
+    /// ones).
     pub fn restarts(&self) -> u64 {
         self.state.lock().restarts
+    }
+
+    /// Scheduled restarts cancelled because the replica was heard from
+    /// before the restart landed — spurious detections that chaos-delayed
+    /// heartbeats produced and the grace machinery absorbed.
+    pub fn restarts_cancelled(&self) -> u64 {
+        self.state.lock().restarts_cancelled
+    }
+
+    /// Restarts scheduled but not yet completed or cancelled.
+    pub fn restarts_pending(&self) -> u64 {
+        self.state.lock().pending.len() as u64
     }
 
     /// Every completed recovery, in rejoin order.
@@ -77,28 +145,45 @@ impl Monitor {
     }
 
     /// Advance the monitor to `now`: run every heartbeat round that came
-    /// due, schedule restarts for newly detected deaths, and rejoin
+    /// due (absorbing response arrivals first), declare replicas silent
+    /// past the grace window dead, schedule their restarts, and rejoin
     /// replicas whose restart completed. Returns the recoveries that
     /// finished during this tick.
     pub fn tick(&self, cluster: &ServeCluster, now: SimTime) -> Vec<RecoveryEvent> {
         let mut st = self.state.lock();
+        let st = &mut *st;
+        let chaos = cluster.network().chaos();
         while st.next_check <= now {
             let t = st.next_check;
             self.clock.sync_to(t);
             st.checks_run += 1;
+            st.absorb_arrivals(t);
             for rep in cluster.replicas() {
+                let id = rep.global_id();
                 if rep.is_alive() {
+                    // The ping round-trips; chaos may hold the response
+                    // up. The monitor learns of the reply only when it
+                    // arrives (`absorb_arrivals` at a later round), never
+                    // from `is_alive` directly.
                     cluster.network().rpc(&self.clock, rep.port(), 16, 8, 16);
-                } else if !st.pending.iter().any(|&(id, _, _)| id == rep.global_id()) {
-                    // Pings fan out in parallel at the round start; two
-                    // timed-out pings declare the replica dead, then the
-                    // restart is scheduled — the same charges as the PS
-                    // master's recovery path. Detection is computed from
-                    // `t`, not the monitor's clock, so accounting drift
-                    // from the healthy pings never delays recovery.
+                    let mut arrival = t + self.cost.net_latency + self.cost.net_latency;
+                    if chaos.is_active() {
+                        arrival += chaos.delay(FaultSite::Heartbeat, id as u64, st.checks_run);
+                    }
+                    st.inflight.push((id, arrival));
+                }
+                let heard = st.last_heard.get(&id).copied().unwrap_or(SimTime::ZERO);
+                let suspect = t.saturating_sub(heard) >= self.grace;
+                if suspect && !st.pending.iter().any(|&(pid, _, _)| pid == id) {
+                    // Silence past the grace window: two timed-out pings
+                    // confirm, then the restart is scheduled — the same
+                    // charges as the PS master's recovery path. Detection
+                    // is computed from `t`, not the monitor's clock, so
+                    // accounting drift from the healthy pings never
+                    // delays recovery.
                     let detected = t + self.cost.net_latency + self.cost.net_latency;
                     st.pending.push((
-                        rep.global_id(),
+                        id,
                         detected,
                         detected + self.cost.container_restart,
                     ));
@@ -107,17 +192,34 @@ impl Monitor {
             }
             st.next_check = t + self.cost.failure_detect;
         }
+        st.absorb_arrivals(now);
 
-        let mut completed = Vec::new();
+        let mut due = Vec::new();
         st.pending.retain(|&(id, detected_at, rejoin_at)| {
             if rejoin_at <= now {
-                cluster.revive_replica(id);
-                completed.push(RecoveryEvent { replica: id, detected_at, rejoined_at: rejoin_at });
+                due.push((id, detected_at, rejoin_at));
                 false
             } else {
                 true
             }
         });
+        let mut completed = Vec::new();
+        for (id, detected_at, rejoin_at) in due {
+            // The container runtime finds the process already healthy
+            // when a very late heartbeat straggles in after the restart
+            // was dispatched: a no-op, not a bounce.
+            if cluster.replicas()[id].is_alive() {
+                st.restarts_cancelled += 1;
+                continue;
+            }
+            cluster.revive_replica(id);
+            // The restart process itself heard from the fresh replica —
+            // without this the revived replica looks grace-window silent
+            // at the very next round and is re-suspected forever.
+            let heard = st.last_heard.entry(id).or_insert(SimTime::ZERO);
+            *heard = (*heard).max(rejoin_at);
+            completed.push(RecoveryEvent { replica: id, detected_at, rejoined_at: rejoin_at });
+        }
         st.events.extend(completed.iter().copied());
         completed
     }
@@ -127,6 +229,7 @@ impl Monitor {
 mod tests {
     use super::*;
     use crate::cluster::{ServeCluster, ServeConfig};
+    use psgraph_sim::chaos::{ChaosConfig, FaultSchedule};
 
     fn cluster() -> ServeCluster {
         ServeCluster::demo(24, 4, &ServeConfig::default()).unwrap().0
@@ -139,9 +242,9 @@ mod tests {
         let period = c.network().cost_model().failure_detect;
         assert!(m.tick(&c, period.scale(0.5)).is_empty(), "nothing due yet");
         assert_eq!(m.checks_run(), 0);
-        m.tick(&c, period.scale(3.5));
-        assert_eq!(m.checks_run(), 3, "one round per elapsed period");
-        assert_eq!(m.restarts(), 0);
+        m.tick(&c, period.scale(6.5));
+        assert_eq!(m.checks_run(), 6, "one round per elapsed period");
+        assert_eq!(m.restarts(), 0, "responsive replicas are never suspected");
         assert!(m.events().is_empty());
     }
 
@@ -153,27 +256,96 @@ mod tests {
         assert!(c.kill_replica(1));
         assert_eq!(c.live_replicas(), 3);
 
-        // First round detects; the restart is still in flight.
+        // One silent round is within grace — no restart yet.
         assert!(m.tick(&c, cost.failure_detect).is_empty());
+        assert_eq!(m.restarts(), 0, "grace window absorbs one silent round");
+
+        // A full grace window of silence declares it dead; the restart is
+        // still in flight.
+        assert!(m.tick(&c, m.grace()).is_empty());
         assert_eq!(m.restarts(), 1);
         assert_eq!(c.live_replicas(), 3, "not back until the restart lands");
 
-        // Once detection + restart has elapsed, the replica rejoins.
-        let done = cost.failure_detect + cost.restart_overhead();
+        // Once grace + detection + restart has elapsed, it rejoins.
+        let done = m.grace() + cost.restart_overhead();
         let events = m.tick(&c, done);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].replica, 1);
-        assert!(events[0].detected_at >= cost.failure_detect);
-        assert!(events[0].rejoined_at >= events[0].detected_at + cost.container_restart);
+        let detected = m.grace() + cost.net_latency + cost.net_latency;
+        assert_eq!(events[0].detected_at, detected);
+        assert_eq!(events[0].rejoined_at, detected + cost.container_restart);
         assert_eq!(c.live_replicas(), 4);
+        assert_eq!(m.restarts_cancelled(), 0);
 
         // Detection is not re-reported, and the replica can die again.
-        assert!(m.tick(&c, done + cost.failure_detect).is_empty());
+        m.tick(&c, done + m.grace());
         assert_eq!(m.restarts(), 1);
         assert!(c.kill_replica(1));
-        m.tick(&c, done + cost.failure_detect.scale(2.0) + cost.restart_overhead());
+        m.tick(
+            &c,
+            done + m.grace().scale(2.0) + cost.restart_overhead() + cost.failure_detect,
+        );
         assert_eq!(m.restarts(), 2);
         assert_eq!(m.events().len(), 2);
         assert_eq!(c.live_replicas(), 4);
+    }
+
+    /// Satellite regression: a heartbeat response that is delayed — even
+    /// past the grace window — must never bounce an alive replica. Delays
+    /// within grace never schedule a restart at all; longer ones are
+    /// cancelled when the straggler arrives.
+    #[test]
+    fn delayed_but_alive_replica_is_never_restarted() {
+        let c = cluster();
+        let cost = c.network().cost_model().clone();
+        let fd = cost.failure_detect;
+
+        // Every response delayed, but by less than one ping interval:
+        // gaps stay under the grace window, nothing is even suspected.
+        let mild = FaultSchedule::new(ChaosConfig {
+            seed: 0xD1A7,
+            p_delay: 1.0,
+            max_delay: fd,
+            ..ChaosConfig::off()
+        });
+        c.network().attach_chaos(mild);
+        let m = Monitor::new(cost.clone());
+        m.tick(&c, fd.scale(30.0));
+        assert_eq!(m.restarts(), 0, "delays within grace never suspect");
+        assert!(m.events().is_empty());
+        assert_eq!(c.live_replicas(), 4);
+
+        // Savage delays (up to 4 ping intervals): silences can exceed the
+        // grace window and schedule restarts, but the late responses (or
+        // the healthy process found at restart time) cancel every one —
+        // no alive replica is ever bounced, and the run is deterministic.
+        let run = |seed: u64| {
+            let c = cluster();
+            let savage = FaultSchedule::new(ChaosConfig {
+                seed,
+                p_delay: 1.0,
+                max_delay: fd.scale(4.0),
+                ..ChaosConfig::off()
+            });
+            c.network().attach_chaos(savage);
+            let m = Monitor::new(cost.clone());
+            for k in 1..=60u32 {
+                m.tick(&c, fd.scale(k as f64));
+            }
+            m.tick(&c, fd.scale(60.0) + cost.restart_overhead().scale(2.0));
+            assert!(
+                m.events().is_empty(),
+                "an alive replica was bounced despite only delayed heartbeats"
+            );
+            assert_eq!(c.live_replicas(), 4);
+            assert_eq!(
+                m.restarts(),
+                m.restarts_cancelled() + m.restarts_pending(),
+                "every matured spurious restart must be cancelled"
+            );
+            (m.restarts(), m.restarts_cancelled(), m.checks_run())
+        };
+        let a = run(0xBEEF);
+        assert_eq!(a, run(0xBEEF), "chaos-delayed monitoring is deterministic");
     }
 }

@@ -375,6 +375,14 @@ impl Replica {
     pub fn record_completion(&self, arrival: SimTime, done: SimTime) -> bool {
         self.pending.try_post(NodeId::Replica(self.global_id), arrival, done)
     }
+
+    /// Admission counters of the completion queue. `dropped` counts
+    /// saturated [`Replica::record_completion`] calls — silent
+    /// load-undercounting made observable ([`crate::LoadReport`] and the
+    /// serve benches surface the per-run deltas).
+    pub fn queue_counters(&self) -> psgraph_net::MailboxCounters {
+        self.pending.counters()
+    }
 }
 
 #[cfg(test)]

@@ -11,6 +11,7 @@
 //! needing a thousand machines.
 
 pub mod bytes;
+pub mod chaos;
 pub mod clock;
 pub mod cost;
 pub mod failpoint;
@@ -20,6 +21,7 @@ pub mod rng;
 pub mod sync;
 
 pub use bytes::{Buf, BufMut, Bytes};
+pub use chaos::{ChaosConfig, FaultSchedule, FaultSite, FaultStats};
 pub use clock::{ClusterClock, NodeClock, SimTime, Watermark};
 pub use cost::CostModel;
 pub use failpoint::{FailAction, FailPlan, FailureInjector};

@@ -151,6 +151,30 @@ impl Ingestor {
         self.watermark.now()
     }
 
+    /// Admission counters of the ingest mailbox (accepted / dropped /
+    /// retried) — backpressure loss made observable.
+    pub fn mailbox_counters(&self) -> psgraph_net::MailboxCounters {
+        self.mailbox.counters()
+    }
+
+    /// Record a sender-side retry after a refused [`Ingestor::offer`].
+    pub fn note_offer_retry(&self) {
+        self.mailbox.note_retry();
+    }
+
+    /// Crash recovery: drop any in-flight (undrained) events and rewind
+    /// the watermark to `at` — the watermark recorded by the checkpoint
+    /// the PS state was just rolled back to. The event-log replay then
+    /// re-offers everything after the checkpoint; re-applying events the
+    /// crashed run had already absorbed is safe because slot application
+    /// is idempotent (duplicate adds and missing removes are skipped, and
+    /// degree deltas derive from actual list changes).
+    pub fn reset_for_replay(&mut self, at: SimTime) {
+        self.mailbox.drain();
+        self.watermark = Watermark::new();
+        self.watermark.observe(at);
+    }
+
     /// How far processing trails event time at `at`.
     pub fn freshness_lag(&self, at: SimTime) -> SimTime {
         self.watermark.lag(at)

@@ -25,9 +25,11 @@
 pub mod error;
 pub mod events;
 pub mod ingest;
+pub mod recovery;
 pub mod refresh;
 
 pub use error::{Result, StreamError};
 pub use events::{DriftRmat, DriftRmatSource, EdgeEvent, EdgeOp, EventLog};
 pub use ingest::{BatchEffect, IngestConfig, IngestStats, Ingestor};
+pub use recovery::{replay_from_log, StreamCheckpoint};
 pub use refresh::{RefreshConfig, RefreshDriver, SwapRecord};

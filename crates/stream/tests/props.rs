@@ -6,11 +6,16 @@
 use std::sync::Arc;
 
 use psgraph_core::algos::{IncrementalCc, IncrementalPageRank};
+use psgraph_dfs::Dfs;
 use psgraph_graph::{metrics, EdgeList};
+use psgraph_harness::prop::{check, Source};
+use psgraph_harness::prop_assert_eq;
 use psgraph_net::rpc::NodeId;
 use psgraph_ps::{NeighborTableHandle, Partitioner, Ps, PsConfig, RecoveryMode};
 use psgraph_sim::{FxHashMap, NodeClock, SimTime, SplitMix64};
-use psgraph_stream::{DriftRmat, EdgeEvent, EdgeOp, IngestConfig, Ingestor};
+use psgraph_stream::{
+    replay_from_log, DriftRmat, EdgeEvent, EdgeOp, EventLog, IngestConfig, Ingestor,
+};
 
 /// Drive `events` through the ingestor in micro-batches of `batch`,
 /// keeping the incremental maintainers in lockstep. Returns the live
@@ -219,4 +224,162 @@ fn drift_source_through_ingestor_preserves_live_set() {
     }
     // The stream really exercised the at-least-once path.
     assert!(h.ingestor.stats().skipped > 0, "expected duplicate adds in an RMAT stream");
+}
+
+#[test]
+fn event_log_replay_is_idempotent_after_crash() {
+    // Crash-recovery property over any stream, batch size, and rewind
+    // point, in two flavors mirroring the two real crash modes:
+    //
+    // 1. Ingestor crash, PS survives: the ingestor loses its stream
+    //    position and re-applies an *already-applied* batch suffix from
+    //    the DFS event log. Idempotent slot application (duplicate adds
+    //    and missing removes are skipped) must leave the live edge sets,
+    //    degrees, and watermark identical to a run that never crashed.
+    //    (List *order* may legally differ: a skipped duplicate add does
+    //    not consume the tombstone slot the first application did.)
+    //
+    // 2. PS crash: servers restored from the checkpoint generation taken
+    //    at the rewind boundary, then the suffix replays. This is the
+    //    `recovery` module protocol and must be *byte-identical* — slot
+    //    order included — to the fault-free run.
+    check(
+        "event_log_replay_is_idempotent_after_crash",
+        |src: &mut Source| {
+            let n = src.u64_range(6, 48);
+            let total = src.usize_range(40, 220);
+            let batch = [4usize, 8, 16, 32][src.choice(4) as usize];
+            // Raw rewind draw; reduced mod the actual batch count once the
+            // stream is generated (self-loop draws emit nothing).
+            let rewind_raw = src.usize_range(0, 4096);
+            let seed = src.u64_range(0, u64::MAX - 1);
+            (n, total, batch, rewind_raw, seed)
+        },
+        |&(n, total, batch, rewind_raw, seed)| {
+            let dfs = Dfs::in_memory();
+            let client = NodeClock::new();
+            let mut rng = SplitMix64::new(seed);
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            let mut tick = 0u64;
+            let events = random_stream(&mut rng, n, &mut live, total, &mut tick);
+            if events.is_empty() {
+                return Ok(());
+            }
+            // Aligned rewind point strictly before the end: the replayed
+            // suffix [rewind*batch, len) was already applied once.
+            let rewind = rewind_raw % events.len().div_ceil(batch);
+            EventLog::write(&dfs, "/prop/events", &events, &client).unwrap();
+            let pull = |ing: &Ingestor| {
+                let ids: Vec<u64> = (0..n).collect();
+                let adj: Vec<Vec<u64>> = ing
+                    .adjacency
+                    .pull(&client, &ids)
+                    .unwrap()
+                    .into_iter()
+                    .map(|l| l.to_vec())
+                    .collect();
+                let degs: Vec<u64> =
+                    ing.degrees.pull(&client, &ids).unwrap().iter().map(|d| d.to_bits()).collect();
+                (adj, degs)
+            };
+
+            // Fault-free reference: one clean pass over the whole log.
+            let ps_a = Ps::new(PsConfig::default());
+            let cfg = IngestConfig { prefix: "prop".into(), mailbox_cap: batch };
+            let mut a = Ingestor::create(&ps_a, &cfg, n).unwrap();
+            replay_from_log(&dfs, "/prop/events", &client, &mut a, 0, events.len(), batch, |_, _| {
+                Ok(())
+            })
+            .unwrap();
+
+            // Flavor 1 — ingestor crash, PS survives: full pass, rewind
+            // to an aligned batch, re-apply the suffix against the
+            // already-mutated PS state.
+            let ps_b = Ps::new(PsConfig::default());
+            let mut b = Ingestor::create(&ps_b, &cfg, n).unwrap();
+            let mut wm_at_batch = Vec::new();
+            replay_from_log(&dfs, "/prop/events", &client, &mut b, 0, events.len(), batch, |_, fx| {
+                wm_at_batch.push(fx.watermark);
+                Ok(())
+            })
+            .unwrap();
+            let rewind_wm =
+                if rewind == 0 { SimTime::ZERO } else { wm_at_batch[rewind - 1] };
+            b.reset_for_replay(rewind_wm);
+            let replayed = replay_from_log(
+                &dfs,
+                "/prop/events",
+                &client,
+                &mut b,
+                rewind * batch,
+                events.len(),
+                batch,
+                |_, _| Ok(()),
+            )
+            .unwrap();
+            prop_assert_eq!(
+                replayed,
+                (events.len() - rewind * batch).div_ceil(batch),
+                "suffix batch count"
+            );
+            let sets = |(adj, degs): (Vec<Vec<u64>>, Vec<u64>)| {
+                let sorted: Vec<Vec<u64>> = adj
+                    .into_iter()
+                    .map(|mut l| {
+                        l.sort_unstable();
+                        l
+                    })
+                    .collect();
+                (sorted, degs)
+            };
+            prop_assert_eq!(
+                sets(pull(&a)),
+                sets(pull(&b)),
+                "over-replayed live sets diverged from fault-free"
+            );
+            prop_assert_eq!(a.watermark(), b.watermark(), "watermarks diverged");
+
+            // Flavor 2 — PS crash: checkpoint at the rewind boundary
+            // during the first pass, crash + restore, replay the suffix.
+            let ps_c = Ps::new(PsConfig::default());
+            let mut c = Ingestor::create(&ps_c, &cfg, n).unwrap();
+            if rewind == 0 {
+                ps_c.checkpoint_all_generation(&dfs, 1).unwrap();
+            }
+            replay_from_log(&dfs, "/prop/events", &client, &mut c, 0, events.len(), batch, |bi, _| {
+                if rewind > 0 && bi + 1 == rewind as u64 {
+                    ps_c.checkpoint_all_generation(&dfs, 1)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+            for s in 0..ps_c.num_servers() {
+                ps_c.kill_server(s);
+            }
+            let t_crash = client.now();
+            for s in 0..ps_c.num_servers() {
+                ps_c.restart_server(s, t_crash);
+            }
+            ps_c.recover_server_from_generation(0, &dfs, &client, 1).unwrap();
+            c.reset_for_replay(rewind_wm);
+            replay_from_log(
+                &dfs,
+                "/prop/events",
+                &client,
+                &mut c,
+                rewind * batch,
+                events.len(),
+                batch,
+                |_, _| Ok(()),
+            )
+            .unwrap();
+            prop_assert_eq!(
+                pull(&a),
+                pull(&c),
+                "checkpoint-restore replay diverged byte-for-byte from fault-free"
+            );
+            prop_assert_eq!(a.watermark(), c.watermark(), "restored watermark diverged");
+            Ok(())
+        },
+    );
 }

@@ -52,6 +52,15 @@ cargo run --release --offline -p psgraph-bench --bin repro -- serve --scale 0.02
 # recompute, reference-equal components, and bounded freshness lag.
 cargo run --release --offline -p psgraph-bench --bin repro -- stream --scale 0.02 --events 6000
 
+# Chaos smoke: the fault-injection soak at 3 pinned schedule seeds
+# (0xC0FFEE..+2) — message loss/duplication/delay on every RPC, PS
+# crash-recovery at arbitrary points, replica kills, DFS block
+# corruption. The binary asserts zero wrong answers, bounded freshness,
+# and a final PS state bit-identical to the fault-free reference; on any
+# failure it prints the failing seed and the exact single-seed replay
+# command (`repro -- chaos --seed S ...`).
+cargo run --release --offline -p psgraph-bench --bin repro -- chaos --scale 0.02 --seeds 3 --events 3000
+
 # Schedule-perturbation sweep: rerun both smokes under ten seeded
 # steal-schedule perturbations (randomized victim order + injected
 # yields). The binaries' internal correctness asserts — zero wrong
