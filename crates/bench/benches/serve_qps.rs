@@ -1,5 +1,8 @@
 //! Serving-tier QPS/latency bench: hot-key cache on vs off under Zipf(1.0)
-//! point-lookup traffic against a 2-shard × 2-replica demo cluster.
+//! point-lookup traffic against a 2-shard × 2-replica demo cluster, plus
+//! a fixed-vs-adaptive batch-flush ablation (`batch_fixed` holds every
+//! batch for the full timeout; the default flushes early when the
+//! admission queue drains).
 //!
 //! The recorded samples are *simulated* per-query latencies (the quantity
 //! the SLO is about), not wall clock; `metrics` carries the hit-rate and
@@ -8,7 +11,7 @@
 use psgraph_harness::bench::{BenchmarkId, Harness};
 use psgraph_harness::Pool;
 use psgraph_serve::loadgen;
-use psgraph_serve::{QueryMix, ServeCluster, ServeConfig, Workload};
+use psgraph_serve::{QueryMix, ServeCluster, ServeConfig, SloPolicy, Workload};
 use psgraph_sim::failpoint::FailureInjector;
 use std::sync::Arc;
 use std::time::Duration;
@@ -18,11 +21,21 @@ fn serve_cache_ablation(c: &mut Harness) {
     let queries = if fast { 5_000 } else { 50_000 };
     let mut group = c.benchmark_group("serve");
 
-    for (name, budget) in [("cache_off", 0u64), ("cache_on", 256 * 1024)] {
-        let cfg = ServeConfig { cache_budget: budget, ..Default::default() };
+    let mut p99_by_name: Vec<(&str, f64)> = Vec::new();
+    for (name, budget, adaptive) in [
+        ("cache_off", 0u64, true),
+        ("batch_fixed", 256 * 1024, false),
+        ("cache_on", 256 * 1024, true),
+    ] {
+        let cfg = ServeConfig {
+            cache_budget: budget,
+            policy: SloPolicy { adaptive_flush: adaptive, ..SloPolicy::default() },
+            ..Default::default()
+        };
         let (mut cluster, _truth) = ServeCluster::demo(4_096, 16, &cfg).expect("demo cluster");
         let wl = Workload { queries, zipf_s: 1.0, mix: QueryMix::point_only(), ..Default::default() };
         let report = loadgen::run(&mut cluster, &wl, &FailureInjector::none(), false);
+        p99_by_name.push((name, report.percentile(0.99).as_secs_f64() * 1e3));
 
         let samples: Vec<Duration> = report
             .latencies
@@ -64,6 +77,19 @@ fn serve_cache_ablation(c: &mut Harness) {
             );
         }
     }
+    // The flush ablation claim: draining the queue early can only take
+    // waiting time out of the batch path.
+    let p99_of = |want: &str| {
+        p99_by_name.iter().find(|(n, _)| *n == want).expect("ablation leg ran").1
+    };
+    let (fixed, adaptive) = (p99_of("batch_fixed"), p99_of("cache_on"));
+    group
+        .metric("p99_fixed_flush_ms", fixed)
+        .metric("p99_adaptive_flush_ms", adaptive);
+    assert!(
+        adaptive <= fixed,
+        "adaptive flush worsened p99: {adaptive:.3}ms vs fixed {fixed:.3}ms"
+    );
     group.finish();
 }
 
@@ -86,6 +112,7 @@ fn serve_thread_scaling(c: &mut Harness) {
             khop: 0,
             topk: 0,
             topk_all: 1,
+            compound: 0,
         },
         ..Default::default()
     };

@@ -15,7 +15,7 @@
 //! global work-stealing pool (default: host parallelism; the simulated
 //! times are thread-count-invariant, only wall clock changes).
 
-use psgraph_bench::{chaos_exp, fig6, line_exp, serve_exp, stream_exp, table1, table2};
+use psgraph_bench::{chaos_exp, fig6, line_exp, query_exp, serve_exp, stream_exp, table1, table2};
 
 /// First seed of the standard chaos sweep; sweep seed `i` is `BASE + i`,
 /// so any failure is nameable (and replayable) as a single integer.
@@ -129,6 +129,28 @@ fn main() {
         );
         println!("(serve wall clock: {:?})\n", t0.elapsed());
     }
+    if do_all || which == "query" {
+        let t0 = std::time::Instant::now();
+        let r = query_exp::run_query(scale, queries).expect("query");
+        println!("{}", query_exp::table(&r));
+        assert_eq!(r.wrong, 0, "a served plan or query diverged from the interpreter");
+        assert!(r.plans_answered > 0, "the mixed workload answered no compound plans");
+        assert!(
+            r.auto.counters.pushed_plans > 0,
+            "the cost-based planner never pushed a stage prefix"
+        );
+        assert!(
+            r.auto.counters.shard_bytes < r.frontend_only.counters.shard_bytes,
+            "pushdown must move strictly fewer shard→frontend bytes ({} vs {})",
+            r.auto.counters.shard_bytes,
+            r.frontend_only.counters.shard_bytes
+        );
+        match query_exp::write_report(&r) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write BENCH_query.json: {e}"),
+        }
+        println!("(query wall clock: {:?})\n", t0.elapsed());
+    }
     if do_all || which == "stream" {
         let t0 = std::time::Instant::now();
         let r = stream_exp::run_stream(scale, events).expect("stream");
@@ -195,6 +217,10 @@ fn main() {
         assert!(
             r.seeds.iter().any(|s| s.ps_crashes > 0),
             "the sweep never drew a PS crash — widen the seed set"
+        );
+        assert!(
+            r.seeds.iter().any(|s| s.compound_answered > 0),
+            "the soak never served a compound plan — widen the query mix"
         );
         println!("(chaos wall clock: {:?})\n", t0.elapsed());
     }

@@ -40,7 +40,10 @@ use psgraph_net::rpc::{NodeId, ServicePort};
 use psgraph_net::{IdempotencyFilter, RetryPolicy};
 use psgraph_ps::{Ps, PsConfig, SnapshotWriter};
 use psgraph_serve::frontend::Outcome;
-use psgraph_serve::{ObjectMap, Query, ServeCluster, ServeConfig, Value};
+use psgraph_serve::{
+    GraphTruth, Interpreter, ObjectMap, Plan, PlanOutput, Pred, Query, Scorer, ServeCluster,
+    ServeConfig, Source, Stage, Value,
+};
 use psgraph_sim::{
     ChaosConfig, FaultSchedule, FaultSite, FaultStats, NodeClock, SimTime, SplitMix64,
 };
@@ -99,6 +102,9 @@ pub struct SeedOutcome {
     pub batches_replayed: usize,
     pub queries: usize,
     pub answered: usize,
+    /// Answered compound plans (a subset of `answered`), each verified
+    /// bit-for-bit against the interpreter over the swap-time truth.
+    pub compound_answered: usize,
     /// Queries shed or failed (degraded service is allowed; wrong is not).
     pub unserved: usize,
     /// Answers diverging from the swap-time PS state. Must be 0.
@@ -168,6 +174,18 @@ fn capture(
     let adj =
         ingestor.adjacency.pull(client, &ids)?.into_iter().map(|l| l.to_vec()).collect();
     Ok(Mirror { ranks, labels: cc.labels().to_vec(), adj })
+}
+
+impl Mirror {
+    /// The interpreter-ready view of the swap-time state (the stream
+    /// publishes no embeddings, so compound plans score by rank).
+    fn truth(&self, n: u64) -> GraphTruth {
+        let mut t = GraphTruth::new(n);
+        t.ranks = Some(self.ranks.clone());
+        t.communities = Some(self.labels.clone());
+        t.adjacency = Some(self.adj.clone());
+        t
+    }
 }
 
 fn answer_matches(query: &Query, value: &Value, m: &Mirror) -> bool {
@@ -266,6 +284,7 @@ fn run_once(
     let swap_every = rcfg.swap_every_batches;
     let mut driver = RefreshDriver::new("/chaos/snapshot", manifest, rcfg);
     let mut mirror = capture(&client, &ingestor, &pr, &pr_state, &cc, n)?;
+    let mut truth = mirror.truth(n);
 
     // Durable stream: the event log and the initial checkpoint pair, so a
     // crash at *any* later point has something published to roll back to.
@@ -302,6 +321,7 @@ fn run_once(
     let mut lags: Vec<SimTime> = Vec::new();
     let mut queries = 0usize;
     let mut answered = 0usize;
+    let mut compound_answered = 0usize;
     let mut unserved = 0usize;
     let mut wrong = 0usize;
     let mut ps_crashes = 0usize;
@@ -476,6 +496,7 @@ fn run_once(
                 lags.push(rec.at.saturating_sub(wmark));
             }
             mirror = capture(&client, &ingestor, &pr, &pr_state, &cc, n)?;
+            truth = mirror.truth(n);
         }
 
         // Interleaved queries, verified bit-for-bit against the swap-time
@@ -483,21 +504,61 @@ fn run_once(
         // a *wrong* answer is a correctness bug.
         for _ in 0..QUERIES_PER_BATCH {
             let v = rng.next_below(n);
-            let q = match rng.next_below(3) {
-                0 => Query::Rank(v),
-                1 => Query::Community(v),
-                _ => Query::Neighbors(v),
-            };
             let at = client.now();
-            for (_, outcome) in cluster.frontend_mut().execute_now(queries, at, q) {
-                match outcome {
-                    Outcome::Answered { value, .. } => {
-                        answered += 1;
-                        if !answer_matches(&q, &value, &mirror) {
-                            wrong += 1;
+            match rng.next_below(4) {
+                // Compound plan leg: an All-source filter → score → top-k
+                // pipeline over the published community labels, checked
+                // bit-for-bit against the interpreter on the swap-time
+                // truth. Faults may shed it; they must not corrupt it.
+                3 => {
+                    let plan = Plan {
+                        source: Source::All,
+                        stages: vec![
+                            Stage::Filter(Pred::CommunityEq(mirror.labels[v as usize])),
+                            Stage::Score(Scorer::Rank),
+                            Stage::TopK(8),
+                        ],
+                    };
+                    for (_, outcome) in cluster.frontend_mut().execute_plan_now(queries, at, &plan)
+                    {
+                        match outcome {
+                            Outcome::Answered { value, .. } => {
+                                answered += 1;
+                                compound_answered += 1;
+                                let ok = match (Interpreter::new(&truth, 1).run(&plan), &value) {
+                                    (Ok(PlanOutput::Ranked(want)), Value::Ranked(got)) => {
+                                        want.len() == got.len()
+                                            && want.iter().zip(got).all(|((wv, ws), (gv, gs))| {
+                                                wv == gv && ws.to_bits() == gs.to_bits()
+                                            })
+                                    }
+                                    _ => false,
+                                };
+                                if !ok {
+                                    wrong += 1;
+                                }
+                            }
+                            Outcome::Shed { .. } | Outcome::Failed(_) => unserved += 1,
                         }
                     }
-                    Outcome::Shed { .. } | Outcome::Failed(_) => unserved += 1,
+                }
+                kind => {
+                    let q = match kind {
+                        0 => Query::Rank(v),
+                        1 => Query::Community(v),
+                        _ => Query::Neighbors(v),
+                    };
+                    for (_, outcome) in cluster.frontend_mut().execute_now(queries, at, q) {
+                        match outcome {
+                            Outcome::Answered { value, .. } => {
+                                answered += 1;
+                                if !answer_matches(&q, &value, &mirror) {
+                                    wrong += 1;
+                                }
+                            }
+                            Outcome::Shed { .. } | Outcome::Failed(_) => unserved += 1,
+                        }
+                    }
                 }
             }
             queries += 1;
@@ -538,6 +599,7 @@ fn run_once(
             batches_replayed,
             queries,
             answered,
+            compound_answered,
             unserved,
             wrong,
             freshness_max,
@@ -628,6 +690,7 @@ pub fn write_report(r: &ChaosRepro) -> std::io::Result<std::path::PathBuf> {
                 ("batches_replayed".into(), Json::Int(s.batches_replayed as i64)),
                 ("wrong".into(), Json::Int(s.wrong as i64)),
                 ("unserved".into(), Json::Int(s.unserved as i64)),
+                ("compound_answered".into(), Json::Int(s.compound_answered as i64)),
                 ("freshness_max_ns".into(), Json::Int(s.freshness_max.as_nanos() as i64)),
                 ("state_identical".into(), Json::Bool(s.state_identical)),
                 (
@@ -738,6 +801,10 @@ pub fn table(r: &ChaosRepro) -> Table {
             sum(|s| s.answered as u64),
             sum(|s| s.unserved as u64)
         )),
+    ));
+    t.push(Row::new(
+        "compound plans answered (verified vs interpreter)",
+        text(sum(|s| s.compound_answered as u64).to_string()),
     ));
     t.push(Row::new("wrong answers", text(r.total_wrong().to_string())));
     t.push(Row::new(

@@ -8,6 +8,7 @@ pub mod chaos_exp;
 pub mod deploy;
 pub mod fig6;
 pub mod line_exp;
+pub mod query_exp;
 pub mod report;
 pub mod serve_exp;
 pub mod stream_exp;

@@ -85,19 +85,7 @@ pub struct ServeRepro {
     pub train_time: SimTime,
 }
 
-/// Sorted, deduplicated out-adjacency — exactly what the CSR snapshot
-/// stores, so [`reference::khop`] over it is the serving-tier truth.
-fn out_adjacency(edges: &[(u64, u64)], n: u64) -> Vec<Vec<u64>> {
-    let mut adj = vec![Vec::new(); n as usize];
-    for &(s, d) in edges {
-        adj[s as usize].push(d);
-    }
-    for ns in &mut adj {
-        ns.sort_unstable();
-        ns.dedup();
-    }
-    adj
-}
+use psgraph_core::truth::out_adjacency;
 
 /// Does `value` answer `query` bit-exactly against this model state?
 fn answer_matches(

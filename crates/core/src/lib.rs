@@ -26,6 +26,7 @@ pub mod api;
 pub mod context;
 pub mod error;
 pub mod runner;
+pub mod truth;
 
 pub use agent::PsAgent;
 pub use api::{run_job, GraphAlgorithm};

@@ -1,0 +1,323 @@
+//! Cost-based pushdown planning.
+//!
+//! The planner picks the *cut*: how many leading stages of a plan
+//! execute shard-side ([`crate::exec::run_pushed`] over each shard's
+//! own range) before the frontend merges partials in canonical shard
+//! order and runs the remaining suffix itself. The objective is the
+//! bytes shipped shard→frontend, estimated from per-shard statistics
+//! (row counts, degree sums, rank spread, community cardinality) via
+//! per-stage selectivity estimates.
+//!
+//! `cut = 0` is the frontend-only baseline: every shard ships its whole
+//! local id set and each suffix stage issues its own attribute/row RPCs
+//! — exactly what a coordinator-evaluates-everything engine pays.
+//! Because every pushable stage is monotone non-increasing in rows (and
+//! `Score` only widens rows 8 → 16 bytes while enabling shard-side
+//! `TopK` truncation), deeper cuts never ship more than shallower ones
+//! on `All` plans; the estimator still scores every cut and picks the
+//! argmin so the decision stays honest if the algebra grows
+//! row-expanding stages. `Seed` plans are *refused* (cut 0): their
+//! working set starts as one vertex at the frontend, and `Expand`
+//! leaves any single shard's range, so there is no shard-local prefix
+//! to evaluate.
+
+use crate::plan::{Plan, Pred, Scorer, Source, Stage};
+
+/// Whether the planner may push plan prefixes shard-side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PushPolicy {
+    /// Cost-based: push the prefix minimizing estimated shipped bytes.
+    #[default]
+    Auto,
+    /// Never push — evaluate everything at the frontend (the ablation
+    /// baseline, and the "planner refuses" path under test).
+    FrontendOnly,
+}
+
+/// Statistics one shard publishes about its local slice.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ShardStats {
+    /// Vertices in the shard's range.
+    pub rows: u64,
+    /// Sum of local out-degrees (0 when adjacency is absent).
+    pub edges: u64,
+    pub has_ranks: bool,
+    pub rank_lo: f64,
+    pub rank_hi: f64,
+    pub has_communities: bool,
+    /// Distinct community labels in the local slice.
+    pub distinct_communities: u64,
+    pub has_embed: bool,
+    /// Full-row embedding width (0 when rows are absent).
+    pub dim: usize,
+}
+
+/// Statistics for the whole tier, indexed by shard.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TierStats {
+    pub shards: Vec<ShardStats>,
+}
+
+impl TierStats {
+    fn total_rows(&self) -> f64 {
+        self.shards.iter().map(|s| s.rows as f64).sum()
+    }
+
+    fn avg_degree(&self) -> f64 {
+        let rows = self.total_rows();
+        if rows == 0.0 {
+            return 0.0;
+        }
+        self.shards.iter().map(|s| s.edges as f64).sum::<f64>() / rows
+    }
+
+    fn rank_span(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for s in self.shards.iter().filter(|s| s.has_ranks && s.rows > 0) {
+            lo = lo.min(s.rank_lo);
+            hi = hi.max(s.rank_hi);
+        }
+        if lo > hi {
+            (0.0, 1.0)
+        } else {
+            (lo, hi)
+        }
+    }
+
+    fn distinct_communities(&self) -> f64 {
+        self.shards.iter().map(|s| s.distinct_communities).max().unwrap_or(0).max(1) as f64
+    }
+
+    fn dim(&self) -> usize {
+        self.shards.iter().map(|s| s.dim).max().unwrap_or(0)
+    }
+}
+
+/// The planner's verdict for one plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PushDecision {
+    /// Stages `[0, cut)` run shard-side; `[cut, len)` at the frontend.
+    pub cut: usize,
+    /// Estimated shard→frontend bytes at the chosen cut.
+    pub est_bytes: f64,
+    /// Estimated bytes for the frontend-only execution (cut 0).
+    pub est_bytes_frontend_only: f64,
+    /// Why this cut was chosen.
+    pub reason: &'static str,
+}
+
+/// Estimated fraction of rows a predicate keeps.
+fn selectivity(p: Pred, stats: &TierStats) -> f64 {
+    match p {
+        Pred::RankAtLeast(t) => {
+            let (lo, hi) = stats.rank_span();
+            if hi <= lo {
+                0.5
+            } else {
+                ((hi - t) / (hi - lo)).clamp(0.0, 1.0)
+            }
+        }
+        Pred::RankBelow(t) => {
+            let (lo, hi) = stats.rank_span();
+            if hi <= lo {
+                0.5
+            } else {
+                ((t - lo) / (hi - lo)).clamp(0.0, 1.0)
+            }
+        }
+        Pred::CommunityEq(_) => 1.0 / stats.distinct_communities(),
+        Pred::CommunityNe(_) => 1.0 - 1.0 / stats.distinct_communities(),
+        // Markov bound on the degree tail; exact only for uniform
+        // degrees, good enough to rank cuts.
+        Pred::DegreeAtLeast(d) => {
+            if d == 0 {
+                1.0
+            } else {
+                (stats.avg_degree() / d as f64).min(1.0)
+            }
+        }
+        Pred::DegreeBelow(d) => {
+            if d == 0 {
+                0.0
+            } else {
+                (1.0 - stats.avg_degree() / d as f64).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+/// Estimated shard→frontend bytes when stages `[0, cut)` are pushed.
+/// Mirrors the executor's wire accounting: a pushed leg's response is
+/// `16 + rows·(16 if scored else 8)` per shard; each frontend suffix
+/// stage pays its own per-row responses (8 B ids/flags/scalars, `4·dim`
+/// B embedding rows, `8` B per partial dot per column shard).
+fn estimate(plan: &Plan, stats: &TierStats, cut: usize) -> f64 {
+    let num_shards = stats.shards.len().max(1) as f64;
+    let dim = stats.dim() as f64;
+
+    // Pushed prefix: per-shard surviving row counts.
+    let mut rows: Vec<f64> = stats.shards.iter().map(|s| s.rows as f64).collect();
+    let mut scored = false;
+    for st in &plan.stages[..cut] {
+        match st {
+            Stage::Filter(p) => {
+                let sel = selectivity(*p, stats);
+                for r in rows.iter_mut() {
+                    *r *= sel;
+                }
+            }
+            Stage::Score(_) => scored = true,
+            Stage::TopK(k) => {
+                for r in rows.iter_mut() {
+                    *r = r.min(*k as f64);
+                }
+            }
+            Stage::Collect { cap } => {
+                for r in rows.iter_mut() {
+                    *r = r.min(*cap as f64);
+                }
+            }
+            // Unreachable for valid All-source plans; cost it as free.
+            Stage::Expand { .. } => {}
+        }
+    }
+    let row_bytes = if scored { 16.0 } else { 8.0 };
+    let mut bytes: f64 = rows.iter().map(|r| 16.0 + r * row_bytes).sum();
+
+    // Frontend suffix: aggregate rows flowing through the remaining
+    // stages, each paying its own RPC responses.
+    let mut flow: f64 = rows.iter().sum();
+    for st in &plan.stages[cut..] {
+        // A stage touching `flow` rows scatters to at most `num_shards`
+        // legs (16 B response header each).
+        let headers = 16.0 * num_shards.min(flow.max(1.0));
+        match st {
+            Stage::Filter(p) => {
+                bytes += headers + 8.0 * flow;
+                flow *= selectivity(*p, stats);
+            }
+            Stage::Score(Scorer::Dot(_)) => {
+                // ColShards: 8 B per partial per column shard.
+                bytes += num_shards * (16.0 + 8.0 * flow);
+            }
+            Stage::Score(_) => bytes += headers + 8.0 * flow,
+            Stage::Expand { .. } => {
+                let fanout = stats.avg_degree().max(1.0);
+                bytes += headers + 8.0 * flow * fanout;
+                flow *= fanout;
+            }
+            Stage::TopK(k) => flow = flow.min(*k as f64),
+            Stage::Collect { cap } => flow = flow.min(*cap as f64),
+        }
+    }
+    let _ = (dim, flow);
+    bytes
+}
+
+/// Decide the pushdown cut for a plan.
+pub fn decide(plan: &Plan, stats: &TierStats, policy: PushPolicy) -> PushDecision {
+    let frontend_only = estimate(plan, stats, 0);
+    if matches!(plan.source, Source::Seed(_)) {
+        return PushDecision {
+            cut: 0,
+            est_bytes: frontend_only,
+            est_bytes_frontend_only: frontend_only,
+            reason: "seed plans resolve at the frontend",
+        };
+    }
+    if policy == PushPolicy::FrontendOnly {
+        return PushDecision {
+            cut: 0,
+            est_bytes: frontend_only,
+            est_bytes_frontend_only: frontend_only,
+            reason: "pushdown disabled by policy",
+        };
+    }
+    let mut best_cut = 0;
+    let mut best = frontend_only;
+    for cut in 1..=plan.stages.len() {
+        let est = estimate(plan, stats, cut);
+        // Ties prefer the deeper cut: same bytes, less frontend work.
+        if est <= best {
+            best = est;
+            best_cut = cut;
+        }
+    }
+    PushDecision {
+        cut: best_cut,
+        est_bytes: best,
+        est_bytes_frontend_only: frontend_only,
+        reason: if best_cut == 0 { "no profitable prefix" } else { "cost-based pushdown" },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+
+    fn stats(shards: usize, rows_each: u64) -> TierStats {
+        TierStats {
+            shards: (0..shards)
+                .map(|_| ShardStats {
+                    rows: rows_each,
+                    edges: rows_each * 3,
+                    has_ranks: true,
+                    rank_lo: 0.0,
+                    rank_hi: 1.0,
+                    has_communities: true,
+                    distinct_communities: 8,
+                    has_embed: true,
+                    dim: 16,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn all_plans_push_to_the_terminal() {
+        let s = stats(4, 1000);
+        let d = decide(&Plan::topk_all(3, 8), &s, PushPolicy::Auto);
+        assert_eq!(d.cut, 2, "score+topk both push");
+        assert!(d.est_bytes < d.est_bytes_frontend_only);
+
+        let compound = Plan {
+            source: Source::All,
+            stages: vec![
+                Stage::Filter(Pred::CommunityEq(3)),
+                Stage::Score(Scorer::Rank),
+                Stage::TopK(8),
+            ],
+        };
+        let d = decide(&compound, &s, PushPolicy::Auto);
+        assert_eq!(d.cut, 3);
+        // Pushing everything ships ~16·4 + 8·16·4 bytes; frontend-only
+        // ships the full id set plus per-stage row traffic.
+        assert!(d.est_bytes < d.est_bytes_frontend_only / 10.0);
+    }
+
+    #[test]
+    fn refusals_pin_cut_to_zero() {
+        let s = stats(4, 1000);
+        let seed = decide(&Plan::topk(3, 8), &s, PushPolicy::Auto);
+        assert_eq!(seed.cut, 0);
+        assert_eq!(seed.reason, "seed plans resolve at the frontend");
+
+        let forced = decide(&Plan::topk_all(3, 8), &s, PushPolicy::FrontendOnly);
+        assert_eq!(forced.cut, 0);
+        assert_eq!(forced.est_bytes, forced.est_bytes_frontend_only);
+    }
+
+    #[test]
+    fn selectivities_are_sane() {
+        let s = stats(2, 100);
+        assert!((selectivity(Pred::RankAtLeast(0.75), &s) - 0.25).abs() < 1e-9);
+        assert!((selectivity(Pred::RankBelow(0.25), &s) - 0.25).abs() < 1e-9);
+        assert!((selectivity(Pred::CommunityEq(1), &s) - 0.125).abs() < 1e-9);
+        assert!((selectivity(Pred::CommunityNe(1), &s) - 0.875).abs() < 1e-9);
+        assert_eq!(selectivity(Pred::DegreeAtLeast(30), &s), 0.1);
+        assert_eq!(selectivity(Pred::DegreeBelow(30), &s), 0.9);
+        assert_eq!(selectivity(Pred::DegreeAtLeast(1), &s), 1.0);
+    }
+}

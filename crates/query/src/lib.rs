@@ -1,0 +1,45 @@
+//! Declarative compound query plans over a partitioned graph snapshot.
+//!
+//! The serving tier used to hardcode its plan shapes as enum variants
+//! (rank lookup, k-hop, top-k, ...) — every new workload meant another
+//! variant threaded through shard, frontend, and loadgen. This crate
+//! replaces that with a small composable IR in the GraphX tradition: a
+//! [`plan::Plan`] is a [`plan::Source`] (one seed vertex, or the whole
+//! vertex set) followed by `Filter → Expand → Score → TopK / Collect`
+//! stages over vertex sets.
+//!
+//! Three consumers share one semantic definition (the kernels in
+//! [`exec`]):
+//!
+//! * the **single-node reference interpreter** ([`interp::Interpreter`])
+//!   runs any plan against full truth arrays — the bit-exact oracle every
+//!   distributed execution is verified against;
+//! * the **cost-based planner** ([`cost::decide`]) estimates per-stage
+//!   cardinalities from shard statistics and picks the plan prefix that
+//!   executes shard-side (GraphScale-style pushdown: evaluate where the
+//!   partitioned state lives instead of hauling rows to a coordinator);
+//! * the **distributed executor** in `psgraph-serve` runs the pushed
+//!   prefix on every shard via [`exec::run_pushed`] and merges partials
+//!   at the frontend in canonical shard order, preserving the
+//!   deterministic-reduction rule — results are bit-identical at any
+//!   pool size *and any pushdown decision*.
+//!
+//! Why pushdown cannot change bits: the float association of every
+//! `Score` stage is fixed statically by the plan's source (`All` →
+//! full-row f64 accumulation in column order; `Seed` candidate sets →
+//! per-column-shard partial sums added in shard order), per-shard
+//! `Filter`/`Collect` partials concatenate in shard order — which *is*
+//! vertex-id order under range partitioning — and per-shard `TopK`
+//! partials are exact under the total order (score desc, id asc) the
+//! final merge re-sorts by. The planner only moves work, never math.
+
+pub mod cost;
+pub mod exec;
+pub mod interp;
+pub mod part;
+pub mod plan;
+
+pub use cost::{decide, PushDecision, PushPolicy, ShardStats, TierStats};
+pub use exec::{ExecError, PushedPartial, VertexView};
+pub use interp::{GraphTruth, Interpreter, PlanOutput};
+pub use plan::{ExpandMode, Plan, PlanError, Pred, Scorer, Source, Stage};

@@ -1,0 +1,61 @@
+//! Range-partitioning math shared by the planner, the interpreter, and
+//! the serving tier.
+//!
+//! Vertex-keyed objects are range-partitioned by vertex id; embedding
+//! matrices are partitioned by *column* (every shard holds all rows of
+//! its column slice). These three functions are the single source of
+//! truth for both layouts — `psgraph-serve` re-exports them, and the
+//! cost model and `dot_cols` association in this crate depend on them
+//! matching the serving tier exactly.
+
+/// Which shard of `num_shards` owns vertex `v` (range partitioning).
+pub fn owner_of(v: u64, num_vertices: u64, num_shards: usize) -> usize {
+    let chunk = num_vertices.div_ceil(num_shards as u64).max(1);
+    ((v / chunk) as usize).min(num_shards - 1)
+}
+
+/// The vertex range `[lo, hi)` stored by `shard`.
+pub fn vertex_range(shard: usize, num_vertices: u64, num_shards: usize) -> (u64, u64) {
+    let chunk = num_vertices.div_ceil(num_shards as u64).max(1);
+    let lo = (shard as u64 * chunk).min(num_vertices);
+    let hi = (lo + chunk).min(num_vertices);
+    (lo, hi)
+}
+
+/// The embedding column range `[lo, hi)` stored by `shard`.
+pub fn col_range(shard: usize, cols: usize, num_shards: usize) -> (usize, usize) {
+    let chunk = cols.div_ceil(num_shards).max(1);
+    let lo = (shard * chunk).min(cols);
+    let hi = (lo + chunk).min(cols);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_tile_and_agree_with_owner() {
+        for &(n, shards) in &[(10u64, 3usize), (7, 7), (5, 8), (1, 1), (100, 4)] {
+            let mut covered = 0;
+            for s in 0..shards {
+                let (lo, hi) = vertex_range(s, n, shards);
+                assert_eq!(lo, covered.min(n));
+                covered = hi;
+            }
+            assert_eq!(covered, n);
+            for v in 0..n {
+                let s = owner_of(v, n, shards);
+                let (lo, hi) = vertex_range(s, n, shards);
+                assert!((lo..hi).contains(&v), "v={v} n={n} shards={shards}");
+            }
+        }
+        let mut c = 0;
+        for s in 0..5 {
+            let (lo, hi) = col_range(s, 3, 5);
+            assert_eq!(lo, c);
+            c = hi;
+        }
+        assert_eq!(c, 3);
+    }
+}

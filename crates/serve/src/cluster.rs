@@ -30,6 +30,9 @@ pub struct ServeConfig {
     /// Thread pool for the frontend's multi-shard scatter phases; `None`
     /// uses the process-global pool (thread-count sweeps pass their own).
     pub pool: Option<Arc<psgraph_harness::Pool>>,
+    /// Whether the frontend's planner may push plan prefixes shard-side
+    /// (`FrontendOnly` is the pushdown-ablation baseline).
+    pub push: psgraph_query::PushPolicy,
 }
 
 impl Default for ServeConfig {
@@ -41,6 +44,7 @@ impl Default for ServeConfig {
             policy: SloPolicy::default(),
             cost: CostModel::default(),
             pool: None,
+            push: psgraph_query::PushPolicy::Auto,
         }
     }
 }
@@ -209,7 +213,7 @@ impl ServeCluster {
             .pool
             .clone()
             .unwrap_or_else(|| Arc::clone(psgraph_harness::Pool::global()));
-        let frontend = Frontend::with_pool(
+        let mut frontend = Frontend::with_pool(
             Router::new(shards),
             Network::new(cfg.cost.clone()),
             cfg.cache_budget,
@@ -217,6 +221,7 @@ impl ServeCluster {
             n,
             pool,
         );
+        frontend.set_push_policy(cfg.push);
         Ok(ServeCluster { replicas, frontend, num_vertices: n, objects: objects.clone() })
     }
 
@@ -490,12 +495,88 @@ impl ServeCluster {
             }
             !dirty_rows.iter().any(|&(t, lo, hi)| t == tag && (lo..hi).contains(&v))
         });
+        // The swapped data may have moved rank spans, community counts,
+        // or degrees — re-pull shard statistics so the pushdown planner
+        // costs against the live tier.
+        self.frontend.refresh_stats();
         Ok(SwapStats { shards_rebuilt, keys_invalidated, regions_applied })
     }
 
     /// Simulated bytes moved and RPCs made by the serving tier so far.
     pub fn network(&self) -> &Network {
         self.frontend.network()
+    }
+
+    /// Build a serving tier directly from truth arrays: writes them
+    /// through PS handles into an in-memory snapshot and loads that —
+    /// the same path production data takes, so shard slicing, column
+    /// partitioning, and the planner's statistics all come out exactly
+    /// as a real load. Any object may be `None` (the tier then refuses
+    /// the queries needing it); at least one must be present, and all
+    /// present objects must agree on the vertex count.
+    pub fn from_arrays(
+        ranks: Option<&[f64]>,
+        communities: Option<&[u64]>,
+        adjacency: Option<&[Vec<u64>]>,
+        embeddings: Option<&[Vec<f32>]>,
+        cfg: &ServeConfig,
+    ) -> Result<Self> {
+        let n = ranks
+            .map(<[f64]>::len)
+            .or(communities.map(<[u64]>::len))
+            .or(adjacency.map(<[Vec<u64>]>::len))
+            .or(embeddings.map(<[Vec<f32>]>::len))
+            .ok_or_else(|| ServeError::Dfs("from_arrays needs at least one object".into()))?
+            as u64;
+
+        let ps = Ps::new(PsConfig::default());
+        let dfs = Dfs::in_memory();
+        let client = NodeClock::new();
+        let ids: Vec<u64> = (0..n).collect();
+        let mut w = SnapshotWriter::new(&dfs, "/snapshot/arrays", &client);
+        let mut objects = ObjectMap::default();
+
+        if let Some(r) = ranks {
+            let h = VectorHandle::<f64>::create(
+                &ps,
+                "arr.rank",
+                n,
+                Partitioner::Range,
+                RecoveryMode::Consistent,
+            )?;
+            h.push_set(&client, &ids, r)?;
+            w.vector_f64(&h)?;
+            objects.ranks = Some("arr.rank".into());
+        }
+        if let Some(c) = communities {
+            let h = VectorHandle::<u64>::create(
+                &ps,
+                "arr.community",
+                n,
+                Partitioner::Range,
+                RecoveryMode::Consistent,
+            )?;
+            h.push_set(&client, &ids, c)?;
+            w.vector_u64(&h)?;
+            objects.communities = Some("arr.community".into());
+        }
+        if let Some(adj) = adjacency {
+            let tables: Vec<(u64, Vec<u64>)> =
+                adj.iter().enumerate().map(|(i, ns)| (i as u64, ns.clone())).collect();
+            let h =
+                CsrHandle::build(&ps, "arr.adj", n, &tables, &client, RecoveryMode::Consistent)?;
+            w.adjacency(&h)?;
+            objects.adjacency = Some("arr.adj".into());
+        }
+        if let Some(rows) = embeddings {
+            let dim = rows.first().map_or(0, Vec::len);
+            let h = ColMatrixHandle::create(&ps, "arr.embed", n, dim, RecoveryMode::Inconsistent)?;
+            h.push_add_rows(&client, &ids, rows)?;
+            w.colmatrix(&h)?;
+            objects.embeddings = Some("arr.embed".into());
+        }
+        w.finish()?;
+        ServeCluster::load(&dfs, "/snapshot/arrays", &objects, cfg, &client)
     }
 
     /// A tiny in-memory snapshot + cluster for tests: `n` vertices with

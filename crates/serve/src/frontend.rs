@@ -14,10 +14,24 @@
 //! shedding once the sliding-window p99 exceeds the target while the
 //! queue is half full — bounded queues plus backpressure instead of
 //! unbounded tail growth.
+//!
+//! Compound queries are [`Plan`]s (`psgraph-query`): the legacy
+//! `Query::KHop`/`TopK`/`TopKAll` variants compile to plans via the
+//! `Plan::khop`/`topk`/`topk_all` constructors and run through the same
+//! executor as caller-built compound plans. For `All`-source plans the
+//! cost-based planner picks a prefix to push shard-side
+//! ([`psgraph_query::decide`]); each shard evaluates it over its own
+//! vertex range and the frontend merges partials in canonical shard
+//! order before running the remaining suffix — so answers are
+//! bit-identical to the single-node interpreter at any shard count,
+//! pool size, or pushdown decision.
 
 use psgraph_harness::Pool;
 use psgraph_net::Network;
-use psgraph_sim::{FxHashSet, NodeClock, SimTime};
+use psgraph_query::exec::{self, PushedPartial};
+use psgraph_query::plan::{DotAssoc, ExpandMode, Plan, Scorer, Source, Stage};
+use psgraph_query::{decide, PushPolicy, TierStats};
+use psgraph_sim::{NodeClock, SimTime};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -26,10 +40,9 @@ use crate::error::{Result, ServeError};
 use crate::router::Router;
 use crate::shard::{owner_of, Query, ShardSpec, Value};
 
-/// Max candidate set for top-k scoring (2-hop neighborhood, truncated).
-pub const TOPK_CANDIDATES: usize = 128;
-/// Max frontier per hop for k-hop expansion.
-pub const KHOP_FRONTIER_CAP: usize = 4096;
+// The caps live with the plan IR now; re-exported for API compatibility.
+pub use psgraph_query::plan::{KHOP_FRONTIER_CAP, TOPK_CANDIDATES};
+
 /// Minimum sample count before the SLO guard trusts the window p99.
 const SLO_MIN_SAMPLES: usize = 32;
 
@@ -50,6 +63,11 @@ pub struct SloPolicy {
     pub ops_per_item: u64,
     /// Frontend CPU ops charged for a cache hit.
     pub cache_hit_ops: u64,
+    /// Flush a point-lookup batch immediately when the routed replica is
+    /// idle (TCP_NODELAY-style): batching only pays off when there is a
+    /// queue to amortize against, and waiting out `batch_window` on an
+    /// idle tier puts the whole window into p99.
+    pub adaptive_flush: bool,
 }
 
 impl Default for SloPolicy {
@@ -62,8 +80,61 @@ impl Default for SloPolicy {
             batch_window: SimTime::from_micros(200),
             ops_per_item: 4,
             cache_hit_ops: 64,
+            adaptive_flush: true,
         }
     }
+}
+
+/// Cumulative counters for compound-plan execution, exposed per run as
+/// deltas in `LoadReport` and the query bench JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCounters {
+    /// Plans executed (answered or failed, not shed).
+    pub plans: u64,
+    /// Plans whose pushed prefix was non-empty.
+    pub pushed_plans: u64,
+    /// Total stages evaluated shard-side across all plans.
+    pub stages_pushed: u64,
+    /// Bytes shipped shard→frontend across all plan RPC responses.
+    pub shard_bytes: u64,
+    /// Rows pruned by stage kind (shard-side and frontend combined).
+    pub pruned_filter: u64,
+    pub pruned_score: u64,
+    pub pruned_topk: u64,
+    pub pruned_collect: u64,
+}
+
+impl PlanCounters {
+    /// Rows pruned across all stage kinds.
+    pub fn rows_pruned(&self) -> u64 {
+        self.pruned_filter + self.pruned_score + self.pruned_topk + self.pruned_collect
+    }
+
+    /// `self - earlier`, fieldwise (per-run deltas from cumulative
+    /// counters).
+    pub fn minus(&self, earlier: &PlanCounters) -> PlanCounters {
+        PlanCounters {
+            plans: self.plans - earlier.plans,
+            pushed_plans: self.pushed_plans - earlier.pushed_plans,
+            stages_pushed: self.stages_pushed - earlier.stages_pushed,
+            shard_bytes: self.shard_bytes - earlier.shard_bytes,
+            pruned_filter: self.pruned_filter - earlier.pruned_filter,
+            pruned_score: self.pruned_score - earlier.pruned_score,
+            pruned_topk: self.pruned_topk - earlier.pruned_topk,
+            pruned_collect: self.pruned_collect - earlier.pruned_collect,
+        }
+    }
+}
+
+/// Per-plan accumulator threaded through the executor legs.
+#[derive(Debug, Default)]
+struct LegAcc {
+    cut: usize,
+    bytes: u64,
+    pruned_filter: u64,
+    pruned_score: u64,
+    pruned_topk: u64,
+    pruned_collect: u64,
 }
 
 /// Cache key: query-kind tag + vertex.
@@ -124,6 +195,11 @@ pub struct Frontend {
     /// Pool for multi-shard scatter phases (fan-out legs run
     /// concurrently; results merge in canonical shard order).
     pool: Arc<Pool>,
+    /// Per-shard statistics feeding the pushdown cost model; refreshed
+    /// on snapshot hot-swaps.
+    stats: TierStats,
+    push_policy: PushPolicy,
+    metrics: PlanCounters,
 }
 
 impl Frontend {
@@ -163,6 +239,7 @@ impl Frontend {
             })
             .collect();
         let batches = (0..router.num_shards()).map(|_| None).collect();
+        let stats = Self::tier_stats(&router);
         Frontend {
             router,
             net,
@@ -176,7 +253,44 @@ impl Frontend {
             shed: 0,
             failed: 0,
             pool,
+            stats,
+            push_policy: PushPolicy::default(),
+            metrics: PlanCounters::default(),
         }
+    }
+
+    fn tier_stats(router: &Router) -> TierStats {
+        TierStats {
+            shards: (0..router.num_shards())
+                .map(|s| {
+                    router
+                        .replicas(s)
+                        .first()
+                        .expect("shard with no replicas")
+                        .data()
+                        .stats()
+                })
+                .collect(),
+        }
+    }
+
+    /// Recompute shard statistics from the currently-installed data (the
+    /// hot-swap path calls this after installing a delta).
+    pub fn refresh_stats(&mut self) {
+        self.stats = Self::tier_stats(&self.router);
+    }
+
+    pub fn push_policy(&self) -> PushPolicy {
+        self.push_policy
+    }
+
+    pub fn set_push_policy(&mut self, policy: PushPolicy) {
+        self.push_policy = policy;
+    }
+
+    /// Cumulative compound-plan counters.
+    pub fn plan_counters(&self) -> PlanCounters {
+        self.metrics
     }
 
     pub fn num_shards(&self) -> usize {
@@ -247,6 +361,32 @@ impl Frontend {
         out
     }
 
+    /// Submit a compound plan arriving at `arrival`. Plans always
+    /// complete within the step (they are never batched), but flushing
+    /// due batches first may resolve earlier point lookups too.
+    pub fn submit_plan(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        plan: &Plan,
+    ) -> Vec<(usize, Outcome)> {
+        let mut out = Vec::new();
+        self.flush_due(arrival, &mut out);
+        self.handle_plan(idx, arrival, plan, &mut out);
+        out
+    }
+
+    /// Alias of [`Frontend::submit_plan`] for closed-loop callers, by
+    /// analogy with [`Frontend::execute_now`].
+    pub fn execute_plan_now(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        plan: &Plan,
+    ) -> Vec<(usize, Outcome)> {
+        self.submit_plan(idx, arrival, plan)
+    }
+
     /// Flush every pending batch (end of workload).
     pub fn drain(&mut self) -> Vec<(usize, Outcome)> {
         let mut out = Vec::new();
@@ -311,6 +451,41 @@ impl Frontend {
         out.push((idx, Outcome::Failed(err.to_string())));
     }
 
+    /// Route + admission-check against shard `primary`'s least-loaded
+    /// replica. Returns that replica's load, or `None` after pushing a
+    /// shed/failed outcome.
+    fn admit(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        primary: usize,
+        out: &mut Vec<(usize, Outcome)>,
+    ) -> Option<usize> {
+        let rep = match self.router.route(primary, arrival) {
+            Some(r) => r,
+            None => {
+                self.fail(idx, ServeError::NoReplica { shard: primary }, out);
+                return None;
+            }
+        };
+        let load = rep.load_at(arrival);
+        if load >= self.policy.queue_cap {
+            self.shed += 1;
+            out.push((idx, Outcome::Shed { reason: "queue full" }));
+            return None;
+        }
+        if load > self.policy.queue_cap / 2 {
+            if let Some(p99) = self.window_p99() {
+                if p99 > self.policy.slo_p99 {
+                    self.shed += 1;
+                    out.push((idx, Outcome::Shed { reason: "p99 over SLO" }));
+                    return None;
+                }
+            }
+        }
+        Some(load)
+    }
+
     fn handle(
         &mut self,
         idx: usize,
@@ -342,28 +517,7 @@ impl Frontend {
 
         // Admission control against the replica the query would land on.
         let primary = owner_of(v, self.num_vertices, self.specs.len());
-        let rep = match self.router.route(primary, arrival) {
-            Some(r) => r,
-            None => {
-                self.fail(idx, ServeError::NoReplica { shard: primary }, out);
-                return;
-            }
-        };
-        let load = rep.load_at(arrival);
-        if load >= self.policy.queue_cap {
-            self.shed += 1;
-            out.push((idx, Outcome::Shed { reason: "queue full" }));
-            return;
-        }
-        if load > self.policy.queue_cap / 2 {
-            if let Some(p99) = self.window_p99() {
-                if p99 > self.policy.slo_p99 {
-                    self.shed += 1;
-                    out.push((idx, Outcome::Shed { reason: "p99 over SLO" }));
-                    return;
-                }
-            }
-        }
+        let Some(load) = self.admit(idx, arrival, primary, out) else { return };
 
         match query {
             Query::Rank(_) | Query::Community(_) | Query::Neighbors(_) => {
@@ -372,17 +526,67 @@ impl Frontend {
                     items: Vec::new(),
                 });
                 batch.items.push(BatchItem { idx, arrival, query });
-                if immediate || self.batches[primary].as_ref().unwrap().items.len()
-                    >= self.policy.batch_max
+                // Adaptive flush: with the routed replica idle there is
+                // nothing to amortize against — holding the item only
+                // buys it the full batch window of latency.
+                if immediate
+                    || self.batches[primary].as_ref().unwrap().items.len()
+                        >= self.policy.batch_max
+                    || (self.policy.adaptive_flush && load == 0)
                 {
                     self.flush_batch(primary, arrival, out);
                 }
             }
             Query::Embedding(_) => self.execute_embedding(idx, arrival, v, out),
-            Query::KHop { hops, .. } => self.execute_khop(idx, arrival, v, hops, out),
-            Query::TopK { k, .. } => self.execute_topk(idx, arrival, v, k, out),
-            Query::TopKAll { k, .. } => self.execute_topk_all(idx, arrival, v, k, out),
+            Query::KHop { hops, .. } => {
+                let plan = Plan::khop(v, hops);
+                self.run_plan(idx, arrival, &plan, out);
+            }
+            Query::TopK { k, .. } => {
+                let plan = Plan::topk(v, k);
+                self.run_plan(idx, arrival, &plan, out);
+            }
+            Query::TopKAll { k, .. } => {
+                let plan = Plan::topk_all(v, k);
+                self.run_plan(idx, arrival, &plan, out);
+            }
         }
+    }
+
+    /// Validate, bounds-check, and admission-check a compound plan, then
+    /// execute it.
+    fn handle_plan(
+        &mut self,
+        idx: usize,
+        arrival: SimTime,
+        plan: &Plan,
+        out: &mut Vec<(usize, Outcome)>,
+    ) {
+        if let Err(e) = plan.validate() {
+            return self.fail(idx, ServeError::BadQuery(e.to_string()), out);
+        }
+        let anchor = plan.anchor();
+        if let Some(v) = anchor {
+            if v >= self.num_vertices {
+                return self.fail(
+                    idx,
+                    ServeError::BadQuery(format!(
+                        "vertex {v} out of range (graph has {})",
+                        self.num_vertices
+                    )),
+                    out,
+                );
+            }
+        }
+        // Admission against the anchor's shard (plans without an anchor
+        // scatter everywhere; gate on shard 0 as the canonical proxy).
+        let primary = anchor
+            .map(|v| owner_of(v, self.num_vertices, self.specs.len()))
+            .unwrap_or(0);
+        if self.admit(idx, arrival, primary, out).is_none() {
+            return;
+        }
+        self.run_plan(idx, arrival, plan, out);
     }
 
     fn compute_point(data: &crate::shard::ShardData, query: Query) -> Result<Value> {
@@ -443,21 +647,21 @@ impl Frontend {
     }
 
     /// Gather `v`'s full embedding row across the column shards. Returns
-    /// the row (column slices concatenated in column order) and the
-    /// slowest leg's completion time.
+    /// the row (column slices concatenated in column order), the slowest
+    /// leg's completion time, and the response bytes shipped.
     ///
     /// The per-shard legs run concurrently on the frontend pool; results
     /// merge serially in shard order (the deterministic reduction rule),
     /// so the row bytes and the first-error choice are identical for
     /// every pool size.
-    fn gather_embedding(&self, v: u64, arrival: SimTime) -> Result<(Vec<f32>, SimTime)> {
+    fn gather_embedding(&self, v: u64, arrival: SimTime) -> Result<(Vec<f32>, SimTime, u64)> {
         let shards: Vec<usize> =
             (0..self.specs.len()).filter(|&s| self.specs[s].col_width() != 0).collect();
         let router = &self.router;
         let net = &self.net;
         let specs = &self.specs;
         let ops_per_item = self.policy.ops_per_item;
-        let legs: Vec<Result<(usize, Vec<f32>, SimTime)>> =
+        let legs: Vec<Result<(usize, Vec<f32>, SimTime, u64)>> =
             self.pool.map(shards, move |shard| {
                 let width = specs[shard].col_width() as u64;
                 let rep =
@@ -469,20 +673,78 @@ impl Frontend {
                 rep.record_completion(arrival, done);
                 let data = rep.data();
                 let slice = data.embed_cols(v)?.to_vec();
-                Ok((data.spec.col_lo, slice, done))
+                Ok((data.spec.col_lo, slice, done, 16 + 4 * width))
             });
         let mut parts: Vec<(usize, Vec<f32>)> = Vec::new();
         let mut done_max = arrival;
+        let mut bytes = 0u64;
         for leg in legs {
-            let (lo, slice, done) = leg?;
+            let (lo, slice, done, resp) = leg?;
             parts.push((lo, slice));
             done_max = done_max.max(done);
+            bytes += resp;
         }
         if parts.is_empty() {
             return Err(ServeError::BadQuery("no embeddings served".into()));
         }
         parts.sort_by_key(|(lo, _)| *lo);
-        Ok((parts.into_iter().flat_map(|(_, s)| s).collect(), done_max))
+        Ok((parts.into_iter().flat_map(|(_, s)| s).collect(), done_max, bytes))
+    }
+
+    /// Gather the full embedding rows of `vertices`: one concurrent leg
+    /// per column shard, each shipping that shard's column segment for
+    /// every requested row; segments concatenate in column order so the
+    /// reassembled rows are bit-identical to the stored ones. Returns
+    /// rows in input order, the slowest completion, and response bytes.
+    fn fetch_embed_rows(
+        &self,
+        vertices: &[u64],
+        at: SimTime,
+    ) -> Result<(Vec<Vec<f32>>, SimTime, u64)> {
+        let shards: Vec<usize> =
+            (0..self.specs.len()).filter(|&s| self.specs[s].col_width() != 0).collect();
+        let router = &self.router;
+        let net = &self.net;
+        let specs = &self.specs;
+        let ops_per_item = self.policy.ops_per_item;
+        let n = vertices.len() as u64;
+        let legs: Vec<Result<(usize, Vec<Vec<f32>>, SimTime, u64)>> =
+            self.pool.map(shards, move |shard| {
+                let width = specs[shard].col_width() as u64;
+                let rep = router.route(shard, at).ok_or(ServeError::NoReplica { shard })?;
+                let data = rep.data();
+                let mut segs: Vec<Vec<f32>> = Vec::with_capacity(vertices.len());
+                for &v in vertices {
+                    segs.push(data.embed_cols(v)?.to_vec());
+                }
+                let resp = 16 + n * 4 * width;
+                let clock = NodeClock::new();
+                clock.advance(at);
+                net.rpc(&clock, rep.port(), 16 + 8 * n, n * (ops_per_item + width), resp);
+                let done = clock.now();
+                rep.record_completion(at, done);
+                Ok((data.spec.col_lo, segs, done, resp))
+            });
+        let mut parts: Vec<(usize, Vec<Vec<f32>>)> = Vec::new();
+        let mut done_max = at;
+        let mut bytes = 0u64;
+        for leg in legs {
+            let (lo, segs, done, resp) = leg?;
+            parts.push((lo, segs));
+            done_max = done_max.max(done);
+            bytes += resp;
+        }
+        if parts.is_empty() {
+            return Err(ServeError::BadQuery("no embeddings served".into()));
+        }
+        parts.sort_by_key(|(lo, _)| *lo);
+        let mut rows: Vec<Vec<f32>> = vec![Vec::new(); vertices.len()];
+        for (_, segs) in parts {
+            for (row, seg) in rows.iter_mut().zip(segs) {
+                row.extend(seg);
+            }
+        }
+        Ok((rows, done_max, bytes))
     }
 
     fn execute_embedding(
@@ -492,7 +754,7 @@ impl Frontend {
         v: u64,
         out: &mut Vec<(usize, Outcome)>,
     ) {
-        let (full, done_max) = match self.gather_embedding(v, arrival) {
+        let (full, done_max, _) = match self.gather_embedding(v, arrival) {
             Ok(x) => x,
             Err(e) => return self.fail(idx, e, out),
         };
@@ -502,13 +764,13 @@ impl Frontend {
     }
 
     /// Fetch neighbor lists of `vertices` (grouped by owner shard) at
-    /// time `at`. Returns the lists in input order plus the slowest
-    /// completion.
+    /// time `at`. Returns the lists in input order, the slowest
+    /// completion, and the response bytes shipped.
     fn fetch_neighbors(
         &self,
         vertices: &[u64],
         at: SimTime,
-    ) -> Result<(Vec<Vec<u64>>, SimTime)> {
+    ) -> Result<(Vec<Vec<u64>>, SimTime, u64)> {
         let num_shards = self.specs.len();
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
         for (i, &u) in vertices.iter().enumerate() {
@@ -523,7 +785,7 @@ impl Frontend {
         let net = &self.net;
         let ops_per_item = self.policy.ops_per_item;
         // One concurrent leg per owner shard; merged in shard order.
-        let legs: Vec<Result<(Vec<(usize, Vec<u64>)>, SimTime)>> =
+        let legs: Vec<Result<(Vec<(usize, Vec<u64>)>, SimTime, u64)>> =
             self.pool.map(work, move |(shard, idxs)| {
                 let rep = router.route(shard, at).ok_or(ServeError::NoReplica { shard })?;
                 let data = rep.data();
@@ -542,231 +804,444 @@ impl Frontend {
                 net.rpc(&clock, rep.port(), 16 + 8 * idxs.len() as u64, ops, resp);
                 let done = clock.now();
                 rep.record_completion(at, done);
-                Ok((got, done))
+                Ok((got, done, resp))
             });
         let mut lists: Vec<Vec<u64>> = vec![Vec::new(); vertices.len()];
         let mut done_max = at;
+        let mut bytes = 0u64;
         for leg in legs {
-            let (got, done) = leg?;
+            let (got, done, resp) = leg?;
             for (i, ns) in got {
                 lists[i] = ns;
             }
             done_max = done_max.max(done);
+            bytes += resp;
         }
-        Ok((lists, done_max))
+        Ok((lists, done_max, bytes))
     }
 
-    fn execute_khop(
+    /// Execute a validated, admitted plan and record its outcome plus
+    /// plan metrics.
+    fn run_plan(
         &mut self,
         idx: usize,
         arrival: SimTime,
-        v: u64,
-        hops: u32,
+        plan: &Plan,
         out: &mut Vec<(usize, Outcome)>,
     ) {
-        let mut visited: FxHashSet<u64> = FxHashSet::default();
-        visited.insert(v);
-        let mut frontier = vec![v];
-        let mut t = arrival;
-        for _ in 0..hops {
-            if frontier.is_empty() {
-                break;
+        let mut acc = LegAcc::default();
+        let res = self.plan_legs(arrival, plan, &mut acc);
+        self.metrics.plans += 1;
+        self.metrics.stages_pushed += acc.cut as u64;
+        if acc.cut > 0 {
+            self.metrics.pushed_plans += 1;
+        }
+        self.metrics.shard_bytes += acc.bytes;
+        self.metrics.pruned_filter += acc.pruned_filter;
+        self.metrics.pruned_score += acc.pruned_score;
+        self.metrics.pruned_topk += acc.pruned_topk;
+        self.metrics.pruned_collect += acc.pruned_collect;
+        match res {
+            Ok((value, done)) => self.answer(idx, arrival, done, value, false, out),
+            Err(e) => self.fail(idx, e, out),
+        }
+    }
+
+    /// The distributed plan executor: push the planner-chosen prefix to
+    /// every shard, merge partials in canonical shard order, then run
+    /// the suffix stages at the frontend. Returns the value and its
+    /// completion time.
+    fn plan_legs(
+        &mut self,
+        arrival: SimTime,
+        plan: &Plan,
+        acc: &mut LegAcc,
+    ) -> Result<(Value, SimTime)> {
+        // `All`-source dot plans ship the query row to every shard:
+        // acquire it first, cache-served exactly like an Embedding query.
+        let needs_full_q =
+            matches!(plan.source, Source::All) && plan.dot_vertex().is_some();
+        let (q_row, mut done) = if needs_full_q {
+            let v = plan.dot_vertex().unwrap();
+            match self.cache.get(&(2, v)).cloned() {
+                Some(Value::Embedding(e)) => {
+                    (Some(e), arrival + self.net.cost_model().cpu_cost(self.policy.cache_hit_ops))
+                }
+                _ => {
+                    let (q, t, bytes) = self.gather_embedding(v, arrival)?;
+                    acc.bytes += bytes;
+                    let value = Value::Embedding(q.clone());
+                    self.cache.insert((2, v), value.clone(), value.approx_bytes());
+                    (Some(q), t)
+                }
             }
-            let (lists, done) = match self.fetch_neighbors(&frontier, t) {
-                Ok(x) => x,
-                Err(e) => return self.fail(idx, e, out),
-            };
-            let mut next: Vec<u64> =
-                lists.into_iter().flatten().filter(|u| !visited.contains(u)).collect();
-            next.sort_unstable();
-            next.dedup();
-            next.truncate(KHOP_FRONTIER_CAP);
-            visited.extend(next.iter().copied());
-            frontier = next;
-            t = done;
-        }
-        let mut result: Vec<u64> = visited.into_iter().filter(|&u| u != v).collect();
-        result.sort_unstable();
-        self.answer(idx, arrival, t, Value::Vertices(result), false, out);
-    }
-
-    fn execute_topk(
-        &mut self,
-        idx: usize,
-        arrival: SimTime,
-        v: u64,
-        k: usize,
-        out: &mut Vec<(usize, Outcome)>,
-    ) {
-        // Hop 1: v's own neighbors.
-        let (hop1, t1) = match self.fetch_neighbors(&[v], arrival) {
-            Ok(x) => x,
-            Err(e) => return self.fail(idx, e, out),
-        };
-        let hop1 = hop1.into_iter().next().unwrap_or_default();
-        // Hop 2: their neighbors.
-        let (hop2, t2) = if hop1.is_empty() {
-            (Vec::new(), t1)
         } else {
-            match self.fetch_neighbors(&hop1, t1) {
-                Ok(x) => x,
-                Err(e) => return self.fail(idx, e, out),
-            }
+            (None, arrival)
         };
-        let mut cands: Vec<u64> = hop1;
-        cands.extend(hop2.into_iter().flatten());
-        cands.sort_unstable();
-        cands.dedup();
-        cands.retain(|&u| u != v);
-        cands.truncate(TOPK_CANDIDATES);
-        if cands.is_empty() {
-            return self.answer(idx, arrival, t2, Value::Ranked(Vec::new()), false, out);
-        }
 
-        // Score: partial dot products on every column shard, merged here —
-        // summed in shard order so the reference implementation can match
-        // the float association exactly.
-        let mut scores = vec![0.0f64; cands.len()];
-        let mut done_max = t2;
-        for shard in 0..self.specs.len() {
-            let width = self.specs[shard].col_width() as u64;
-            if width == 0 {
-                continue;
+        let (mut ids, mut scores, cut) = match plan.source {
+            Source::All => {
+                let decision = decide(plan, &self.stats, self.push_policy);
+                let cut = decision.cut;
+                acc.cut = cut;
+                let (rows, scored, t) =
+                    self.scatter_pushed(plan, cut, q_row.as_deref(), done, acc)?;
+                done = t;
+                if cut == plan.stages.len() {
+                    // The terminal ran shard-side; finish the canonical
+                    // merge here and we are done.
+                    return Ok(match plan.stages.last().unwrap() {
+                        Stage::TopK(k) => {
+                            let mut rows = rows;
+                            exec::sort_ranked(&mut rows);
+                            rows.truncate(*k);
+                            (Value::Ranked(rows), done)
+                        }
+                        Stage::Collect { cap } => {
+                            let mut ids: Vec<u64> = rows.into_iter().map(|(v, _)| v).collect();
+                            ids.truncate(*cap);
+                            (Value::Vertices(ids), done)
+                        }
+                        _ => unreachable!("validated plans end in a terminal"),
+                    });
+                }
+                let ids: Vec<u64> = rows.iter().map(|&(v, _)| v).collect();
+                let scores: Option<Vec<f64>> =
+                    scored.then(|| rows.iter().map(|&(_, s)| s).collect());
+                (ids, scores, cut)
             }
-            let rep = match self.router.route(shard, t2) {
-                Some(r) => r,
-                None => return self.fail(idx, ServeError::NoReplica { shard }, out),
-            };
-            let partials = match rep.data().partial_dots(v, &cands) {
-                Ok(p) => p,
-                Err(e) => return self.fail(idx, e, out),
-            };
-            let ops = cands.len() as u64 * (2 * width + self.policy.ops_per_item);
-            let clock = NodeClock::new();
-            clock.advance(t2);
-            self.net.rpc(
-                &clock,
-                rep.port(),
-                24 + 8 * cands.len() as u64,
-                ops,
-                16 + 8 * cands.len() as u64,
-            );
-            let done = clock.now();
-            rep.record_completion(t2, done);
-            done_max = done_max.max(done);
-            for (s, p) in scores.iter_mut().zip(partials) {
-                *s += p;
+            Source::Seed(v) => (vec![v], None, 0),
+        };
+
+        // Frontend suffix: one operator at a time over (ids, scores).
+        for st in &plan.stages[cut..] {
+            match st {
+                Stage::Filter(p) => {
+                    if ids.is_empty() {
+                        continue;
+                    }
+                    let before = ids.len();
+                    let (keep, t, bytes) = self.fetch_keep(&ids, *p, done)?;
+                    done = t;
+                    acc.bytes += bytes;
+                    let mut it = keep.iter();
+                    ids.retain(|_| *it.next().unwrap());
+                    if let Some(sc) = &mut scores {
+                        let mut it = keep.iter();
+                        sc.retain(|_| *it.next().unwrap());
+                    }
+                    acc.pruned_filter += (before - ids.len()) as u64;
+                }
+                Stage::Expand { hops, cap, mode } => {
+                    let this: &Frontend = &*self;
+                    let mut t_cur = done;
+                    let mut bytes = 0u64;
+                    let mut fetch = |vs: &[u64]| -> Result<Vec<Vec<u64>>> {
+                        let (lists, t, b) = this.fetch_neighbors(vs, t_cur)?;
+                        t_cur = t;
+                        bytes += b;
+                        Ok(lists)
+                    };
+                    ids = match mode {
+                        ExpandMode::Frontier => {
+                            exec::expand_frontier(&ids, *hops, *cap, &mut fetch)?
+                        }
+                        ExpandMode::Union => exec::expand_union(&ids, *hops, *cap, &mut fetch)?,
+                    };
+                    done = t_cur;
+                    acc.bytes += bytes;
+                    scores = None;
+                }
+                Stage::Score(Scorer::Dot(qv)) => {
+                    let before = ids.len();
+                    ids.retain(|&u| u != *qv);
+                    acc.pruned_score += (before - ids.len()) as u64;
+                    if ids.is_empty() {
+                        scores = Some(Vec::new());
+                        continue;
+                    }
+                    if plan.dot_assoc() == DotAssoc::FullRow {
+                        // An `All`-source dot evaluated at the frontend
+                        // (the planner refused or was forbidden to push):
+                        // ship every candidate's full embedding row over
+                        // and accumulate in column order, exactly like
+                        // the shard-side kernel.
+                        let q = q_row.as_deref().expect("All-source dot acquires q up front");
+                        let (rows, t, bytes) = self.fetch_embed_rows(&ids, done)?;
+                        done = t;
+                        acc.bytes += bytes;
+                        scores = Some(rows.iter().map(|r| exec::dot_full(q, r)).collect());
+                        continue;
+                    }
+                    if self.specs.iter().all(|s| s.col_width() == 0) {
+                        // No shard serves embedding columns: fail like
+                        // the interpreter, not with all-zero scores.
+                        return Err(ServeError::BadQuery("no embeddings served".into()));
+                    }
+                    // Partial dot products on every column shard, all
+                    // issued at `done`, partials summed in shard order —
+                    // the ColShards association.
+                    let mut sc = vec![0.0f64; ids.len()];
+                    let mut done_max = done;
+                    for shard in 0..self.specs.len() {
+                        let width = self.specs[shard].col_width() as u64;
+                        if width == 0 {
+                            continue;
+                        }
+                        let rep = self
+                            .router
+                            .route(shard, done)
+                            .ok_or(ServeError::NoReplica { shard })?;
+                        let partials = rep.data().partial_dots(*qv, &ids)?;
+                        let ops = ids.len() as u64 * (2 * width + self.policy.ops_per_item);
+                        let resp = 16 + 8 * ids.len() as u64;
+                        let clock = NodeClock::new();
+                        clock.advance(done);
+                        self.net.rpc(&clock, rep.port(), 24 + 8 * ids.len() as u64, ops, resp);
+                        let leg_done = clock.now();
+                        rep.record_completion(done, leg_done);
+                        done_max = done_max.max(leg_done);
+                        acc.bytes += resp;
+                        for (s, p) in sc.iter_mut().zip(partials) {
+                            *s += p;
+                        }
+                    }
+                    done = done_max;
+                    scores = Some(sc);
+                }
+                Stage::Score(s) => {
+                    if ids.is_empty() {
+                        scores = Some(Vec::new());
+                        continue;
+                    }
+                    let (vals, t, bytes) = self.fetch_scalar_scores(&ids, *s, done)?;
+                    done = t;
+                    acc.bytes += bytes;
+                    scores = Some(vals);
+                }
+                Stage::TopK(k) => {
+                    let sc = scores.take().unwrap_or_default();
+                    let mut ranked: Vec<(u64, f64)> = ids.iter().copied().zip(sc).collect();
+                    exec::sort_ranked(&mut ranked);
+                    acc.pruned_topk += ranked.len().saturating_sub(*k) as u64;
+                    ranked.truncate(*k);
+                    return Ok((Value::Ranked(ranked), done));
+                }
+                Stage::Collect { cap } => {
+                    acc.pruned_collect += ids.len().saturating_sub(*cap) as u64;
+                    ids.truncate(*cap);
+                    return Ok((Value::Vertices(ids), done));
+                }
             }
         }
-
-        let mut ranked: Vec<(u64, f64)> = cands.into_iter().zip(scores).collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(k);
-        self.answer(idx, arrival, done_max, Value::Ranked(ranked), false, out);
+        Err(ServeError::BadQuery("plan missing terminal stage".into()))
     }
 
-    /// Cross-shard scatter-gather top-k over *all* vertices: gather the
-    /// query row (cache-served like an Embedding query), ship it to every
-    /// shard, each shard returns the top-k of its own vertex range, and
-    /// the frontend merges. Per-shard lists are exact under the same total
-    /// order the merge uses, so the merged result is the exact global
-    /// top-k — no candidate truncation like the 2-hop `TopK` plan.
-    fn execute_topk_all(
-        &mut self,
-        idx: usize,
-        arrival: SimTime,
-        v: u64,
-        k: usize,
-        out: &mut Vec<(usize, Outcome)>,
-    ) {
-        let (q, t_q) = match self.cache.get(&(2, v)).cloned() {
-            Some(Value::Embedding(e)) => {
-                (e, arrival + self.net.cost_model().cpu_cost(self.policy.cache_hit_ops))
-            }
-            _ => {
-                let (q, done) = match self.gather_embedding(v, arrival) {
-                    Ok(x) => x,
-                    Err(e) => return self.fail(idx, e, out),
-                };
-                let value = Value::Embedding(q.clone());
-                self.cache.insert((2, v), value.clone(), value.approx_bytes());
-                (q, done)
-            }
-        };
-        let dim = q.len() as u64;
-        // Scatter: one concurrent leg per vertex shard (the heaviest op in
-        // the serve tier); the gather below merges in shard order so the
-        // global ranking is identical for every pool size.
+    /// Scatter the pushed prefix `stages[..cut]` to one live replica of
+    /// every (non-empty) vertex shard; each evaluates it over its own
+    /// range via the shared kernel and ships surviving rows back. Legs
+    /// run concurrently on the pool; rows concatenate in canonical shard
+    /// order (ascending vertex ranges).
+    fn scatter_pushed(
+        &self,
+        plan: &Plan,
+        cut: usize,
+        q_row: Option<&[f32]>,
+        at: SimTime,
+        acc: &mut LegAcc,
+    ) -> Result<(Vec<(u64, f64)>, bool, SimTime)> {
+        let stages = &plan.stages[..cut];
         let shards: Vec<usize> = (0..self.specs.len())
             .filter(|&s| self.specs[s].vertex_hi - self.specs[s].vertex_lo != 0)
             .collect();
         let router = &self.router;
         let net = &self.net;
-        let specs = &self.specs;
         let ops_per_item = self.policy.ops_per_item;
-        let q_ref = &q;
-        let legs: Vec<Result<(Vec<(u64, f64)>, SimTime)>> =
+        let dim = q_row.map_or(0, <[f32]>::len) as u64;
+        let dot_pushed = stages.iter().any(|s| matches!(s, Stage::Score(Scorer::Dot(_))));
+        // Request: header + one stage descriptor each + the query row if
+        // a dot scorer ships with the prefix.
+        let req = 24 + 8 * cut as u64 + if dot_pushed { 4 * dim } else { 0 };
+        let legs: Vec<Result<(PushedPartial, SimTime, u64)>> =
             self.pool.map(shards, move |shard| {
-                let local = specs[shard].vertex_hi - specs[shard].vertex_lo;
-                let ops = local * (2 * dim + ops_per_item);
-                let resp = 16 + 16 * (k as u64).min(local);
-                let rep = router.route(shard, t_q).ok_or(ServeError::NoReplica { shard })?;
+                let rep = router.route(shard, at).ok_or(ServeError::NoReplica { shard })?;
+                let data = rep.data();
+                let (lo, hi) = (data.spec.vertex_lo, data.spec.vertex_hi);
+                let pp = exec::run_pushed(&*data, lo, hi, stages, q_row)
+                    .map_err(|e| ServeError::BadQuery(e.to_string()))?;
+                // Ops: rows entering each stage, reconstructed from the
+                // per-stage pruning counts.
+                let mut ops = 0u64;
+                let mut entering = hi - lo;
+                for (i, st) in stages.iter().enumerate() {
+                    ops += match st {
+                        Stage::Filter(_) | Stage::Score(Scorer::Rank | Scorer::Degree) => {
+                            entering * ops_per_item
+                        }
+                        Stage::Score(Scorer::Dot(_)) => entering * (2 * dim + ops_per_item),
+                        Stage::TopK(_) | Stage::Collect { .. } | Stage::Expand { .. } => 0,
+                    };
+                    entering -= pp.pruned[i];
+                }
+                let resp = 16 + pp.rows.len() as u64 * if pp.scored { 16 } else { 8 };
                 let clock = NodeClock::new();
-                clock.advance(t_q);
-                net.rpc(&clock, rep.port(), 24 + 4 * dim, ops, resp);
+                clock.advance(at);
+                net.rpc(&clock, rep.port(), req, ops, resp);
                 let done = clock.now();
-                rep.record_completion(t_q, done);
-                let top = rep.data().local_topk(q_ref, k, v)?;
-                Ok((top, done))
+                rep.record_completion(at, done);
+                Ok((pp, done, resp))
             });
-        let mut merged: Vec<(u64, f64)> = Vec::new();
-        let mut done_max = t_q;
+        let mut rows: Vec<(u64, f64)> = Vec::new();
+        let mut scored = false;
+        let mut done_max = at;
         for leg in legs {
-            let (top, done) = match leg {
-                Ok(x) => x,
-                Err(e) => return self.fail(idx, e, out),
-            };
-            merged.extend(top);
+            let (pp, done, resp) = leg?;
+            for (i, st) in stages.iter().enumerate() {
+                let pruned = pp.pruned[i];
+                match st {
+                    Stage::Filter(_) => acc.pruned_filter += pruned,
+                    Stage::Score(_) => acc.pruned_score += pruned,
+                    Stage::TopK(_) => acc.pruned_topk += pruned,
+                    Stage::Collect { .. } => acc.pruned_collect += pruned,
+                    Stage::Expand { .. } => {}
+                }
+            }
+            rows.extend(pp.rows);
+            scored |= pp.scored;
             done_max = done_max.max(done);
+            acc.bytes += resp;
         }
-        merged.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        merged.truncate(k);
-        self.answer(idx, arrival, done_max, Value::Ranked(merged), false, out);
+        Ok((rows, scored, done_max))
+    }
+
+    /// Evaluate `pred` shard-side for each vertex (grouped by owner).
+    /// Returns keep flags in input order, the slowest completion, and
+    /// response bytes.
+    fn fetch_keep(
+        &self,
+        vertices: &[u64],
+        pred: psgraph_query::Pred,
+        at: SimTime,
+    ) -> Result<(Vec<bool>, SimTime, u64)> {
+        let num_shards = self.specs.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (i, &u) in vertices.iter().enumerate() {
+            by_shard[owner_of(u, self.num_vertices, num_shards)].push(i);
+        }
+        let work: Vec<(usize, Vec<usize>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .collect();
+        let router = &self.router;
+        let net = &self.net;
+        let ops_per_item = self.policy.ops_per_item;
+        let legs: Vec<Result<(Vec<(usize, bool)>, SimTime, u64)>> =
+            self.pool.map(work, move |(shard, idxs)| {
+                let rep = router.route(shard, at).ok_or(ServeError::NoReplica { shard })?;
+                let data = rep.data();
+                let mut got: Vec<(usize, bool)> = Vec::with_capacity(idxs.len());
+                for &i in &idxs {
+                    let keep = exec::pred_keep(&*data, vertices[i], pred)
+                        .map_err(|e| ServeError::BadQuery(e.to_string()))?;
+                    got.push((i, keep));
+                }
+                let n = idxs.len() as u64;
+                let resp = 16 + 8 * n;
+                let clock = NodeClock::new();
+                clock.advance(at);
+                net.rpc(&clock, rep.port(), 16 + 8 * n, n * ops_per_item, resp);
+                let done = clock.now();
+                rep.record_completion(at, done);
+                Ok((got, done, resp))
+            });
+        let mut keep = vec![false; vertices.len()];
+        let mut done_max = at;
+        let mut bytes = 0u64;
+        for leg in legs {
+            let (got, done, resp) = leg?;
+            for (i, k) in got {
+                keep[i] = k;
+            }
+            done_max = done_max.max(done);
+            bytes += resp;
+        }
+        Ok((keep, done_max, bytes))
+    }
+
+    /// Fetch scalar scores (`Rank`/`Degree`) shard-side for each vertex
+    /// (grouped by owner). Returns scores in input order, the slowest
+    /// completion, and response bytes.
+    fn fetch_scalar_scores(
+        &self,
+        vertices: &[u64],
+        scorer: Scorer,
+        at: SimTime,
+    ) -> Result<(Vec<f64>, SimTime, u64)> {
+        let num_shards = self.specs.len();
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); num_shards];
+        for (i, &u) in vertices.iter().enumerate() {
+            by_shard[owner_of(u, self.num_vertices, num_shards)].push(i);
+        }
+        let work: Vec<(usize, Vec<usize>)> = by_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, idxs)| !idxs.is_empty())
+            .collect();
+        let router = &self.router;
+        let net = &self.net;
+        let ops_per_item = self.policy.ops_per_item;
+        let legs: Vec<Result<(Vec<(usize, f64)>, SimTime, u64)>> =
+            self.pool.map(work, move |(shard, idxs)| {
+                let rep = router.route(shard, at).ok_or(ServeError::NoReplica { shard })?;
+                let data = rep.data();
+                let mut got: Vec<(usize, f64)> = Vec::with_capacity(idxs.len());
+                for &i in &idxs {
+                    let s = exec::scalar_score(&*data, vertices[i], scorer)
+                        .map_err(|e| ServeError::BadQuery(e.to_string()))?;
+                    got.push((i, s));
+                }
+                let n = idxs.len() as u64;
+                let resp = 16 + 8 * n;
+                let clock = NodeClock::new();
+                clock.advance(at);
+                net.rpc(&clock, rep.port(), 16 + 8 * n, n * ops_per_item, resp);
+                let done = clock.now();
+                rep.record_completion(at, done);
+                Ok((got, done, resp))
+            });
+        let mut scores = vec![0.0f64; vertices.len()];
+        let mut done_max = at;
+        let mut bytes = 0u64;
+        for leg in legs {
+            let (got, done, resp) = leg?;
+            for (i, s) in got {
+                scores[i] = s;
+            }
+            done_max = done_max.max(done);
+            bytes += resp;
+        }
+        Ok((scores, done_max, bytes))
     }
 }
 
-/// Driver-side reference answers, mirroring the frontend's algorithms
-/// (candidate caps, tie-breaks, and float association included) but
-/// reading full truth arrays instead of snapshot shards. The `repro --
-/// serve` experiment checks every served answer against these.
+/// Driver-side reference answers: each legacy query shape compiles to
+/// its plan and runs under the single-node [`Interpreter`] over full
+/// truth arrays. The interpreter reproduces the distributed float
+/// association (candidate caps, tie-breaks, per-column-shard partial
+/// sums), so these stay bit-identical to served answers — `repro --
+/// serve` checks every one.
 pub mod reference {
-    use super::{KHOP_FRONTIER_CAP, TOPK_CANDIDATES};
-    use crate::shard::col_range;
-    use psgraph_sim::FxHashSet;
+    use psgraph_query::{GraphTruth, Interpreter, Plan, PlanOutput};
 
     /// Vertices within `hops` hops of `v`, excluding `v`, sorted.
     pub fn khop(adj: &[Vec<u64>], v: u64, hops: u32) -> Vec<u64> {
-        let mut visited: FxHashSet<u64> = FxHashSet::default();
-        visited.insert(v);
-        let mut frontier = vec![v];
-        for _ in 0..hops {
-            if frontier.is_empty() {
-                break;
-            }
-            let mut next: Vec<u64> = frontier
-                .iter()
-                .flat_map(|&u| adj[u as usize].iter().copied())
-                .filter(|u| !visited.contains(u))
-                .collect();
-            next.sort_unstable();
-            next.dedup();
-            next.truncate(KHOP_FRONTIER_CAP);
-            visited.extend(next.iter().copied());
-            frontier = next;
+        let mut truth = GraphTruth::new(adj.len() as u64);
+        truth.adjacency = Some(adj.to_vec());
+        match Interpreter::new(&truth, 1).run(&Plan::khop(v, hops)) {
+            Ok(PlanOutput::Vertices(ids)) => ids,
+            other => unreachable!("khop plan must yield vertices, got {other:?}"),
         }
-        let mut result: Vec<u64> = visited.into_iter().filter(|&u| u != v).collect();
-        result.sort_unstable();
-        result
     }
 
     /// Top-`k` 2-hop neighbors of `v` by embedding dot product, with the
@@ -779,33 +1254,13 @@ pub mod reference {
         k: usize,
         num_shards: usize,
     ) -> Vec<(u64, f64)> {
-        let hop1 = &adj[v as usize];
-        let mut cands: Vec<u64> = hop1.clone();
-        cands.extend(hop1.iter().flat_map(|&u| adj[u as usize].iter().copied()));
-        cands.sort_unstable();
-        cands.dedup();
-        cands.retain(|&u| u != v);
-        cands.truncate(TOPK_CANDIDATES);
-        let dim = embed.first().map_or(0, Vec::len);
-        let mut ranked: Vec<(u64, f64)> = cands
-            .into_iter()
-            .map(|c| {
-                let mut total = 0.0f64;
-                for shard in 0..num_shards {
-                    let (lo, hi) = col_range(shard, dim, num_shards);
-                    let mut partial = 0.0f64;
-                    for j in lo..hi {
-                        partial +=
-                            embed[v as usize][j] as f64 * embed[c as usize][j] as f64;
-                    }
-                    total += partial;
-                }
-                (c, total)
-            })
-            .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(k);
-        ranked
+        let mut truth = GraphTruth::new(adj.len() as u64);
+        truth.adjacency = Some(adj.to_vec());
+        truth.embeddings = Some(embed.to_vec());
+        match Interpreter::new(&truth, num_shards).run(&Plan::topk(v, k)) {
+            Ok(PlanOutput::Ranked(top)) => top,
+            other => unreachable!("topk plan must yield a ranking, got {other:?}"),
+        }
     }
 
     /// Exact top-`k` over *all* vertices by embedding dot product with
@@ -813,20 +1268,11 @@ pub mod reference {
     /// the full row in column order, matching the shard-local scoring of
     /// `ShardData::local_topk` bit for bit.
     pub fn topk_all(embed: &[Vec<f32>], v: u64, k: usize) -> Vec<(u64, f64)> {
-        let q = &embed[v as usize];
-        let mut ranked: Vec<(u64, f64)> = (0..embed.len() as u64)
-            .filter(|&u| u != v)
-            .map(|u| {
-                let score: f64 = q
-                    .iter()
-                    .zip(&embed[u as usize])
-                    .map(|(a, b)| *a as f64 * *b as f64)
-                    .sum();
-                (u, score)
-            })
-            .collect();
-        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        ranked.truncate(k);
-        ranked
+        let mut truth = GraphTruth::new(embed.len() as u64);
+        truth.embeddings = Some(embed.to_vec());
+        match Interpreter::new(&truth, 1).run(&Plan::topk_all(v, k)) {
+            Ok(PlanOutput::Ranked(top)) => top,
+            other => unreachable!("topk_all plan must yield a ranking, got {other:?}"),
+        }
     }
 }

@@ -12,11 +12,13 @@
 //!    column-partitioned, psFunc-style) with N read replicas each, every
 //!    replica a `psgraph_net` service port charging real RPC costs.
 //! 3. **Serve** — the [`frontend::Frontend`] answers point lookups,
-//!    embedding gathers, top-k similarity (server-side partial dot
-//!    products merged at the frontend), and k-hop expansion; a byte-
-//!    budgeted hot-key LRU [`cache::LruCache`] absorbs the Zipf head,
-//!    batching amortizes per-message latency, and admission control
-//!    sheds load to defend a p99 SLO.
+//!    embedding gathers, and compound declarative plans
+//!    (`psgraph_query::Plan`: filter → expand → score → top-k over
+//!    vertex sets; the legacy k-hop/top-k query shapes compile to
+//!    plans), with a cost-based planner pushing plan prefixes
+//!    shard-side; a byte-budgeted hot-key LRU [`cache::LruCache`]
+//!    absorbs the Zipf head, batching amortizes per-message latency,
+//!    and admission control sheds load to defend a p99 SLO.
 //! 4. **Measure** — [`loadgen`] replays open- or closed-loop Zipf
 //!    traffic, optionally killing replicas mid-run via
 //!    `psgraph_sim::failpoint`, and reports QPS and latency percentiles
@@ -34,7 +36,13 @@ pub mod shard;
 pub use cache::LruCache;
 pub use cluster::{DemoBackend, DemoTruth, ObjectMap, ServeCluster, ServeConfig, SwapStats};
 pub use error::ServeError;
-pub use frontend::{reference, Frontend, Outcome, SloPolicy};
+pub use frontend::{reference, Frontend, Outcome, PlanCounters, SloPolicy};
+// The query-plan surface, re-exported so serving callers need not
+// depend on psgraph-query directly.
+pub use psgraph_query::{
+    ExpandMode, GraphTruth, Interpreter, Plan, PlanOutput, Pred, PushPolicy, Scorer, Source,
+    Stage,
+};
 pub use loadgen::{
     assert_freshness, max_state_age, LoadReport, Mode, QueryMix, ScriptedAction, Workload,
 };

@@ -19,9 +19,10 @@ use psgraph_sim::{SimTime, SplitMix64};
 use std::collections::BinaryHeap;
 
 use crate::cluster::ServeCluster;
-use crate::frontend::Outcome;
+use crate::frontend::{Outcome, PlanCounters};
 use crate::monitor::Monitor;
 use crate::shard::{Query, Value};
+use psgraph_query::Plan;
 
 /// Relative weights of each query kind in the generated stream.
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +37,10 @@ pub struct QueryMix {
     /// candidate neighborhood). Zero in the stock mixes; streaming
     /// workloads opt in.
     pub topk_all: u32,
+    /// Compound declarative plans drawn from
+    /// [`Workload::plan_palette`], re-anchored on the Zipf-drawn
+    /// vertex. Zero in the stock mixes; the query bench opts in.
+    pub compound: u32,
 }
 
 impl Default for QueryMix {
@@ -48,6 +53,7 @@ impl Default for QueryMix {
             khop: 5,
             topk: 5,
             topk_all: 0,
+            compound: 0,
         }
     }
 }
@@ -65,7 +71,8 @@ impl QueryMix {
             + self.neighbors
             + self.khop
             + self.topk
-            + self.topk_all) as u64
+            + self.topk_all
+            + self.compound) as u64
     }
 }
 
@@ -91,6 +98,10 @@ pub struct Workload {
     pub khop_hops: u32,
     /// `k` for generated `TopK` queries.
     pub topk_k: usize,
+    /// Plan shapes `compound` draws cycle through, each re-anchored on
+    /// the Zipf-drawn vertex via [`Plan::with_anchor`]. Must be
+    /// non-empty when `mix.compound > 0`.
+    pub plan_palette: Vec<Plan>,
 }
 
 impl Default for Workload {
@@ -103,6 +114,7 @@ impl Default for Workload {
             mode: Mode::Open { qps: 20_000.0 },
             khop_hops: 2,
             topk_k: 8,
+            plan_palette: Vec::new(),
         }
     }
 }
@@ -129,8 +141,17 @@ fn coprime_multiplier(n: u64) -> u64 {
     p
 }
 
-/// Draw one query: Zipf-ranked vertex, scrambled, kind by mix weight.
-fn next_query(rng: &mut SplitMix64, n: u64, scramble: u64, wl: &Workload) -> Query {
+/// One generated request: a legacy query shape or a compound plan.
+enum Draw {
+    Q(Query),
+    P(Plan),
+}
+
+/// Draw one request: Zipf-ranked vertex, scrambled, kind by mix weight.
+/// The `compound` weight sits last in the walk and draws from the rng
+/// only when selected, so mixes with `compound: 0` consume the exact
+/// rng stream earlier releases did.
+fn next_query(rng: &mut SplitMix64, n: u64, scramble: u64, wl: &Workload) -> Draw {
     let rank = rng.next_zipf(n, wl.zipf_s) - 1; // 0-based popularity rank
     let v = ((rank as u128 * scramble as u128) % n as u128) as u64;
     let mut w = rng.next_below(wl.mix.total());
@@ -145,11 +166,16 @@ fn next_query(rng: &mut SplitMix64, n: u64, scramble: u64, wl: &Workload) -> Que
         (mix.topk_all, Query::TopKAll { v, k: wl.topk_k }),
     ] {
         if w < weight as u64 {
-            return make;
+            return Draw::Q(make);
         }
         w -= weight as u64;
     }
-    Query::Rank(v)
+    if w < mix.compound as u64 {
+        assert!(!wl.plan_palette.is_empty(), "compound mix weight needs a plan palette");
+        let shape = rng.next_below(wl.plan_palette.len() as u64) as usize;
+        return Draw::P(wl.plan_palette[shape].clone().with_anchor(v));
+    }
+    Draw::Q(Query::Rank(v))
 }
 
 /// What the run produced, with enough detail to split percentiles around
@@ -181,7 +207,16 @@ pub struct LoadReport {
     /// `(query index, latency)` for every answered query.
     pub latencies: Vec<(usize, SimTime)>,
     /// `(query index, query, value)` when recording was requested.
+    /// Compound-plan answers land in `plans`, never here, so baseline
+    /// comparisons over legacy query values stay stable as mixes grow.
     pub values: Vec<(usize, Query, Value)>,
+    /// `(query index, plan, value)` for answered compound plans when
+    /// recording was requested.
+    pub plans: Vec<(usize, Plan, Value)>,
+    /// Plan-executor counters for this run alone (stages pushed, bytes
+    /// moved shard→frontend, rows pruned per stage kind) — per-run
+    /// deltas of the frontend's cumulative counters.
+    pub plan_counters: PlanCounters,
 }
 
 impl LoadReport {
@@ -282,7 +317,11 @@ pub fn run_with(
         })
     };
     let (dropped0, retried0) = queue_sum(cluster);
+    let counters0 = cluster.frontend().plan_counters();
     let mut queries: Vec<Query> = Vec::with_capacity(wl.queries);
+    // Parallel to `queries`: `Some(plan)` when index `i` was a compound
+    // draw (its `queries` slot holds a placeholder for indexing).
+    let mut plans_issued: Vec<Option<Plan>> = Vec::with_capacity(wl.queries);
     let mut issued_at: Vec<SimTime> = Vec::with_capacity(wl.queries);
     let mut outcomes: Vec<(usize, Outcome)> = Vec::with_capacity(wl.queries);
     let mut t_last = SimTime::ZERO;
@@ -327,10 +366,19 @@ pub fn run_with(
             let mut t = SimTime::ZERO;
             for i in 0..wl.queries {
                 prologue(cluster, injector, monitor, actions, i, t, &mut outcomes);
-                let q = next_query(&mut rng, n, scramble, wl);
-                queries.push(q);
                 issued_at.push(t);
-                outcomes.extend(cluster.frontend_mut().submit(i, t, q));
+                match next_query(&mut rng, n, scramble, wl) {
+                    Draw::Q(q) => {
+                        queries.push(q);
+                        plans_issued.push(None);
+                        outcomes.extend(cluster.frontend_mut().submit(i, t, q));
+                    }
+                    Draw::P(plan) => {
+                        queries.push(Query::Rank(plan.anchor().unwrap_or(0)));
+                        outcomes.extend(cluster.frontend_mut().submit_plan(i, t, &plan));
+                        plans_issued.push(Some(plan));
+                    }
+                }
                 t += SimTime::from_secs_f64(rng.next_exp(qps));
             }
             outcomes.extend(cluster.frontend_mut().drain());
@@ -345,10 +393,20 @@ pub fn run_with(
                 let std::cmp::Reverse((at_ns, w)) = heap.pop().expect("worker heap");
                 let at = SimTime::from_nanos(at_ns);
                 prologue(cluster, injector, monitor, actions, i, at, &mut outcomes);
-                let q = next_query(&mut rng, n, scramble, wl);
-                queries.push(q);
                 issued_at.push(at);
-                let outs = cluster.frontend_mut().execute_now(i, at, q);
+                let outs = match next_query(&mut rng, n, scramble, wl) {
+                    Draw::Q(q) => {
+                        queries.push(q);
+                        plans_issued.push(None);
+                        cluster.frontend_mut().execute_now(i, at, q)
+                    }
+                    Draw::P(plan) => {
+                        queries.push(Query::Rank(plan.anchor().unwrap_or(0)));
+                        let outs = cluster.frontend_mut().execute_plan_now(i, at, &plan);
+                        plans_issued.push(Some(plan));
+                        outs
+                    }
+                };
                 let mut next = at + think;
                 for (idx, o) in &outs {
                     if *idx == i {
@@ -379,6 +437,7 @@ pub fn run_with(
     let mut makespan = SimTime::ZERO;
     let mut latencies = Vec::new();
     let mut values = Vec::new();
+    let mut plans = Vec::new();
     for (idx, o) in outcomes {
         match o {
             Outcome::Answered { value, latency, completed, .. } => {
@@ -386,7 +445,10 @@ pub fn run_with(
                 makespan = makespan.max(completed);
                 latencies.push((idx, latency));
                 if record_values {
-                    values.push((idx, queries[idx], value));
+                    match &plans_issued[idx] {
+                        Some(plan) => plans.push((idx, plan.clone(), value)),
+                        None => values.push((idx, queries[idx], value)),
+                    }
                 }
             }
             Outcome::Shed { .. } => shed += 1,
@@ -395,6 +457,7 @@ pub fn run_with(
     }
     latencies.sort_by_key(|(i, _)| *i);
     values.sort_by_key(|(i, _, _)| *i);
+    plans.sort_by_key(|(i, _, _)| *i);
 
     let cache = cluster.frontend().cache();
     let cache_hits = cache.hits() - hits0;
@@ -415,6 +478,8 @@ pub fn run_with(
         issued_at,
         latencies,
         values,
+        plans,
+        plan_counters: cluster.frontend().plan_counters().minus(&counters0),
     }
 }
 
@@ -470,6 +535,8 @@ mod tests {
             issued_at,
             latencies,
             values: Vec::new(),
+            plans: Vec::new(),
+            plan_counters: PlanCounters::default(),
         }
     }
 

@@ -18,27 +18,10 @@ use std::sync::Arc;
 
 use crate::error::{Result, ServeError};
 
-/// Which shard of `num_shards` owns vertex `v` (range partitioning).
-pub fn owner_of(v: u64, num_vertices: u64, num_shards: usize) -> usize {
-    let chunk = num_vertices.div_ceil(num_shards as u64).max(1);
-    ((v / chunk) as usize).min(num_shards - 1)
-}
-
-/// The vertex range `[lo, hi)` stored by `shard`.
-pub fn vertex_range(shard: usize, num_vertices: u64, num_shards: usize) -> (u64, u64) {
-    let chunk = num_vertices.div_ceil(num_shards as u64).max(1);
-    let lo = (shard as u64 * chunk).min(num_vertices);
-    let hi = (lo + chunk).min(num_vertices);
-    (lo, hi)
-}
-
-/// The embedding column range `[lo, hi)` stored by `shard`.
-pub fn col_range(shard: usize, cols: usize, num_shards: usize) -> (usize, usize) {
-    let chunk = cols.div_ceil(num_shards).max(1);
-    let lo = (shard * chunk).min(cols);
-    let hi = (lo + chunk).min(cols);
-    (lo, hi)
-}
+// Partition arithmetic lives in the query crate (the planner and the
+// interpreter need the same tiling); re-exported here so existing
+// `crate::shard::owner_of` call sites keep working.
+pub use psgraph_query::part::{col_range, owner_of, vertex_range};
 
 /// Placement of one shard within the serving tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +195,69 @@ impl ShardData {
         scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         Ok(scored)
+    }
+
+    /// Statistics the cost-based planner reads to choose pushdown cuts.
+    pub fn stats(&self) -> psgraph_query::ShardStats {
+        let rows = self.spec.vertex_hi - self.spec.vertex_lo;
+        let (rank_lo, rank_hi) = match &self.ranks {
+            Some(r) if !r.is_empty() => {
+                r.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+                    (lo.min(x), hi.max(x))
+                })
+            }
+            _ => (0.0, 0.0),
+        };
+        let distinct_communities = match &self.communities {
+            Some(c) => {
+                let mut labels = c.clone();
+                labels.sort_unstable();
+                labels.dedup();
+                labels.len() as u64
+            }
+            None => 0,
+        };
+        psgraph_query::ShardStats {
+            rows,
+            edges: self.adjacency.as_ref().map_or(0, |a| a.targets.len() as u64),
+            has_ranks: self.ranks.is_some(),
+            rank_lo,
+            rank_hi,
+            has_communities: self.communities.is_some(),
+            distinct_communities,
+            has_embed: self.embed_rows.is_some(),
+            dim: self.embed_rows.as_ref().map_or(0, |e| e.width),
+        }
+    }
+}
+
+/// The pushed-stage kernel reads shards through this view: `None` for
+/// absent objects or vertices outside the shard's range, exactly as the
+/// interpreter's truth arrays answer out-of-range ids — so shard-side
+/// evaluation errors match the single-node oracle error for error.
+impl psgraph_query::VertexView for ShardData {
+    fn rank(&self, v: u64) -> Option<f64> {
+        let r = self.ranks.as_ref()?;
+        self.spec.owns_vertex(v).then(|| r[(v - self.spec.vertex_lo) as usize])
+    }
+
+    fn community(&self, v: u64) -> Option<u64> {
+        let c = self.communities.as_ref()?;
+        self.spec.owns_vertex(v).then(|| c[(v - self.spec.vertex_lo) as usize])
+    }
+
+    fn degree(&self, v: u64) -> Option<usize> {
+        let adj = self.adjacency.as_ref()?;
+        if !self.spec.owns_vertex(v) {
+            return None;
+        }
+        let i = (v - self.spec.vertex_lo) as usize;
+        Some((adj.offsets[i + 1] - adj.offsets[i]) as usize)
+    }
+
+    fn embed_row(&self, v: u64) -> Option<&[f32]> {
+        let rows = self.embed_rows.as_ref()?;
+        self.spec.owns_vertex(v).then(|| rows.row(v - self.spec.vertex_lo))
     }
 }
 

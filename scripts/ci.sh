@@ -14,8 +14,9 @@ fi
 
 # The harness is the substrate every test stands on (the work-stealing
 # pool lives there) — hold it to warnings-as-errors. Same bar for the
-# serving tier (newest subsystem).
+# serving tier and the query engine (newest subsystems).
 RUSTFLAGS="-D warnings" cargo build --offline -p psgraph-harness --all-targets
+RUSTFLAGS="-D warnings" cargo build --offline -p psgraph-query --all-targets
 RUSTFLAGS="-D warnings" cargo build --offline -p psgraph-serve --all-targets
 
 cargo build --release --offline --workspace
@@ -45,6 +46,25 @@ fi
 # asserts zero wrong/stale answers, a completed rejoin, and a recovered
 # p99 — a non-zero exit fails CI.
 cargo run --release --offline -p psgraph-bench --bin repro -- serve --scale 0.02 --queries 5000
+
+# Query-plan smoke: a mixed workload of all legacy shapes plus compound
+# filter → expand → score → top-k plans, every answer checked against the
+# single-node interpreter (the binary asserts 0 wrong), plus the pushdown
+# ablation (cost-based pushdown must move strictly fewer shard→frontend
+# bytes than frontend-only execution). Runs serial and on every host
+# core; the deterministic-reduction rule says the normalized outputs must
+# be identical.
+POOL_THREADS=1 cargo run --release --offline -p psgraph-bench --bin repro -- \
+    query --scale 0.02 --queries 4000 >/tmp/ci-query-t1.log \
+    || { cat /tmp/ci-query-t1.log; exit 1; }
+POOL_THREADS="$(nproc)" cargo run --release --offline -p psgraph-bench --bin repro -- \
+    query --scale 0.02 --queries 4000 >/tmp/ci-query-tmax.log \
+    || { cat /tmp/ci-query-tmax.log; exit 1; }
+if ! diff <(sed '/wall clock/d' /tmp/ci-query-t1.log) <(sed '/wall clock/d' /tmp/ci-query-tmax.log) >/tmp/ci-query.diff; then
+    echo "ci: query outputs diverge between POOL_THREADS=1 and POOL_THREADS=$(nproc)" >&2
+    cat /tmp/ci-query.diff >&2
+    exit 1
+fi
 
 # Streaming smoke: drift-RMAT edge events through micro-batch ingestion,
 # incremental PageRank/CC maintenance, and delta hot-swaps into the live
