@@ -1,7 +1,7 @@
 //! Regenerate every table and figure of the paper's evaluation (§V).
 //!
 //! ```text
-//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|stream|chaos|all] [--scale S] [--queries N] [--events N] [--seeds N] [--seed S] [--threads T]
+//! cargo run -p psgraph-bench --release --bin repro -- [fig6|line|table1|table2|serve|stream|chaos|all] [--scale S] [--queries N] [--events N] [--shards N] [--seeds N] [--seed S] [--threads T]
 //! ```
 //!
 //! Default scale is 0.05 (DS1′ = 10 k vertices / 137.5 k edges). Budgets
@@ -10,6 +10,9 @@
 //! `--queries` sizes the `serve` stream (default 100 000); `--events`
 //! sizes the `stream` edge-event stream (default 50 000; the chaos soak
 //! defaults to 12 000 per run unless `--events` is given explicitly);
+//! `--shards` routes the stream across N owner-keyed ingestor shards
+//! (default 1; with N > 1 the run also replays a single-ingestor
+//! reference and asserts the final PS state digests are bit-identical);
 //! `--seeds` sizes the chaos fault-schedule sweep (default 20) and
 //! `--seed` replays exactly one failing schedule; `--threads` sizes the
 //! global work-stealing pool (default: host parallelism; the simulated
@@ -28,6 +31,7 @@ fn main() {
     let mut queries = 100_000usize;
     let mut events = 50_000usize;
     let mut events_explicit = false;
+    let mut shards = 1usize;
     let mut chaos_seeds = 20usize;
     let mut chaos_seed: Option<u64> = None;
     let mut it = args.iter();
@@ -51,6 +55,13 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--events needs a count");
                 events_explicit = true;
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--shards needs a count");
+                assert!(shards > 0, "--shards must be positive");
             }
             "--seeds" => {
                 chaos_seeds = it
@@ -153,8 +164,15 @@ fn main() {
     }
     if do_all || which == "stream" {
         let t0 = std::time::Instant::now();
-        let r = stream_exp::run_stream(scale, events).expect("stream");
+        let r = stream_exp::run_stream_with(scale, events, shards).expect("stream");
         println!("{}", stream_exp::table(&r));
+        if shards > 1 {
+            let reference = stream_exp::run_stream(scale, events).expect("stream reference");
+            assert_eq!(
+                r.state_digest, reference.state_digest,
+                "sharded final PS state diverged from the single-ingestor reference"
+            );
+        }
         assert_eq!(r.wrong, 0, "served answers diverged from the swap-time PS state");
         assert!(r.swaps >= 1, "at least one delta hot-swap must run");
         assert!(

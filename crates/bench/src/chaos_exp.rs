@@ -8,10 +8,14 @@
 //! log is re-run under `>= 20` chaos seeds, each injecting:
 //!
 //! * **message loss + duplication** on the event transport — every
-//!   micro-batch travels via [`psgraph_net::Network::send_reliable`]
+//!   micro-batch is split into per-shard lanes (ingest runs on a
+//!   [`ShardedIngestor`], one owner-keyed writer per source range) and
+//!   each lane travels via [`psgraph_net::Network::send_reliable`]
 //!   (retry/backoff/deadline) gated by an
-//!   [`psgraph_net::IdempotencyFilter`], so at-least-once delivery still
-//!   applies each batch exactly once;
+//!   [`psgraph_net::IdempotencyFilter`], so a fault can lose or
+//!   duplicate one shard's lane while the others land — at-least-once
+//!   delivery still applies each lane exactly once, and the min-merged
+//!   watermark must survive per-shard faults uncorrupted;
 //! * **bounded delay** on every PS / DFS / serve RPC;
 //! * **PS crash-points** at arbitrary positions — after an
 //!   un-checkpointed batch, *mid-checkpoint* (generation written but
@@ -49,13 +53,19 @@ use psgraph_sim::{
 };
 use psgraph_stream::{
     replay_from_log, DriftRmat, EdgeEvent, EventLog, IngestConfig, Ingestor, RefreshConfig,
-    RefreshDriver, StreamCheckpoint,
+    RefreshDriver, ShardedIngestor, StreamCheckpoint,
 };
 
 use crate::report::{Cell, Row, Table};
 
-/// Events per micro-batch (mailbox sized to match).
+/// Events per micro-batch (every shard mailbox sized to match, so even a
+/// batch routed entirely to one shard fits).
 const BATCH: usize = 256;
+/// Owner-keyed ingestor shards the soak streams through. Three shards
+/// give asymmetric lanes: seeded faults routinely hit one shard's
+/// delivery while the others land, exercising the min-merged watermark
+/// under per-shard loss/dup/delay.
+const SHARDS: usize = 3;
 /// Checkpoint the PS + stream position every this many batches.
 const CKPT_EVERY: usize = 6;
 /// Verified queries interleaved after every micro-batch.
@@ -163,7 +173,7 @@ struct Mirror {
 
 fn capture(
     client: &NodeClock,
-    ingestor: &Ingestor,
+    ingestor: &ShardedIngestor,
     pr: &IncrementalPageRank,
     st: &PrState,
     cc: &IncrementalCc,
@@ -172,7 +182,7 @@ fn capture(
     let ranks = pr.ranks(st, client)?;
     let ids: Vec<u64> = (0..n).collect();
     let adj =
-        ingestor.adjacency.pull(client, &ids)?.into_iter().map(|l| l.to_vec()).collect();
+        ingestor.adjacency().pull(client, &ids)?.into_iter().map(|l| l.to_vec()).collect();
     Ok(Mirror { ranks, labels: cc.labels().to_vec(), adj })
 }
 
@@ -199,7 +209,7 @@ fn answer_matches(query: &Query, value: &Value, m: &Mirror) -> bool {
 
 fn fingerprint(
     client: &NodeClock,
-    ingestor: &Ingestor,
+    ingestor: &ShardedIngestor,
     pr: &IncrementalPageRank,
     st: &PrState,
     cc: &IncrementalCc,
@@ -210,14 +220,14 @@ fn fingerprint(
         rank_bits: pr.ranks(st, client)?.iter().map(|r| r.to_bits()).collect(),
         labels: cc.labels().to_vec(),
         degree_bits: ingestor
-            .degrees
+            .degrees()
             .pull(client, &ids)
             .map_err(se)?
             .iter()
             .map(|d| d.to_bits())
             .collect(),
         adjacency: ingestor
-            .adjacency
+            .adjacency()
             .pull(client, &ids)
             .map_err(se)?
             .into_iter()
@@ -251,22 +261,22 @@ fn run_once(
         dfs.network().attach_chaos(chaos.clone());
     }
 
-    // Train: mutable ingest state + incremental maintainers, converged on
-    // the base graph.
+    // Train: sharded mutable ingest state + incremental maintainers,
+    // converged on the base graph.
     let icfg = IngestConfig { prefix: "stream".into(), mailbox_cap: BATCH };
-    let mut ingestor = Ingestor::create(&ps, &icfg, n).map_err(se)?;
+    let mut ingestor = ShardedIngestor::create(&ps, &icfg, n, SHARDS).map_err(se)?;
     ingestor.bootstrap(&client, base.edges()).map_err(se)?;
     let pr = IncrementalPageRank::default();
     let mut pr_state = pr.create_state(&ps, "stream.pr", n)?;
-    pr.init_full(&mut pr_state, &client, &ingestor.adjacency)?;
+    pr.init_full(&mut pr_state, &client, ingestor.adjacency())?;
     let mut cc = IncrementalCc::create(&ps, "stream.cc", n)?;
-    cc.bootstrap(&client, &ingestor.adjacency)?;
+    cc.bootstrap(&client, ingestor.adjacency())?;
 
     // Serve: snapshot the trained state, load the tier over it.
     let mut w = SnapshotWriter::new(&dfs, "/chaos/snapshot", &client);
     w.vector_f64(&pr_state.ranks)?;
     w.vector_u64(&cc.labels)?;
-    w.neighbor_table(&ingestor.adjacency)?;
+    w.neighbor_table(ingestor.adjacency())?;
     let manifest = w.finish()?;
     let objects = ObjectMap {
         ranks: Some("stream.pr.ranks".into()),
@@ -342,47 +352,57 @@ fn run_once(
         let hi = (lo + BATCH).min(events.len());
         let evs = &events[lo..hi];
 
-        // Deliver the batch. Under chaos the batch is a keyed reliable
-        // message: lost sends retry with backoff, duplicated deliveries
-        // are absorbed by the idempotency filter (keyed per incarnation —
-        // a post-crash replay is a legitimately new delivery).
+        // Deliver the batch, one reliable lane per owner shard. Under
+        // chaos each lane is its own keyed message: a seeded fault can
+        // lose or duplicate shard 1's lane while shard 0's lands, lost
+        // sends retry with backoff, and duplicated deliveries are
+        // absorbed by the idempotency filter (keyed per incarnation — a
+        // post-crash replay is a legitimately new delivery).
         if active {
-            let key = (incarnation << 40) | b as u64;
-            let ing = &mut ingestor;
-            let receipt = ps
-                .network()
-                .send_reliable(
-                    &client,
-                    &transport_port,
-                    evs.len() as u64 * 25,
-                    evs.len() as u64 * 4,
-                    16,
-                    &policy,
-                    FaultSite::Ingest,
-                    key,
-                    &mut || {
-                        filter.apply_once(key, || {
-                            for ev in evs {
-                                if !ing.offer(NodeId::Driver, *ev) {
-                                    ing.note_offer_retry();
+            for shard in 0..SHARDS {
+                let lane: Vec<EdgeEvent> =
+                    evs.iter().copied().filter(|e| ingestor.owner(e) == shard).collect();
+                if lane.is_empty() {
+                    continue;
+                }
+                let key = (incarnation << 40) | ((b * SHARDS + shard) as u64);
+                let ing = &mut ingestor;
+                let receipt = ps
+                    .network()
+                    .send_reliable(
+                        &client,
+                        &transport_port,
+                        lane.len() as u64 * 25,
+                        lane.len() as u64 * 4,
+                        16,
+                        &policy,
+                        FaultSite::Ingest,
+                        key,
+                        &mut || {
+                            filter.apply_once(key, || {
+                                for ev in &lane {
+                                    if !ing.offer(NodeId::Driver, *ev) {
+                                        ing.note_offer_retry(ev);
+                                    }
                                 }
-                            }
-                        });
-                    },
-                )
-                .map_err(se)?;
-            transport_retries += (receipt.attempts - 1) as u64;
+                            });
+                        },
+                    )
+                    .map_err(se)?;
+                transport_retries += (receipt.attempts - 1) as u64;
+            }
         } else {
             for ev in evs {
-                assert!(ingestor.offer(NodeId::Driver, *ev), "mailbox sized to the batch");
+                assert!(ingestor.offer(NodeId::Driver, *ev), "mailboxes sized to the batch");
             }
         }
 
-        // Apply + maintain.
-        let fx = ingestor.apply_pending(&client).map_err(se)?;
+        // Apply + maintain: one logical micro-batch drained across all
+        // shards, effects merged source-sorted, applied in arrival order.
+        let fx = ingestor.drain_all().map_err(se)?;
         pr.on_batch(&mut pr_state, &client, &fx.effects)?;
-        pr.propagate(&mut pr_state, &client, &ingestor.adjacency)?;
-        cc.on_batch(&client, &fx.applied, &ingestor.adjacency)?;
+        pr.propagate(&mut pr_state, &client, ingestor.adjacency())?;
+        cc.on_batch(&client, &fx.applied, ingestor.adjacency())?;
         pending.push((b, fx.watermark));
         if b < high_water {
             batches_replayed += 1;
@@ -478,25 +498,29 @@ fn run_once(
             continue;
         }
 
-        // Delta hot-swap cadence — suppressed while a recovery is still
-        // replaying (publishing a rolled-back PS would serve time-travel).
-        if driver.tick() && !catching_up {
-            let rec = driver
+        // Delta hot-swap cadence — only effective batches advance it
+        // (replayed all-duplicate batches are no-ops), and it is
+        // suppressed while a recovery is still replaying (publishing a
+        // rolled-back PS would serve time-travel).
+        if driver.tick(!fx.effects.is_empty()) && !catching_up {
+            if let Some(rec) = driver
                 .refresh(
                     &dfs,
                     &client,
                     &mut cluster,
                     &pr_state.ranks,
                     &cc.labels,
-                    &ingestor.adjacency,
+                    ingestor.adjacency(),
                     ingestor.watermark(),
                 )
-                .map_err(se)?;
-            for (_, wmark) in pending.drain(..) {
-                lags.push(rec.at.saturating_sub(wmark));
+                .map_err(se)?
+            {
+                for (_, wmark) in pending.drain(..) {
+                    lags.push(rec.at.saturating_sub(wmark));
+                }
+                mirror = capture(&client, &ingestor, &pr, &pr_state, &cc, n)?;
+                truth = mirror.truth(n);
             }
-            mirror = capture(&client, &ingestor, &pr, &pr_state, &cc, n)?;
-            truth = mirror.truth(n);
         }
 
         // Interleaved queries, verified bit-for-bit against the swap-time
@@ -566,21 +590,25 @@ fn run_once(
         b += 1;
     }
 
-    // Publish the tail so freshness accounting closes out.
+    // Publish the tail so freshness accounting closes out. A `None` here
+    // means everything pending was a no-op (nothing dirty since the last
+    // swap) — there is nothing to publish, so those batches carry no lag.
     if driver.batches_since_swap() > 0 || !pending.is_empty() {
-        let rec = driver
+        if let Some(rec) = driver
             .refresh(
                 &dfs,
                 &client,
                 &mut cluster,
                 &pr_state.ranks,
                 &cc.labels,
-                &ingestor.adjacency,
+                ingestor.adjacency(),
                 ingestor.watermark(),
             )
-            .map_err(se)?;
-        for (_, wmark) in pending.drain(..) {
-            lags.push(rec.at.saturating_sub(wmark));
+            .map_err(se)?
+        {
+            for (_, wmark) in pending.drain(..) {
+                lags.push(rec.at.saturating_sub(wmark));
+            }
         }
     }
 

@@ -8,21 +8,29 @@
 //! add/remove events which are applied in micro-batches:
 //!
 //! 1. Each batch updates the neighbor table, re-pushes PageRank residuals
-//!    and unions / recomputes components.
-//! 2. Every `swap_every_batches` batches a [`RefreshDriver`] exports a
-//!    [`psgraph_ps::snapshot::DeltaWriter`] delta of the dirtied
-//!    partitions and hot-swaps it into the live replicas.
+//!    and unions / recomputes components. With `--shards N` the batch is
+//!    routed across N ingestor shards keyed by edge owner (source-range
+//!    tiling) and drained as one logical batch whose watermark is the
+//!    min-merge across shards ([`ShardedIngestor`]).
+//! 2. Every `swap_every_batches` *effective* batches a [`RefreshDriver`]
+//!    exports a [`psgraph_ps::snapshot::DeltaWriter`] delta of the
+//!    dirtied partitions and hot-swaps it into the live replicas.
 //! 3. Queries are interleaved throughout and checked bit-for-bit against
 //!    the *swap-time* PS state (the tier serves the last published
 //!    snapshot, not the live PS) — `wrong` must be 0.
 //! 4. At the end the incremental PageRank is compared against a
-//!    from-scratch recompute (L∞ must stay under 1e-6) and the component
-//!    labels against [`metrics::connected_components`] of the live edges.
+//!    from-scratch recompute (L∞ must stay under 1e-6), the component
+//!    labels against [`metrics::connected_components`] of the live
+//!    edges, and the whole final state (adjacency + degrees + ranks +
+//!    labels) is folded into `state_digest` — the digest must be
+//!    bit-identical across every shard count.
 //!
 //! The freshness metric: a micro-batch's lag is the event-time gap
 //! between its watermark (latest event it applied) and the watermark of
 //! the swap that first published it. With a swap every `K` batches the
-//! lag is bounded by the event-time span of `K` batches.
+//! lag is bounded by the event-time span of `K` batches. All freshness
+//! numbers are event-time, so they are identical across shard counts and
+//! pool sizes; only the wall-clock rows (events/s, swap cost) vary.
 
 use std::time::Instant;
 
@@ -31,17 +39,20 @@ use psgraph_core::CoreError;
 use psgraph_dfs::Dfs;
 use psgraph_graph::{metrics, Dataset, EdgeList};
 use psgraph_net::rpc::NodeId;
-use psgraph_ps::{Ps, PsConfig, SnapshotWriter};
+use psgraph_ps::{NeighborTableHandle, Ps, PsConfig, SnapshotWriter, VectorHandle};
 use psgraph_serve::frontend::Outcome;
 use psgraph_serve::{ObjectMap, Query, ServeCluster, ServeConfig, Value};
 use psgraph_sim::{NodeClock, SimTime, SplitMix64};
-use psgraph_stream::{DriftRmat, IngestConfig, Ingestor, RefreshConfig, RefreshDriver};
+use psgraph_stream::{
+    BatchEffect, DriftRmat, EdgeEvent, IngestConfig, IngestStats, Ingestor, RefreshConfig,
+    RefreshDriver, ShardedIngestor,
+};
 
 use crate::report::{Cell, Row, Table};
 
-/// Events per micro-batch; the ingest mailbox is sized to match, so
-/// within a batch no offer is rejected (backpressure is unit-tested in
-/// `psgraph-stream`).
+/// Events per micro-batch; every ingest mailbox is sized to match, so
+/// within a batch no offer is rejected even if all events route to one
+/// shard (backpressure is unit-tested in `psgraph-stream`).
 const BATCH: usize = 512;
 
 /// Verified queries interleaved after every micro-batch.
@@ -52,21 +63,26 @@ const QUERIES_PER_BATCH: usize = 4;
 pub struct StreamRepro {
     pub num_vertices: u64,
     pub base_edges: usize,
+    /// Ingestor shards the stream was routed across (1 = the plain
+    /// single-ingestor reference path).
+    pub shards: usize,
     /// Events emitted by the drift source.
     pub events: usize,
     pub batches: usize,
     pub applied_adds: u64,
     pub applied_removes: u64,
-    /// At-least-once duplicates and removes of absent edges.
-    pub skipped: u64,
+    /// At-least-once duplicates (add of a live edge).
+    pub skipped_dup_adds: u64,
+    /// Removes of absent edges.
+    pub skipped_missing_removes: u64,
     pub live_edges: usize,
     /// Delta hot-swaps into the serving tier.
     pub swaps: usize,
     /// Dirty partitions exported across all swaps.
     pub dirty_partitions: usize,
     pub swap_every_batches: usize,
-    /// Worst observed batches-until-published; must stay within the
-    /// configured swap cadence.
+    /// Worst observed effective-batches-until-published; must stay
+    /// within the configured swap cadence.
     pub max_batches_to_publish: usize,
     /// Event-time lag from a batch's watermark to its publishing swap.
     pub freshness_p50: SimTime,
@@ -83,8 +99,12 @@ pub struct StreamRepro {
     /// Incremental component labels equal the reference labels.
     pub cc_ok: bool,
     pub components: usize,
-    /// Event-time high-water mark at the end of the run.
+    /// Event-time high-water mark at the end of the run (min-merged
+    /// across shards when sharded).
     pub final_watermark: SimTime,
+    /// FNV-1a fold of the final adjacency lists, degree bits, rank bits
+    /// and component labels — bit-identical across shard counts.
+    pub state_digest: u64,
     /// Wall-clock ingest + maintain + swap throughput.
     pub events_per_sec: f64,
     /// Wall-clock cost of each delta swap, milliseconds.
@@ -102,10 +122,87 @@ impl StreamRepro {
             self.swap_walls_ms.iter().sum::<f64>() / self.swap_walls_ms.len() as f64
         }
     }
+
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped_dup_adds + self.skipped_missing_removes
+    }
 }
 
 fn se(e: impl std::fmt::Display) -> CoreError {
     CoreError::Invalid(format!("stream: {e}"))
+}
+
+/// One or many writers behind a common surface: `Single` is the
+/// reference path (one mailbox, one watermark, the driver's clock);
+/// `Sharded` routes by edge owner and drains all shards as one logical
+/// batch on per-shard clocks.
+enum Ingest {
+    Single(Ingestor),
+    Sharded(ShardedIngestor),
+}
+
+impl Ingest {
+    fn create(
+        ps: &std::sync::Arc<Ps>,
+        cfg: &IngestConfig,
+        n: u64,
+        shards: usize,
+    ) -> Result<Ingest, CoreError> {
+        Ok(if shards <= 1 {
+            Ingest::Single(Ingestor::create(ps, cfg, n).map_err(se)?)
+        } else {
+            Ingest::Sharded(ShardedIngestor::create(ps, cfg, n, shards).map_err(se)?)
+        })
+    }
+
+    fn bootstrap(&self, client: &NodeClock, edges: &[(u64, u64)]) -> Result<(), CoreError> {
+        match self {
+            Ingest::Single(i) => i.bootstrap(client, edges).map_err(se),
+            Ingest::Sharded(s) => s.bootstrap(client, edges).map_err(se),
+        }
+    }
+
+    fn adjacency(&self) -> &NeighborTableHandle {
+        match self {
+            Ingest::Single(i) => &i.adjacency,
+            Ingest::Sharded(s) => s.adjacency(),
+        }
+    }
+
+    fn degrees(&self) -> &VectorHandle<f64> {
+        match self {
+            Ingest::Single(i) => &i.degrees,
+            Ingest::Sharded(s) => s.degrees(),
+        }
+    }
+
+    fn offer(&mut self, from: NodeId, ev: EdgeEvent) -> bool {
+        match self {
+            Ingest::Single(i) => i.offer(from, ev),
+            Ingest::Sharded(s) => s.offer(from, ev),
+        }
+    }
+
+    fn drain(&mut self, client: &NodeClock) -> Result<BatchEffect, CoreError> {
+        match self {
+            Ingest::Single(i) => i.apply_pending(client).map_err(se),
+            Ingest::Sharded(s) => s.drain_all().map_err(se),
+        }
+    }
+
+    fn watermark(&self) -> SimTime {
+        match self {
+            Ingest::Single(i) => i.watermark(),
+            Ingest::Sharded(s) => s.watermark(),
+        }
+    }
+
+    fn stats(&self) -> IngestStats {
+        match self {
+            Ingest::Single(i) => i.stats(),
+            Ingest::Sharded(s) => s.stats(),
+        }
+    }
 }
 
 /// The PS state at the instant of the last publish — what the serving
@@ -118,7 +215,7 @@ struct Mirror {
 
 fn capture(
     client: &NodeClock,
-    ingestor: &Ingestor,
+    adjacency: &NeighborTableHandle,
     pr: &IncrementalPageRank,
     st: &PrState,
     cc: &IncrementalCc,
@@ -126,12 +223,7 @@ fn capture(
 ) -> Result<Mirror, CoreError> {
     let ranks = pr.ranks(st, client)?;
     let ids: Vec<u64> = (0..n).collect();
-    let adj = ingestor
-        .adjacency
-        .pull(client, &ids)?
-        .into_iter()
-        .map(|l| l.to_vec())
-        .collect();
+    let adj = adjacency.pull(client, &ids)?.into_iter().map(|l| l.to_vec()).collect();
     Ok(Mirror { ranks, labels: cc.labels().to_vec(), adj })
 }
 
@@ -144,26 +236,69 @@ fn answer_matches(query: &Query, value: &Value, m: &Mirror) -> bool {
     }
 }
 
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Bit-exact fold of the final streamed state: adjacency lists (length +
+/// neighbors per source, in source order), degree bits, rank bits,
+/// component labels. Two runs produced identical PS state iff their
+/// digests match.
+fn state_digest(
+    client: &NodeClock,
+    adjacency: &NeighborTableHandle,
+    degrees: &VectorHandle<f64>,
+    ranks: &[f64],
+    labels: &[u64],
+    n: u64,
+) -> Result<u64, CoreError> {
+    let ids: Vec<u64> = (0..n).collect();
+    let lists = adjacency.pull(client, &ids)?;
+    let degs = degrees.pull(client, &ids)?;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for l in &lists {
+        fnv1a(&mut h, &(l.len() as u64).to_le_bytes());
+        for &d in l.iter() {
+            fnv1a(&mut h, &d.to_le_bytes());
+        }
+    }
+    for &d in &degs {
+        fnv1a(&mut h, &d.to_bits().to_le_bytes());
+    }
+    for &r in ranks {
+        fnv1a(&mut h, &r.to_bits().to_le_bytes());
+    }
+    for &l in labels {
+        fnv1a(&mut h, &l.to_le_bytes());
+    }
+    Ok(h)
+}
+
 /// Export everything dirtied since the last swap, install it on the live
 /// tier, settle the freshness accounting for the batches it published,
-/// and re-capture the serving-truth mirror.
+/// and re-capture the serving-truth mirror. Returns `None` when the
+/// driver skipped the swap because nothing was dirty — the tier (and the
+/// mirror) are unchanged and pending batches stay pending.
 #[allow(clippy::too_many_arguments)]
 fn publish(
     driver: &mut RefreshDriver,
     dfs: &Dfs,
     client: &NodeClock,
     cluster: &mut ServeCluster,
-    ingestor: &Ingestor,
+    ingest: &Ingest,
     pr: &IncrementalPageRank,
     pr_state: &PrState,
     cc: &IncrementalCc,
     n: u64,
-    batches: usize,
+    effective_batches: usize,
     pending: &mut Vec<(usize, SimTime)>,
     lags: &mut Vec<SimTime>,
     max_batches_to_publish: &mut usize,
     walls_ms: &mut Vec<f64>,
-) -> Result<Mirror, CoreError> {
+) -> Result<Option<Mirror>, CoreError> {
     let t0 = Instant::now();
     let rec = driver
         .refresh(
@@ -172,16 +307,17 @@ fn publish(
             cluster,
             &pr_state.ranks,
             &cc.labels,
-            &ingestor.adjacency,
-            ingestor.watermark(),
+            ingest.adjacency(),
+            ingest.watermark(),
         )
         .map_err(se)?;
+    let Some(rec) = rec else { return Ok(None) };
     walls_ms.push(t0.elapsed().as_secs_f64() * 1e3);
     for (bi, wmark) in pending.drain(..) {
         lags.push(rec.at.saturating_sub(wmark));
-        *max_batches_to_publish = (*max_batches_to_publish).max(batches - bi);
+        *max_batches_to_publish = (*max_batches_to_publish).max(effective_batches - bi);
     }
-    capture(client, ingestor, pr, pr_state, cc, n)
+    capture(client, ingest.adjacency(), pr, pr_state, cc, n).map(Some)
 }
 
 fn percentile(sorted: &[SimTime], p: f64) -> SimTime {
@@ -193,8 +329,20 @@ fn percentile(sorted: &[SimTime], p: f64) -> SimTime {
 }
 
 /// Bootstrap DS3′ at `scale`, serve it, then stream `total_events` drift
-/// events through micro-batches with periodic delta hot-swaps.
+/// events through micro-batches with periodic delta hot-swaps —
+/// single-ingestor reference path (`shards = 1`).
 pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreError> {
+    run_stream_with(scale, total_events, 1)
+}
+
+/// [`run_stream`] with the event stream routed across `shards` ingestor
+/// shards keyed by edge owner. `shards = 1` is the plain [`Ingestor`]
+/// path; every shard count must end with the same `state_digest`.
+pub fn run_stream_with(
+    scale: f64,
+    total_events: usize,
+    shards: usize,
+) -> Result<StreamRepro, CoreError> {
     let g = Dataset::Ds3.generate(scale).dedup();
     let n = g.num_vertices();
     let base_edges = g.edges().len();
@@ -205,19 +353,19 @@ pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreEr
     // Mutable ingest state + incremental maintainers, converged on the
     // base graph.
     let icfg = IngestConfig { prefix: "stream".into(), mailbox_cap: BATCH };
-    let mut ingestor = Ingestor::create(&ps, &icfg, n).map_err(se)?;
-    ingestor.bootstrap(&client, g.edges()).map_err(se)?;
+    let mut ingest = Ingest::create(&ps, &icfg, n, shards)?;
+    ingest.bootstrap(&client, g.edges())?;
     let pr = IncrementalPageRank::default();
     let mut pr_state = pr.create_state(&ps, "stream.pr", n)?;
-    pr.init_full(&mut pr_state, &client, &ingestor.adjacency)?;
+    pr.init_full(&mut pr_state, &client, ingest.adjacency())?;
     let mut cc = IncrementalCc::create(&ps, "stream.cc", n)?;
-    cc.bootstrap(&client, &ingestor.adjacency)?;
+    cc.bootstrap(&client, ingest.adjacency())?;
 
     // Snapshot the trained state and bring up the serving tier over it.
     let mut w = SnapshotWriter::new(&dfs, "/stream/snapshot", &client);
     w.vector_f64(&pr_state.ranks)?;
     w.vector_u64(&cc.labels)?;
-    w.neighbor_table(&ingestor.adjacency)?;
+    w.neighbor_table(ingest.adjacency())?;
     let manifest = w.finish()?;
     let objects = ObjectMap {
         ranks: Some("stream.pr.ranks".into()),
@@ -231,7 +379,7 @@ pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreEr
     let rcfg = RefreshConfig::default();
     let swap_every = rcfg.swap_every_batches;
     let mut driver = RefreshDriver::new("/stream/snapshot", manifest, rcfg);
-    let mut mirror = capture(&client, &ingestor, &pr, &pr_state, &cc, n)?;
+    let mut mirror = capture(&client, ingest.adjacency(), &pr, &pr_state, &cc, n)?;
 
     // The drifting event source, seeded with the base edge set so
     // removals can name live edges from the start.
@@ -255,6 +403,7 @@ pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreEr
     let mut answered = 0usize;
     let mut wrong = 0usize;
     let mut batches = 0usize;
+    let mut effective_batches = 0usize;
     let mut emitted = 0usize;
 
     let ingest_t0 = Instant::now();
@@ -262,34 +411,40 @@ pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreEr
         let take = BATCH.min(total_events - emitted);
         for _ in 0..take {
             let ev = source.next_event();
-            assert!(ingestor.offer(NodeId::Driver, ev), "mailbox sized to the batch");
+            assert!(ingest.offer(NodeId::Driver, ev), "mailboxes sized to the batch");
         }
         emitted += take;
 
-        let fx = ingestor.apply_pending(&client).map_err(se)?;
+        let fx = ingest.drain(&client)?;
+        let effective = !fx.effects.is_empty();
         pr.on_batch(&mut pr_state, &client, &fx.effects)?;
-        pr.propagate(&mut pr_state, &client, &ingestor.adjacency)?;
-        cc.on_batch(&client, &fx.applied, &ingestor.adjacency)?;
-        pending.push((batches, fx.watermark));
+        pr.propagate(&mut pr_state, &client, ingest.adjacency())?;
+        cc.on_batch(&client, &fx.applied, ingest.adjacency())?;
         batches += 1;
+        if effective {
+            pending.push((effective_batches, fx.watermark));
+            effective_batches += 1;
+        }
 
-        if driver.tick() {
-            mirror = publish(
+        if driver.tick(effective) {
+            if let Some(m) = publish(
                 &mut driver,
                 &dfs,
                 &client,
                 &mut cluster,
-                &ingestor,
+                &ingest,
                 &pr,
                 &pr_state,
                 &cc,
                 n,
-                batches,
+                effective_batches,
                 &mut pending,
                 &mut lags,
                 &mut max_batches_to_publish,
                 &mut swap_walls_ms,
-            )?;
+            )? {
+                mirror = m;
+            }
         }
 
         // Interleaved queries, verified against the swap-time truth.
@@ -314,22 +469,24 @@ pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreEr
     }
     // Publish the tail so the tier ends bit-identical to the PS.
     if driver.batches_since_swap() > 0 {
-        mirror = publish(
+        if let Some(m) = publish(
             &mut driver,
             &dfs,
             &client,
             &mut cluster,
-            &ingestor,
+            &ingest,
             &pr,
             &pr_state,
             &cc,
             n,
-            batches,
+            effective_batches,
             &mut pending,
             &mut lags,
             &mut max_batches_to_publish,
             &mut swap_walls_ms,
-        )?;
+        )? {
+            mirror = m;
+        }
     }
     let ingest_wall = ingest_t0.elapsed();
     let events_per_sec = emitted as f64 / ingest_wall.as_secs_f64().max(1e-9);
@@ -338,14 +495,14 @@ pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreEr
     // Incremental vs from-scratch: PageRank within 1e-6 L∞, components
     // equal to the reference labels of the live edge set.
     let mut full = pr.create_state(&ps, "stream.fullck", n)?;
-    pr.init_full(&mut full, &client, &ingestor.adjacency)?;
+    pr.init_full(&mut full, &client, ingest.adjacency())?;
     let inc = pr.ranks(&pr_state, &client)?;
     let fr = pr.ranks(&full, &client)?;
     let pr_linf =
         inc.iter().zip(&fr).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
 
     let ids: Vec<u64> = (0..n).collect();
-    let lists = ingestor.adjacency.pull(&client, &ids)?;
+    let lists = ingest.adjacency().pull(&client, &ids)?;
     let mut live = Vec::new();
     for (s, l) in lists.iter().enumerate() {
         for &d in l.iter() {
@@ -361,6 +518,7 @@ pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreEr
         u.dedup();
         u.len()
     };
+    let digest = state_digest(&client, ingest.adjacency(), ingest.degrees(), &inc, cc.labels(), n)?;
 
     // Swap cost vs a full refresh of the same final state. Both sides
     // include their export: the delta path exports dirty partitions and
@@ -370,22 +528,24 @@ pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreEr
     let mut fw = SnapshotWriter::new(&dfs, "/stream/full", &client);
     fw.vector_f64(&pr_state.ranks)?;
     fw.vector_u64(&cc.labels)?;
-    fw.neighbor_table(&ingestor.adjacency)?;
+    fw.neighbor_table(ingest.adjacency())?;
     fw.finish()?;
     let reload = ServeCluster::load(&dfs, "/stream/full", &objects, &scfg, &client).map_err(se)?;
     let full_reload_ms = reload_t0.elapsed().as_secs_f64() * 1e3;
     drop(reload);
 
     lags.sort_unstable();
-    let stats = ingestor.stats();
+    let stats = ingest.stats();
     Ok(StreamRepro {
         num_vertices: n,
         base_edges,
+        shards: shards.max(1),
         events: emitted,
         batches,
         applied_adds: stats.applied_adds,
         applied_removes: stats.applied_removes,
-        skipped: stats.skipped,
+        skipped_dup_adds: stats.skipped_dup_adds,
+        skipped_missing_removes: stats.skipped_missing_removes,
         live_edges,
         swaps: driver.swaps().len(),
         dirty_partitions: driver.swaps().iter().map(|s| s.dirty_partitions).sum(),
@@ -401,7 +561,8 @@ pub fn run_stream(scale: f64, total_events: usize) -> Result<StreamRepro, CoreEr
         pr_linf,
         cc_ok,
         components,
-        final_watermark: ingestor.watermark(),
+        final_watermark: ingest.watermark(),
+        state_digest: digest,
         events_per_sec,
         swap_walls_ms,
         full_reload_ms,
@@ -416,13 +577,18 @@ pub fn table(r: &StreamRepro) -> Table {
     );
     let text = |s: String| vec![Cell::Text(s)];
     t.push(Row::new("vertices / base edges", text(format!("{} / {}", r.num_vertices, r.base_edges))));
+    t.push(Row::new("ingestor shards", text(r.shards.to_string())));
     t.push(Row::new(
         format!("events streamed ({} batches of ≤{BATCH})", r.batches),
         text(r.events.to_string()),
     ));
     t.push(Row::new(
-        "applied adds / removes / skipped",
-        text(format!("{} / {} / {}", r.applied_adds, r.applied_removes, r.skipped)),
+        "applied adds / removes",
+        text(format!("{} / {}", r.applied_adds, r.applied_removes)),
+    ));
+    t.push(Row::new(
+        "skipped dup adds / missing removes",
+        text(format!("{} / {}", r.skipped_dup_adds, r.skipped_missing_removes)),
     ));
     t.push(Row::new("live edges at end", text(r.live_edges.to_string())));
     t.push(Row::new(
@@ -449,6 +615,7 @@ pub fn table(r: &StreamRepro) -> Table {
         text(format!("{} ({})", r.components, if r.cc_ok { "yes" } else { "NO" })),
     ));
     t.push(Row::new("event-time watermark", text(r.final_watermark.to_string())));
+    t.push(Row::new("final state digest", text(format!("{:016x}", r.state_digest))));
     t.push(Row::new("ingest throughput (wall)", text(format!("{:.0} events/s", r.events_per_sec))));
     t.push(Row::new(
         "swap cost (wall, mean) vs full refresh",
@@ -482,7 +649,29 @@ mod tests {
             r.freshness_bound
         );
         assert!(r.applied_removes > 0, "the drift stream must remove edges");
-        assert!(r.skipped > 0, "an RMAT stream must produce at-least-once duplicates");
+        assert!(
+            r.skipped_dup_adds > 0,
+            "an RMAT stream must produce at-least-once duplicates"
+        );
         assert!(table(&r).to_string().contains("freshness lag"));
+    }
+
+    #[test]
+    fn sharded_stream_is_bit_identical_to_single_ingestor() {
+        let single = run_stream_with(0.01, 2_000, 1).expect("reference run");
+        let sharded = run_stream_with(0.01, 2_000, 4).expect("sharded run");
+        assert_eq!(
+            sharded.state_digest, single.state_digest,
+            "sharded final PS state must be bit-identical to the reference"
+        );
+        assert_eq!(sharded.wrong, 0);
+        assert_eq!(sharded.applied_adds, single.applied_adds);
+        assert_eq!(sharded.applied_removes, single.applied_removes);
+        assert_eq!(sharded.skipped_dup_adds, single.skipped_dup_adds);
+        assert_eq!(sharded.skipped_missing_removes, single.skipped_missing_removes);
+        assert_eq!(sharded.swaps, single.swaps);
+        // Freshness is event-time, so it is shard-count-invariant too.
+        assert_eq!(sharded.freshness_p99, single.freshness_p99);
+        assert_eq!(sharded.final_watermark, single.final_watermark);
     }
 }

@@ -340,6 +340,91 @@ impl NeighborTableHandle {
         Ok((added, removed))
     }
 
+    /// Apply several writers' mutation lanes at once — the sharded
+    /// streaming ingest path, where each lane is one shard's micro-batch.
+    ///
+    /// Wire costs are charged serially in canonical (lane, server) order,
+    /// each lane on its *own* clock, so the simulated-time accounting —
+    /// including the port occupancy the writes leave behind for later
+    /// readers — is identical for every pool size. The per-partition data
+    /// application then runs concurrently on the PS worker pool: distinct
+    /// lanes usually dirty distinct partitions (both sides tile the same
+    /// vertex range), and at a range-boundary partition shared by two
+    /// lanes the entries are still source-disjoint, so the final content
+    /// is independent of task interleaving. Callers must guarantee that
+    /// lane source sets are disjoint; the sharded ingestor keys lanes by
+    /// source range, which does. Returns `(added, removed)` per lane.
+    pub fn update_edges_sharded(
+        &self,
+        lanes: &[(&NodeClock, &[(u64, u64, bool)])],
+    ) -> Result<Vec<(usize, usize)>> {
+        for &(_, ops) in lanes {
+            for &(src, dst, _) in ops {
+                self.check(&[src, dst])?;
+            }
+        }
+        // (lane, server, partition, op positions) in canonical order.
+        let mut tasks: Vec<(usize, usize, usize, Vec<usize>)> = Vec::new();
+        for (lane, &(clock, ops)) in lanes.iter().enumerate() {
+            let mut groups: FxHashMap<usize, FxHashMap<usize, Vec<usize>>> =
+                FxHashMap::default();
+            for (pos, &(src, _, _)) in ops.iter().enumerate() {
+                let p = self.layout.partition_of(src);
+                let s = self.layout.server_of_partition(p);
+                groups.entry(s).or_default().entry(p).or_default().push(pos);
+            }
+            let mut servers: Vec<usize> = groups.keys().copied().collect();
+            servers.sort_unstable();
+            for s in servers {
+                let parts = &groups[&s];
+                let server = self.ps.server(s);
+                server.ensure_alive()?;
+                let n: u64 = parts.values().map(|v| v.len() as u64).sum();
+                self.ps.network().rpc(
+                    clock,
+                    server.port(),
+                    n * 17,
+                    n * self.ps.config().ops_per_item,
+                    16,
+                );
+                let mut pids: Vec<usize> = parts.keys().copied().collect();
+                pids.sort_unstable();
+                for p in pids {
+                    tasks.push((lane, s, p, parts[&p].clone()));
+                }
+            }
+        }
+        let results: Vec<Result<(usize, usize)>> =
+            self.ps.pool().map((0..tasks.len()).collect(), |t| {
+                let (lane, s, p, ref positions) = tasks[t];
+                let ops = lanes[lane].1;
+                self.ps.server(s).update_resize(&self.name, p, |part: &mut TablePart, _old| {
+                    let mut a = 0usize;
+                    let mut r = 0usize;
+                    for &pos in positions {
+                        let (src, dst, add) = ops[pos];
+                        if add {
+                            if part.entry(src).or_default().add(dst) {
+                                a += 1;
+                            }
+                        } else if let Some(e) = part.get_mut(&src) {
+                            if e.remove(dst) {
+                                r += 1;
+                            }
+                        }
+                    }
+                    ((a, r), part_bytes(part))
+                })
+            });
+        let mut out = vec![(0usize, 0usize); lanes.len()];
+        for (t, res) in results.into_iter().enumerate() {
+            let (a, r) = res?;
+            out[tasks[t].0].0 += a;
+            out[tasks[t].0].1 += r;
+        }
+        Ok(out)
+    }
+
     /// Add directed edges (see [`NeighborTableHandle::update_edges`]).
     /// Returns how many were added (live duplicates are skipped).
     pub fn add_edges(&self, client: &NodeClock, edges: &[(u64, u64)]) -> Result<usize> {
@@ -660,6 +745,30 @@ mod tests {
         // The list still behaves normally after compaction.
         assert_eq!(t.add_edges(&c, &[(1, 7)]).unwrap(), 1);
         assert_eq!(t.degrees(&c, &[1]).unwrap(), vec![33]);
+    }
+
+    #[test]
+    fn sharded_update_matches_sequential_lanes() {
+        let lane0: Vec<(u64, u64, bool)> = vec![(1, 2, false), (1, 9, true), (1, 2, true)];
+        let lane1: Vec<(u64, u64, bool)> = vec![(60, 61, false), (60, 62, true), (61, 1, true)];
+        let base = [(1u64, vec![2u64, 3]), (60, vec![61])];
+
+        let ps1 = ps();
+        let t1 = table(&ps1);
+        let (c0, c1) = (NodeClock::new(), NodeClock::new());
+        t1.push(&c0, &base).unwrap();
+        let got = t1.update_edges_sharded(&[(&c0, &lane0), (&c1, &lane1)]).unwrap();
+        assert_eq!(got, vec![(2, 1), (2, 1)]);
+
+        let ps2 = ps();
+        let t2 = table(&ps2);
+        let c = NodeClock::new();
+        t2.push(&c, &base).unwrap();
+        t2.update_edges(&c, &lane0).unwrap();
+        t2.update_edges(&c, &lane1).unwrap();
+        for v in [1u64, 60, 61, 9, 62] {
+            assert_eq!(t1.pull(&c0, &[v]).unwrap(), t2.pull(&c, &[v]).unwrap());
+        }
     }
 
     #[test]

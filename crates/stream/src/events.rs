@@ -24,6 +24,17 @@ pub struct EdgeEvent {
     pub at: SimTime,
 }
 
+impl EdgeEvent {
+    /// Which of `shards` ingestor shards owns this event: the shard whose
+    /// contiguous source range (the same `query::part` range tiling the
+    /// serving tier uses) contains `src`. Every mutation of a source
+    /// vertex lands in exactly one mailbox, so per-source arrival order
+    /// is preserved end to end.
+    pub fn owner(&self, num_vertices: u64, shards: usize) -> usize {
+        psgraph_query::part::owner_of(self.src, num_vertices, shards)
+    }
+}
+
 /// A synthetic edge-event source: RMAT-skewed adds whose quadrant
 /// probabilities *drift* over the stream (hot regions move, like a real
 /// social graph's activity migrating), interleaved with removals of
@@ -296,6 +307,20 @@ mod tests {
             mean(&early),
             mean(&late)
         );
+    }
+
+    #[test]
+    fn owner_keying_matches_range_tiling() {
+        let ev = |src| EdgeEvent { op: EdgeOp::Add, src, dst: 0, at: SimTime::ZERO };
+        for n in [1u64, 7, 100] {
+            for shards in [1usize, 2, 3, 8] {
+                for v in 0..n {
+                    let s = ev(v).owner(n, shards);
+                    let (lo, hi) = psgraph_query::part::vertex_range(s, n, shards);
+                    assert!((lo..hi).contains(&v), "v={v} n={n} shards={shards}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use psgraph_net::rpc::NodeId;
 use psgraph_ps::{NeighborTableHandle, Partitioner, Ps, RecoveryMode, VectorHandle};
 use psgraph_sim::{FxHashMap, NodeClock, SimTime, Watermark};
 
-use crate::error::Result;
+use crate::error::{Result, StreamError};
 use crate::events::{EdgeEvent, EdgeOp};
 
 /// Sizing for one [`Ingestor`].
@@ -44,10 +44,33 @@ pub struct IngestStats {
     pub applied_adds: u64,
     /// Removes applied to the table (misses excluded).
     pub applied_removes: u64,
-    /// Duplicate adds / missing removes skipped (at-least-once delivery).
-    pub skipped: u64,
+    /// Adds skipped because the edge was already live (at-least-once
+    /// delivery redelivers adds; replay after recovery re-offers them).
+    pub skipped_dup_adds: u64,
+    /// Removes skipped because the edge was absent. Kept separate from
+    /// duplicate adds so replay-idempotence diagnostics can tell
+    /// redelivered adds from removes racing ahead of their adds.
+    pub skipped_missing_removes: u64,
     /// Micro-batches drained.
     pub batches: u64,
+}
+
+impl IngestStats {
+    /// All skipped events (duplicate adds + missing removes).
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped_dup_adds + self.skipped_missing_removes
+    }
+
+    /// Fold another ingestor's counters in (shard aggregation).
+    pub fn merge(&mut self, o: &IngestStats) {
+        self.accepted += o.accepted;
+        self.rejected += o.rejected;
+        self.applied_adds += o.applied_adds;
+        self.applied_removes += o.applied_removes;
+        self.skipped_dup_adds += o.skipped_dup_adds;
+        self.skipped_missing_removes += o.skipped_missing_removes;
+        self.batches += o.batches;
+    }
 }
 
 /// What one micro-batch did — everything the incremental maintainers
@@ -95,14 +118,27 @@ impl Ingestor {
             Partitioner::Range,
             RecoveryMode::Consistent,
         )?;
-        Ok(Ingestor {
-            mailbox: Mailbox::bounded(cfg.mailbox_cap),
+        Ok(Ingestor::over(adjacency, degrees, cfg.mailbox_cap, n))
+    }
+
+    /// An ingestor over *existing* PS objects. The sharded router uses
+    /// this so every shard writes the same adjacency table and degree
+    /// vector (each shard owns a disjoint source range, so their writes
+    /// never touch the same entry).
+    pub fn over(
+        adjacency: NeighborTableHandle,
+        degrees: VectorHandle<f64>,
+        mailbox_cap: usize,
+        n: u64,
+    ) -> Ingestor {
+        Ingestor {
+            mailbox: Mailbox::bounded(mailbox_cap),
             adjacency,
             degrees,
             watermark: Watermark::new(),
             stats: IngestStats::default(),
             n,
-        })
+        }
     }
 
     /// Load the base graph (deduped) before the stream starts.
@@ -180,99 +216,192 @@ impl Ingestor {
         self.watermark.lag(at)
     }
 
+    /// Drain the mailbox into the batch's event list (arrival order).
+    pub(crate) fn drain_events(&mut self) -> Vec<EdgeEvent> {
+        self.mailbox.drain().into_iter().map(|m| m.payload).collect()
+    }
+
+    /// Pull the current live out-lists for the batch's (sorted, deduped)
+    /// sources, charged to `client`.
+    pub(crate) fn pull_old(
+        &self,
+        client: &NodeClock,
+        srcs: &[u64],
+    ) -> Result<Vec<Vec<u64>>> {
+        Ok(self.adjacency.pull(client, srcs)?.iter().map(|l| l.to_vec()).collect())
+    }
+
+    /// Apply the planned mutations to the PS (edge ops + degree deltas)
+    /// on `client`'s clock, verifying the driver mirror against the
+    /// table's own applied counts. No-op batches skip the RPCs entirely
+    /// so they cannot dirty a partition (and so a cadence of pure
+    /// duplicates never pays a delta swap).
+    pub(crate) fn apply_planned(&self, client: &NodeClock, planned: &PlannedBatch) -> Result<()> {
+        if !planned.applied.is_empty() {
+            let (adds, removes) = self.adjacency.update_edges(client, &planned.ops)?;
+            planned.check_table_counts(adds, removes)?;
+        }
+        if !planned.deg_ids.is_empty() {
+            self.degrees.push_add(client, &planned.deg_ids, &planned.deg_deltas)?;
+        }
+        Ok(())
+    }
+
+    /// Fold a planned-and-applied batch into the lifetime counters and
+    /// the watermark, yielding the maintainer-facing effect.
+    pub(crate) fn commit(&mut self, planned: PlannedBatch) -> BatchEffect {
+        self.stats.batches += 1;
+        self.stats.applied_adds += planned.applied.iter().filter(|&&(_, _, a)| a).count() as u64;
+        self.stats.applied_removes +=
+            planned.applied.iter().filter(|&&(_, _, a)| !a).count() as u64;
+        self.stats.skipped_dup_adds += planned.dup_adds;
+        self.stats.skipped_missing_removes += planned.missing_removes;
+        self.watermark.observe(planned.max_at);
+        BatchEffect {
+            effects: planned.effects,
+            applied: planned.applied,
+            drained: planned.drained,
+            watermark: self.watermark.now(),
+        }
+    }
+
     /// Drain the mailbox and apply everything as one micro-batch: the
     /// neighbor table gets the interleaved add/remove sequence in arrival
     /// order, degrees get the net per-source delta, and the watermark
     /// advances to the newest applied event time.
     pub fn apply_pending(&mut self, client: &NodeClock) -> Result<BatchEffect> {
-        let msgs = self.mailbox.drain();
-        if msgs.is_empty() {
+        let events = self.drain_events();
+        if events.is_empty() {
             return Ok(BatchEffect { watermark: self.watermark.now(), ..Default::default() });
         }
-        self.stats.batches += 1;
-        let events: Vec<EdgeEvent> = msgs.into_iter().map(|m| m.payload).collect();
-
-        let mut srcs: Vec<u64> = events.iter().map(|e| e.src).collect();
-        srcs.sort_unstable();
-        srcs.dedup();
-        let old: Vec<Vec<u64>> =
-            self.adjacency.pull(client, &srcs)?.iter().map(|l| l.to_vec()).collect();
-
-        // Mirror the table's slot semantics driver-side (append if
-        // absent, remove the first live occurrence) to learn which events
-        // actually change state — the maintainers must see only those.
-        let mut working: FxHashMap<u64, Vec<u64>> =
-            srcs.iter().cloned().zip(old.iter().cloned()).collect();
-        let mut ops: Vec<(u64, u64, bool)> = Vec::with_capacity(events.len());
-        let mut applied: Vec<(u64, u64, bool)> = Vec::new();
-        let mut max_at = SimTime::ZERO;
-        for ev in &events {
-            max_at = max_at.max(ev.at);
-            let list = working.get_mut(&ev.src).expect("src pulled");
-            match ev.op {
-                EdgeOp::Add => {
-                    ops.push((ev.src, ev.dst, true));
-                    if list.contains(&ev.dst) {
-                        self.stats.skipped += 1;
-                    } else {
-                        list.push(ev.dst);
-                        applied.push((ev.src, ev.dst, true));
-                        self.stats.applied_adds += 1;
-                    }
-                }
-                EdgeOp::Remove => {
-                    ops.push((ev.src, ev.dst, false));
-                    match list.iter().position(|&x| x == ev.dst) {
-                        Some(i) => {
-                            list.remove(i);
-                            applied.push((ev.src, ev.dst, false));
-                            self.stats.applied_removes += 1;
-                        }
-                        None => self.stats.skipped += 1,
-                    }
-                }
-            }
-        }
-
-        let (adds, removes) = self.adjacency.update_edges(client, &ops)?;
-        debug_assert_eq!(
-            (adds as u64, removes as u64),
-            (
-                applied.iter().filter(|&&(_, _, a)| a).count() as u64,
-                applied.iter().filter(|&&(_, _, a)| !a).count() as u64
-            ),
-            "driver mirror diverged from table semantics"
-        );
-
-        let mut effects: Vec<(u64, Vec<u64>, Vec<u64>)> = Vec::with_capacity(srcs.len());
-        let mut deg_ids: Vec<u64> = Vec::new();
-        let mut deg_deltas: Vec<f64> = Vec::new();
-        for (s, o) in srcs.iter().zip(old) {
-            let new = working.remove(s).expect("src present");
-            if new != o {
-                let delta = new.len() as f64 - o.len() as f64;
-                if delta != 0.0 {
-                    deg_ids.push(*s);
-                    deg_deltas.push(delta);
-                }
-                effects.push((*s, o, new));
-            }
-        }
-        if !deg_ids.is_empty() {
-            self.degrees.push_add(client, &deg_ids, &deg_deltas)?;
-        }
-
-        self.watermark.observe(max_at);
-        Ok(BatchEffect {
-            effects,
-            applied,
-            drained: events.len(),
-            watermark: self.watermark.now(),
-        })
+        let srcs = batch_sources(&events);
+        let old = self.pull_old(client, &srcs)?;
+        let planned = plan_batch(&events, &srcs, old);
+        self.apply_planned(client, &planned)?;
+        Ok(self.commit(planned))
     }
 
     pub fn num_vertices(&self) -> u64 {
         self.n
+    }
+}
+
+/// The sorted, deduped source set of a batch.
+pub(crate) fn batch_sources(events: &[EdgeEvent]) -> Vec<u64> {
+    let mut srcs: Vec<u64> = events.iter().map(|e| e.src).collect();
+    srcs.sort_unstable();
+    srcs.dedup();
+    srcs
+}
+
+/// One micro-batch's mutations, fully decided driver-side but not yet
+/// sent to the PS or folded into counters. Pure data: the sharded router
+/// computes these on the worker pool, one shard per task.
+pub(crate) struct PlannedBatch {
+    /// Events drained (applied + skipped).
+    pub(crate) drained: usize,
+    /// Every op in arrival order (the table skips no-ops itself).
+    pub(crate) ops: Vec<(u64, u64, bool)>,
+    /// Ops that actually change the table, in arrival order.
+    pub(crate) applied: Vec<(u64, u64, bool)>,
+    /// For each entry of `applied`: the index into the batch's event list
+    /// it came from — the router uses these to reconstruct the exact
+    /// global arrival order across shards.
+    pub(crate) applied_idx: Vec<usize>,
+    /// Per touched source: `(src, live out-list before, after)`, sources
+    /// ascending.
+    pub(crate) effects: Vec<(u64, Vec<u64>, Vec<u64>)>,
+    pub(crate) deg_ids: Vec<u64>,
+    pub(crate) deg_deltas: Vec<f64>,
+    pub(crate) dup_adds: u64,
+    pub(crate) missing_removes: u64,
+    pub(crate) max_at: SimTime,
+}
+
+impl PlannedBatch {
+    /// Verify the table's applied counts against the driver mirror. Runs
+    /// in release builds: a divergence here means the maintainers would
+    /// be fed effects the table never made (or miss ones it did).
+    pub(crate) fn check_table_counts(&self, adds: usize, removes: usize) -> Result<()> {
+        let want_adds = self.applied.iter().filter(|&&(_, _, a)| a).count();
+        let want_removes = self.applied.iter().filter(|&&(_, _, a)| !a).count();
+        if (adds, removes) != (want_adds, want_removes) {
+            return Err(StreamError::Invariant(format!(
+                "driver mirror diverged from table semantics: table applied \
+                 {adds} adds / {removes} removes, mirror expected \
+                 {want_adds} / {want_removes}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Mirror the table's slot semantics driver-side (append if absent,
+/// remove the first live occurrence) to learn which events actually
+/// change state — the maintainers must see only those. Pure function of
+/// the events and the pulled `old` lists (aligned with `srcs`).
+pub(crate) fn plan_batch(events: &[EdgeEvent], srcs: &[u64], old: Vec<Vec<u64>>) -> PlannedBatch {
+    let mut working: FxHashMap<u64, Vec<u64>> =
+        srcs.iter().cloned().zip(old.iter().cloned()).collect();
+    let mut ops: Vec<(u64, u64, bool)> = Vec::with_capacity(events.len());
+    let mut applied: Vec<(u64, u64, bool)> = Vec::new();
+    let mut applied_idx: Vec<usize> = Vec::new();
+    let mut dup_adds = 0u64;
+    let mut missing_removes = 0u64;
+    let mut max_at = SimTime::ZERO;
+    for (j, ev) in events.iter().enumerate() {
+        max_at = max_at.max(ev.at);
+        let list = working.get_mut(&ev.src).expect("src pulled");
+        match ev.op {
+            EdgeOp::Add => {
+                ops.push((ev.src, ev.dst, true));
+                if list.contains(&ev.dst) {
+                    dup_adds += 1;
+                } else {
+                    list.push(ev.dst);
+                    applied.push((ev.src, ev.dst, true));
+                    applied_idx.push(j);
+                }
+            }
+            EdgeOp::Remove => {
+                ops.push((ev.src, ev.dst, false));
+                match list.iter().position(|&x| x == ev.dst) {
+                    Some(i) => {
+                        list.remove(i);
+                        applied.push((ev.src, ev.dst, false));
+                        applied_idx.push(j);
+                    }
+                    None => missing_removes += 1,
+                }
+            }
+        }
+    }
+
+    let mut effects: Vec<(u64, Vec<u64>, Vec<u64>)> = Vec::with_capacity(srcs.len());
+    let mut deg_ids: Vec<u64> = Vec::new();
+    let mut deg_deltas: Vec<f64> = Vec::new();
+    for (s, o) in srcs.iter().zip(old) {
+        let new = working.remove(s).expect("src present");
+        if new != o {
+            let delta = new.len() as f64 - o.len() as f64;
+            if delta != 0.0 {
+                deg_ids.push(*s);
+                deg_deltas.push(delta);
+            }
+            effects.push((*s, o, new));
+        }
+    }
+    PlannedBatch {
+        drained: events.len(),
+        ops,
+        applied,
+        applied_idx,
+        effects,
+        deg_ids,
+        deg_deltas,
+        dup_adds,
+        missing_removes,
+        max_at,
     }
 }
 
@@ -321,7 +450,9 @@ mod tests {
         let st = ing.stats();
         assert_eq!(st.applied_adds, 2);
         assert_eq!(st.applied_removes, 1);
-        assert_eq!(st.skipped, 2);
+        assert_eq!(st.skipped_dup_adds, 1, "duplicate (3,4) add");
+        assert_eq!(st.skipped_missing_removes, 1, "missing (3,9) remove");
+        assert_eq!(st.skipped_total(), 2);
         assert_eq!(st.batches, 1);
     }
 

@@ -12,7 +12,9 @@
 //! 2. **Ingest** ([`ingest`]) — a bounded-mailbox micro-batch ingestor
 //!    applies events to mutable PS state (tombstone-backed neighbor
 //!    table + degree vector) and tracks an event-time watermark for
-//!    freshness accounting.
+//!    freshness accounting. For write throughput, [`shard`] routes the
+//!    stream across N such ingestors keyed by edge owner (source-range
+//!    tiling) and merges freshness as the min across shard watermarks.
 //! 3. **Maintain** — each batch's effects feed the incremental
 //!    maintainers in `psgraph_core::algos::incremental`: PageRank by
 //!    residual re-push, connected components by union-on-add and bounded
@@ -27,9 +29,11 @@ pub mod events;
 pub mod ingest;
 pub mod recovery;
 pub mod refresh;
+pub mod shard;
 
 pub use error::{Result, StreamError};
 pub use events::{DriftRmat, DriftRmatSource, EdgeEvent, EdgeOp, EventLog};
 pub use ingest::{BatchEffect, IngestConfig, IngestStats, Ingestor};
 pub use recovery::{replay_from_log, StreamCheckpoint};
 pub use refresh::{RefreshConfig, RefreshDriver, SwapRecord};
+pub use shard::ShardedIngestor;

@@ -57,9 +57,15 @@ impl RefreshDriver {
         }
     }
 
-    /// Record one applied micro-batch; `true` means a refresh is due.
-    pub fn tick(&mut self) -> bool {
-        self.batches_since_swap += 1;
+    /// Record one drained micro-batch; `true` means a refresh is due.
+    /// `effective` says whether the batch changed any state
+    /// (`!BatchEffect::effects.is_empty()`) — no-op batches (every event
+    /// dedup-skipped) do not advance the swap cadence, so a quiet stream
+    /// of redelivered duplicates never schedules an empty hot-swap.
+    pub fn tick(&mut self, effective: bool) -> bool {
+        if effective {
+            self.batches_since_swap += 1;
+        }
         self.batches_since_swap >= self.cfg.swap_every_batches
     }
 
@@ -71,7 +77,12 @@ impl RefreshDriver {
     /// Export a delta of everything dirtied since the last swap (ranks,
     /// labels, adjacency) and install it on the live tier. Returns the
     /// swap statistics; the internal manifest is rebased so subsequent
-    /// deltas are incremental.
+    /// deltas are incremental. When *nothing* is dirty — the cadence
+    /// elapsed on batches whose every mutation was elsewhere absorbed —
+    /// the swap is skipped entirely (`None`): the unfinished
+    /// [`DeltaWriter`] buffers in memory, so dropping it writes nothing
+    /// to the DFS and the tier keeps serving the manifest it already has.
+    #[allow(clippy::too_many_arguments)]
     pub fn refresh(
         &mut self,
         dfs: &Dfs,
@@ -81,18 +92,22 @@ impl RefreshDriver {
         labels: &VectorHandle<u64>,
         adjacency: &NeighborTableHandle,
         at: SimTime,
-    ) -> Result<SwapRecord> {
+    ) -> Result<Option<SwapRecord>> {
         let mut dw = DeltaWriter::new(dfs, &self.dir, &self.manifest, client);
         let mut dirty = dw.vector_f64(ranks)?;
         dirty += dw.vector_u64(labels)?;
         dirty += dw.neighbor_table(adjacency)?;
+        if dirty == 0 {
+            self.batches_since_swap = 0;
+            return Ok(None);
+        }
         let delta = dw.finish()?;
         let stats = cluster.swap_in(&delta)?;
         self.manifest = delta.rebase(&self.manifest);
         self.batches_since_swap = 0;
         let record = SwapRecord { at, stats, dirty_partitions: dirty };
         self.swaps.push(record);
-        Ok(record)
+        Ok(Some(record))
     }
 
     /// Every swap so far, in order.

@@ -15,6 +15,7 @@ use psgraph_ps::{NeighborTableHandle, Partitioner, Ps, PsConfig, RecoveryMode};
 use psgraph_sim::{FxHashMap, NodeClock, SimTime, SplitMix64};
 use psgraph_stream::{
     replay_from_log, DriftRmat, EdgeEvent, EdgeOp, EventLog, IngestConfig, Ingestor,
+    ShardedIngestor,
 };
 
 /// Drive `events` through the ingestor in micro-batches of `batch`,
@@ -223,7 +224,111 @@ fn drift_source_through_ingestor_preserves_live_set() {
         assert_eq!(*deg, list.len() as f64, "degree of {v} out of lockstep");
     }
     // The stream really exercised the at-least-once path.
-    assert!(h.ingestor.stats().skipped > 0, "expected duplicate adds in an RMAT stream");
+    assert!(
+        h.ingestor.stats().skipped_dup_adds > 0,
+        "expected duplicate adds in an RMAT stream"
+    );
+}
+
+#[test]
+fn sharded_ingest_is_bit_identical_to_single_ingestor() {
+    // The tentpole equivalence: over any random event stream, shard
+    // count, and batch size, routing the stream across owner-keyed
+    // ingestor shards and draining them as one logical batch must be
+    // indistinguishable from a single ingestor — byte-identical neighbor
+    // lists (slot order included), degree bits, per-batch effects,
+    // applied ops in arrival order, watermarks, and lifetime counters.
+    // Identical effects/applied per batch makes the incremental
+    // maintainers (which consume only those) identical by construction.
+    check(
+        "sharded_ingest_is_bit_identical_to_single_ingestor",
+        |src: &mut Source| {
+            let n = src.u64_range(6, 48);
+            let total = src.usize_range(30, 200);
+            let batch = [4usize, 8, 16, 32][src.choice(4) as usize];
+            let shards = [2usize, 3, 4, 8][src.choice(4) as usize];
+            let seed = src.u64_range(0, u64::MAX - 1);
+            (n, total, batch, shards, seed)
+        },
+        |&(n, total, batch, shards, seed)| {
+            let client = NodeClock::new();
+            let base = psgraph_graph::gen::rmat(n, n as usize * 2, Default::default(), seed ^ 1)
+                .dedup();
+            let mut rng = SplitMix64::new(seed);
+            let mut live = base.edges().to_vec();
+            let mut tick = 0u64;
+            let events = random_stream(&mut rng, n, &mut live, total, &mut tick);
+
+            // Mailboxes sized to the batch: even a batch routed entirely
+            // to one shard fits.
+            let cfg = IngestConfig { prefix: "shp".into(), mailbox_cap: batch };
+            let ps_a = Ps::new(PsConfig::default());
+            let mut single = Ingestor::create(&ps_a, &cfg, n).unwrap();
+            single.bootstrap(&client, base.edges()).unwrap();
+            let ps_b = Ps::new(PsConfig::default());
+            let mut sharded = ShardedIngestor::create(&ps_b, &cfg, n, shards).unwrap();
+            sharded.bootstrap(&client, base.edges()).unwrap();
+
+            for chunk in events.chunks(batch.max(1)) {
+                for &ev in chunk {
+                    assert!(single.offer(NodeId::Driver, ev), "single mailbox overflow");
+                    assert!(sharded.offer(NodeId::Driver, ev), "shard mailbox overflow");
+                }
+                let fa = single.apply_pending(&client).unwrap();
+                let fb = sharded.drain_all().unwrap();
+                prop_assert_eq!(fa.drained, fb.drained, "drained count diverged");
+                prop_assert_eq!(
+                    &fa.applied,
+                    &fb.applied,
+                    "applied ops lost global arrival order"
+                );
+                prop_assert_eq!(&fa.effects, &fb.effects, "merged effects diverged");
+                prop_assert_eq!(fa.watermark, fb.watermark, "batch watermark diverged");
+            }
+
+            // Final PS state, byte-for-byte: slot order of the neighbor
+            // lists included (shards apply the same ops to the same
+            // partitions in the same per-source order).
+            let ids: Vec<u64> = (0..n).collect();
+            let adj_a: Vec<Vec<u64>> = single
+                .adjacency
+                .pull(&client, &ids)
+                .unwrap()
+                .into_iter()
+                .map(|l| l.to_vec())
+                .collect();
+            let adj_b: Vec<Vec<u64>> = sharded
+                .adjacency()
+                .pull(&client, &ids)
+                .unwrap()
+                .into_iter()
+                .map(|l| l.to_vec())
+                .collect();
+            prop_assert_eq!(adj_a, adj_b, "neighbor table diverged");
+            let deg_a: Vec<u64> =
+                single.degrees.pull(&client, &ids).unwrap().iter().map(|d| d.to_bits()).collect();
+            let deg_b: Vec<u64> = sharded
+                .degrees()
+                .pull(&client, &ids)
+                .unwrap()
+                .iter()
+                .map(|d| d.to_bits())
+                .collect();
+            prop_assert_eq!(deg_a, deg_b, "degree bits diverged");
+            prop_assert_eq!(single.watermark(), sharded.watermark(), "watermark diverged");
+
+            let (sa, sb) = (single.stats(), sharded.stats());
+            prop_assert_eq!(sa.applied_adds, sb.applied_adds, "applied_adds");
+            prop_assert_eq!(sa.applied_removes, sb.applied_removes, "applied_removes");
+            prop_assert_eq!(sa.skipped_dup_adds, sb.skipped_dup_adds, "skipped_dup_adds");
+            prop_assert_eq!(
+                sa.skipped_missing_removes,
+                sb.skipped_missing_removes,
+                "skipped_missing_removes"
+            );
+            Ok(())
+        },
+    );
 }
 
 #[test]

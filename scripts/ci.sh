@@ -68,9 +68,29 @@ fi
 
 # Streaming smoke: drift-RMAT edge events through micro-batch ingestion,
 # incremental PageRank/CC maintenance, and delta hot-swaps into the live
-# tier. The binary asserts zero wrong answers, L∞ ≤ 1e-6 vs a full
-# recompute, reference-equal components, and bounded freshness lag.
-cargo run --release --offline -p psgraph-bench --bin repro -- stream --scale 0.02 --events 6000
+# tier, at one ingestor and at four owner-keyed shards. The binary
+# asserts zero wrong answers, L∞ ≤ 1e-6 vs a full recompute,
+# reference-equal components, bounded freshness lag, and (at --shards 4)
+# a final PS state digest bit-identical to a single-ingestor reference
+# run. The two outputs must agree line-for-line — digest, freshness,
+# swap/batch counts included — once wall-clock rows are stripped
+# (events/s and swap cost legitimately differ across shard counts; the
+# shard-count row is stripped too since it names the sweep point).
+cargo run --release --offline -p psgraph-bench --bin repro -- \
+    stream --scale 0.02 --events 6000 --shards 1 >/tmp/ci-stream-s1.log \
+    || { cat /tmp/ci-stream-s1.log; exit 1; }
+cargo run --release --offline -p psgraph-bench --bin repro -- \
+    stream --scale 0.02 --events 6000 --shards 4 >/tmp/ci-stream-s4.log \
+    || { cat /tmp/ci-stream-s4.log; exit 1; }
+strip_wall() {
+    sed -E -e '/wall clock/d' -e '/events\/s/d' -e '/swap cost/d' -e '/ingestor shards/d' "$1"
+}
+if ! diff <(strip_wall /tmp/ci-stream-s1.log) <(strip_wall /tmp/ci-stream-s4.log) >/tmp/ci-stream.diff; then
+    echo "ci: stream outputs diverge between --shards 1 and --shards 4" >&2
+    cat /tmp/ci-stream.diff >&2
+    exit 1
+fi
+cat /tmp/ci-stream-s4.log
 
 # Chaos smoke: the fault-injection soak at 3 pinned schedule seeds
 # (0xC0FFEE..+2) — message loss/duplication/delay on every RPC, PS
@@ -84,13 +104,16 @@ cargo run --release --offline -p psgraph-bench --bin repro -- chaos --scale 0.02
 # Schedule-perturbation sweep: rerun both smokes under ten seeded
 # steal-schedule perturbations (randomized victim order + injected
 # yields). The binaries' internal correctness asserts — zero wrong
-# answers, reference-equal results — must hold on every schedule.
+# answers, reference-equal results, and (sharded stream) a state digest
+# bit-identical to the single-ingestor reference — must hold on every
+# schedule: the sharded drain plans batches on the pool, so this is the
+# path a steal-order bug would corrupt.
 for seed in 1 2 3 4 5 6 7 8 9 10; do
     echo "ci: perturbation seed $seed"
     PSGRAPH_POOL_PERTURB=$seed cargo run --release --offline -p psgraph-bench --bin repro -- \
         serve --scale 0.01 --queries 1500 >/dev/null
     PSGRAPH_POOL_PERTURB=$seed cargo run --release --offline -p psgraph-bench --bin repro -- \
-        stream --scale 0.01 --events 2000 >/dev/null
+        stream --scale 0.01 --events 2000 --shards 2 >/dev/null
 done
 
 echo "ci: OK"
